@@ -1,0 +1,55 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``test_bN_*`` file regenerates one experiment row of DESIGN.md §4.
+Workloads come from the same registry as the tests and the sweep CLI, so
+numbers are comparable across all three.  Set ``REPRO_BENCH_SCALE`` to
+subsample transactions for quick runs.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import scaled_db
+from repro.core.plt import PLT
+from repro.data.transaction_db import TransactionDatabase, resolve_min_support
+
+
+@pytest.fixture(scope="session")
+def sparse_db() -> TransactionDatabase:
+    """B1/B6/B9 sparse Quest workload."""
+    return scaled_db("T10.I4.D5K")
+
+
+@pytest.fixture(scope="session")
+def sparse_db_10k() -> TransactionDatabase:
+    return scaled_db("T10.I4.D10K")
+
+
+@pytest.fixture(scope="session")
+def dense_db() -> TransactionDatabase:
+    """B2 dense workload."""
+    return scaled_db("DENSE-50")
+
+
+@pytest.fixture(scope="session")
+def dense_small_db() -> TransactionDatabase:
+    """B3 crossover workload."""
+    return scaled_db("DENSE-30")
+
+
+@pytest.fixture(scope="session")
+def zipf_db() -> TransactionDatabase:
+    return scaled_db("ZIPF-200")
+
+
+def abs_support(db: TransactionDatabase, fraction: float) -> int:
+    return resolve_min_support(fraction, len(db))
+
+
+@pytest.fixture(scope="session")
+def sparse_plt(sparse_db_10k) -> PLT:
+    """Prebuilt PLT for structure-level benchmarks (B7/B8)."""
+    return PLT.from_transactions(sparse_db_10k, abs_support(sparse_db_10k, 0.002))

@@ -1,0 +1,29 @@
+"""B10 — association-rule generation throughput (problem step 2, paper §2)."""
+
+import pytest
+
+from repro.core.mining import mine_frequent_itemsets
+from repro.rules import rules_from_result
+
+from conftest import abs_support
+
+CONFIDENCES = (0.9, 0.7, 0.5)
+
+
+@pytest.fixture(scope="module")
+def mined(sparse_db):
+    return mine_frequent_itemsets(sparse_db, abs_support(sparse_db, 0.01))
+
+
+@pytest.mark.parametrize("confidence", CONFIDENCES)
+def test_b10_rule_generation(benchmark, mined, confidence):
+    benchmark.group = "B10 rules"
+    rules = benchmark(rules_from_result, mined, confidence)
+    benchmark.extra_info["n_rules"] = len(rules)
+    benchmark.extra_info["n_itemsets"] = len(mined)
+
+
+def test_b10_rule_count_monotone(mined):
+    """Lowering the confidence bar can only add rules."""
+    counts = [len(rules_from_result(mined, c)) for c in CONFIDENCES]
+    assert counts == sorted(counts)

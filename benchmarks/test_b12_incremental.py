@@ -1,0 +1,77 @@
+"""B12 — incremental maintenance vs full rebuild.
+
+Measures (i) per-transaction maintenance cost (the O(1) upsert), and
+(ii) snapshot cost vs rebuilding Algorithm 1 from the raw log.  The
+snapshot re-encodes aggregated vectors, so its advantage over rebuild
+scales with the aggregation ratio — near parity on sparse data (every
+transaction distinct), large on dense/repetitive streams.
+"""
+
+import pytest
+
+from repro.bench.workloads import scaled_db
+from repro.core.incremental import IncrementalPLT
+from repro.core.plt import PLT
+
+from conftest import abs_support
+
+
+@pytest.fixture(scope="module")
+def sparse_stream():
+    return list(scaled_db("T10.I4.D5K"))
+
+
+@pytest.fixture(scope="module")
+def dense_stream():
+    return list(scaled_db("DENSE-50"))
+
+
+def test_b12_add_throughput(benchmark, sparse_stream):
+    benchmark.group = "B12 maintain"
+    def run():
+        inc = IncrementalPLT()
+        for t in sparse_stream:
+            inc.add_transaction(t)
+        return inc
+
+    inc = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["tx_per_run"] = len(sparse_stream)
+
+
+def test_b12_remove_throughput(benchmark, sparse_stream):
+    benchmark.group = "B12 maintain"
+    inc = IncrementalPLT(sparse_stream)
+    batch = sparse_stream[:500]
+
+    def run():
+        for t in batch:
+            inc.remove_transaction(t)
+        for t in batch:
+            inc.add_transaction(t)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["ops_per_run"] = 2 * len(batch)
+
+
+@pytest.mark.parametrize("stream_name", ["sparse", "dense"])
+def test_b12_snapshot_vs_rebuild(benchmark, sparse_stream, dense_stream, stream_name):
+    benchmark.group = f"B12 snapshot {stream_name}"
+    stream = sparse_stream if stream_name == "sparse" else dense_stream
+    min_count = max(1, len(stream) // 100)
+    inc = IncrementalPLT(stream)
+    snapshot = benchmark.pedantic(inc.snapshot, args=(min_count,), rounds=3, iterations=1)
+    rebuilt = PLT.from_transactions(stream, min_count)
+    assert snapshot.partitions == rebuilt.partitions
+    benchmark.extra_info["aggregation_ratio"] = round(
+        snapshot.stats().compression_ratio, 2
+    )
+
+
+@pytest.mark.parametrize("stream_name", ["sparse", "dense"])
+def test_b12_rebuild_baseline(benchmark, sparse_stream, dense_stream, stream_name):
+    benchmark.group = f"B12 snapshot {stream_name}"
+    stream = sparse_stream if stream_name == "sparse" else dense_stream
+    min_count = max(1, len(stream) // 100)
+    benchmark.pedantic(
+        PLT.from_transactions, args=(stream, min_count), rounds=3, iterations=1
+    )

@@ -1,0 +1,47 @@
+"""B14 — count-distribution Apriori (the ICPP-era parallel baseline).
+
+Sequentially-simulated nodes isolate the *algorithmic* overhead of
+distribution (per-node tries + counter reduction) from process costs;
+``use_processes=True`` rows show the real-pool wall time (bounded by the
+single-core host, like B7).  Result exactness vs serial Apriori is
+asserted.
+"""
+
+import pytest
+
+from repro.baselines.apriori import mine_apriori
+from repro.parallel.count_distribution import mine_count_distribution
+
+from conftest import abs_support
+
+SUPPORT = 0.01
+
+
+def test_b14_serial_apriori(benchmark, sparse_db):
+    benchmark.group = "B14 count distribution"
+    min_count = abs_support(sparse_db, SUPPORT)
+    table = benchmark.pedantic(
+        mine_apriori, args=(sparse_db, min_count), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n_itemsets"] = len(table)
+
+
+@pytest.mark.parametrize("n_nodes", (1, 2, 4, 8))
+def test_b14_simulated_nodes(benchmark, sparse_db, n_nodes):
+    benchmark.group = "B14 count distribution"
+    min_count = abs_support(sparse_db, SUPPORT)
+    table = benchmark.pedantic(
+        mine_count_distribution,
+        args=(sparse_db, min_count),
+        kwargs={"n_nodes": n_nodes},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["n_itemsets"] = len(table)
+
+
+def test_b14_exactness(sparse_db):
+    min_count = abs_support(sparse_db, SUPPORT)
+    serial = mine_apriori(sparse_db, min_count)
+    for n_nodes in (2, 4):
+        assert mine_count_distribution(sparse_db, min_count, n_nodes=n_nodes) == serial

@@ -1,0 +1,68 @@
+"""B17 — Toivonen sampling vs exact mining.
+
+Sampling mines a fraction of the data plus one verification pass; the win
+shrinks in pure Python (the verification's subset checks are not free)
+but the structure of the trade-off — and the border-failure rate as the
+lowering factor tightens — reproduces the published behaviour.
+"""
+
+import pytest
+
+from repro.baselines.sampling import mine_sampling
+from repro.core.mining import mine_frequent_itemsets
+
+from conftest import abs_support
+
+SUPPORT = 0.02
+
+
+@pytest.mark.parametrize("fraction", (0.1, 0.25, 0.5))
+def test_b17_sampling(benchmark, sparse_db, fraction):
+    benchmark.group = "B17 sampling"
+    db = list(sparse_db)
+    min_count = abs_support(sparse_db, SUPPORT)
+
+    def run():
+        return mine_sampling(db, min_count, sample_fraction=fraction, seed=7)
+
+    result, info = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: info[k] for k in ("sample_size", "candidates", "border_size", "fallback")}
+    )
+    benchmark.extra_info["n_itemsets"] = len(result)
+
+
+def test_b17_exact_baseline(benchmark, sparse_db):
+    benchmark.group = "B17 sampling"
+    min_count = abs_support(sparse_db, SUPPORT)
+    result = benchmark.pedantic(
+        mine_frequent_itemsets, args=(sparse_db, min_count), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n_itemsets"] = len(result)
+
+
+def test_b17_exactness(sparse_db):
+    db = list(sparse_db)
+    min_count = abs_support(sparse_db, SUPPORT)
+    expected = mine_frequent_itemsets(sparse_db, min_count).as_dict()
+    for fraction in (0.1, 0.5):
+        got, _ = mine_sampling(db, min_count, sample_fraction=fraction, seed=7)
+        assert got == expected
+
+
+def test_b17_border_failures_rise_with_looser_lowering(sparse_db):
+    """lowering=1.0 (no margin) should fail the border check more often
+    than lowering=0.7 across seeds."""
+    db = list(sparse_db)
+    min_count = abs_support(sparse_db, SUPPORT)
+    tight = loose = 0
+    for seed in range(5):
+        _, info_l = mine_sampling(
+            db, min_count, sample_fraction=0.1, lowering=0.7, seed=seed
+        )
+        _, info_t = mine_sampling(
+            db, min_count, sample_fraction=0.1, lowering=1.0, seed=seed
+        )
+        loose += info_l["fallback"]
+        tight += info_t["fallback"]
+    assert loose <= tight

@@ -1,0 +1,52 @@
+"""B1 — runtime vs minimum support on sparse Quest data (T10.I4.D5K).
+
+The headline comparison the FIM literature reports: every miner at a grid
+of support thresholds on IBM-Quest-style market baskets.  The reproduction
+target (EXPERIMENTS.md) is the *ordering*: pattern-growth methods (PLT
+conditional, FP-growth, H-Mine) beat candidate generation (Apriori) as
+support drops, with the gap widening.
+
+Each benchmark's ``extra_info`` records the itemset count, and a module
+check asserts all methods agree at every grid point.
+"""
+
+import pytest
+
+from repro.bench.workloads import grid
+from repro.core.mining import mine_frequent_itemsets
+
+from conftest import abs_support
+
+GRID = grid("B1")
+
+
+@pytest.mark.parametrize("support", GRID.supports)
+@pytest.mark.parametrize("method", GRID.methods)
+def test_b1_sparse_sweep(benchmark, sparse_db, method, support):
+    benchmark.group = f"B1 sup={support}"
+    min_count = abs_support(sparse_db, support)
+    result = benchmark.pedantic(
+        mine_frequent_itemsets,
+        args=(sparse_db, min_count),
+        kwargs={"method": method},
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["n_itemsets"] = len(result)
+    benchmark.extra_info["min_support"] = support
+
+
+def test_b1_all_methods_agree(sparse_db):
+    """Correctness gate: a benchmark must never time a wrong answer."""
+    for support in GRID.supports:
+        min_count = abs_support(sparse_db, support)
+        reference = None
+        for method in GRID.methods:
+            table = mine_frequent_itemsets(
+                sparse_db, min_count, method=method
+            ).as_dict()
+            if reference is None:
+                reference = table
+            else:
+                assert table == reference, (method, support)

@@ -1,0 +1,46 @@
+"""B2 — runtime vs minimum support on dense correlated data (DENSE-50).
+
+Dense attribute-value data (mushroom/chess-like): long fixed-length
+transactions over few items.  The reproduction target is the regime the
+paper's §6 assigns to the conditional approach: pattern-growth methods stay
+tractable while the frequent-itemset count explodes, and the vertical
+miners' tidsets stay large.
+"""
+
+import pytest
+
+from repro.bench.workloads import grid
+from repro.core.mining import mine_frequent_itemsets
+
+from conftest import abs_support
+
+GRID = grid("B2")
+
+
+@pytest.mark.parametrize("support", GRID.supports)
+@pytest.mark.parametrize("method", GRID.methods)
+def test_b2_dense_sweep(benchmark, dense_db, method, support):
+    benchmark.group = f"B2 sup={support}"
+    min_count = abs_support(dense_db, support)
+    result = benchmark.pedantic(
+        mine_frequent_itemsets,
+        args=(dense_db, min_count),
+        kwargs={"method": method},
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["n_itemsets"] = len(result)
+    benchmark.extra_info["min_support"] = support
+
+
+def test_b2_all_methods_agree(dense_db):
+    for support in GRID.supports:
+        min_count = abs_support(dense_db, support)
+        reference = None
+        for method in GRID.methods:
+            table = mine_frequent_itemsets(dense_db, min_count, method=method).as_dict()
+            if reference is None:
+                reference = table
+            else:
+                assert table == reference, (method, support)

@@ -1,0 +1,97 @@
+"""B3 — the paper's §6 claim: top-down vs conditional across support.
+
+"[the top-down approach] is suitable for situations where a very low
+minimum support is provided ... the conditional approach is best used when
+the data is dense and a high support count is required."
+
+The top-down pass costs the same regardless of threshold (it materialises
+every subset frequency), while the conditional miner's cost grows as
+support drops.  The reproduction target is the crossover: conditional wins
+at high support, top-down wins once the threshold is low enough that the
+frequent set approaches the full subset lattice (measured crossover on
+DENSE-30 lies between relative supports 0.005 and 0.002 — EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.workloads import grid
+from repro.core.conditional import mine_conditional
+from repro.core.plt import PLT
+from repro.core.topdown import mine_topdown
+
+from conftest import abs_support
+
+GRID = grid("B3")
+
+
+@pytest.fixture(scope="module")
+def plts(dense_small_db):
+    """One PLT per support level (construction excluded from timing)."""
+    return {
+        support: PLT.from_transactions(
+            dense_small_db, abs_support(dense_small_db, support)
+        )
+        for support in GRID.supports
+    }
+
+
+@pytest.mark.parametrize("support", GRID.supports)
+def test_b3_conditional(benchmark, plts, support):
+    benchmark.group = f"B3 sup={support}"
+    plt = plts[support]
+    pairs = benchmark.pedantic(
+        mine_conditional, args=(plt, plt.min_support), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_itemsets"] = len(pairs)
+
+
+@pytest.mark.parametrize("support", GRID.supports)
+def test_b3_topdown(benchmark, plts, support):
+    benchmark.group = f"B3 sup={support}"
+    plt = plts[support]
+    pairs = benchmark.pedantic(
+        mine_topdown,
+        args=(plt, plt.min_support),
+        kwargs={"work_limit": GRID.method_kwargs["plt-topdown"]["work_limit"]},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["n_itemsets"] = len(pairs)
+
+
+def test_b3_amortized_multi_threshold(benchmark, dense_small_db):
+    """The reading under which top-down genuinely wins (EXPERIMENTS.md B3):
+    its subset-frequency table is threshold-independent, so one pass
+    answers every support level, while the conditional miner must re-run
+    per threshold.  This benchmark times one top-down pass + filtering at
+    all grid thresholds; compare against the *sum* of the per-threshold
+    conditional rows above."""
+    benchmark.group = "B3 amortized"
+    from repro.core.topdown import topdown_subset_frequencies
+
+    plt = PLT.from_transactions(dense_small_db, 1)
+
+    def run():
+        counts = topdown_subset_frequencies(plt, work_limit=None)
+        out = {}
+        for support in GRID.supports:
+            min_count = abs_support(dense_small_db, support)
+            out[support] = sum(
+                1
+                for bucket in counts.values()
+                for freq in bucket.values()
+                if freq >= min_count
+            )
+        return out
+
+    per_threshold = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["itemsets_per_threshold"] = per_threshold
+
+
+def test_b3_results_agree(plts):
+    for support, plt in plts.items():
+        a = sorted(mine_conditional(plt, plt.min_support))
+        b = sorted(
+            mine_topdown(plt, plt.min_support, work_limit=500_000_000)
+        )
+        assert a == b, support

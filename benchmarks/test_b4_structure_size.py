@@ -1,0 +1,76 @@
+"""B4 — structure size across data densities (paper §1/§6 compression claim).
+
+Benchmarks the *construction* of each candidate representation and records
+its size in ``extra_info``: distinct PLT vectors and encoded bytes vs
+FP-tree node count vs raw FIMI text.  The reproduction targets:
+
+* the encoded PLT is substantially smaller than the raw database, and
+* PLT vector aggregation improves (ratio grows) with density, because
+  dense data repeats whole transactions.
+"""
+
+import pytest
+
+from repro.baselines.fptree import FPTree
+from repro.bench.workloads import scaled_db
+from repro.compress import encoded_size_report, serialize_plt
+from repro.core.plt import PLT
+
+from conftest import abs_support
+
+DATASETS = ("T10.I4.D5K", "ZIPF-200", "DENSE-50")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_b4_plt_build_and_size(benchmark, dataset):
+    benchmark.group = f"B4 {dataset}"
+    db = scaled_db(dataset)
+    min_count = abs_support(db, 0.01)
+    plt = benchmark.pedantic(
+        PLT.from_transactions, args=(db, min_count), rounds=3, iterations=1
+    )
+    stats = plt.stats()
+    sizes = encoded_size_report(plt)
+    benchmark.extra_info.update(
+        {
+            "n_vectors": stats.n_vectors,
+            "aggregation_ratio": round(stats.compression_ratio, 2),
+            "plain_bytes": sizes["plain"],
+            "gzip_bytes": sizes["gzip"],
+            "raw_bytes": sizes["raw_dat_estimate"],
+        }
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_b4_fptree_build_and_size(benchmark, dataset):
+    benchmark.group = f"B4 {dataset}"
+    db = scaled_db(dataset)
+    min_count = abs_support(db, 0.01)
+    tree = benchmark.pedantic(
+        FPTree.from_transactions, args=(db, min_count), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n_nodes"] = tree.n_nodes()
+
+
+def test_b4_encoded_smaller_than_raw():
+    for dataset in DATASETS:
+        db = scaled_db(dataset)
+        plt = PLT.from_transactions(db, abs_support(db, 0.01))
+        sizes = encoded_size_report(plt)
+        assert sizes["plain"] < sizes["raw_dat_estimate"], dataset
+        assert sizes["gzip"] <= sizes["plain"], dataset
+
+
+def test_b4_density_improves_aggregation():
+    sparse = scaled_db("T10.I4.D5K")
+    dense = scaled_db("DENSE-50")
+    r_sparse = PLT.from_transactions(sparse, abs_support(sparse, 0.01)).stats()
+    r_dense = PLT.from_transactions(dense, abs_support(dense, 0.01)).stats()
+    assert r_dense.compression_ratio >= r_sparse.compression_ratio
+
+
+def test_b4_serialize_roundtrip_cost(benchmark, sparse_plt):
+    benchmark.group = "B4 serialize"
+    blob = benchmark.pedantic(serialize_plt, args=(sparse_plt,), rounds=3, iterations=1)
+    benchmark.extra_info["bytes"] = len(blob)

@@ -1,0 +1,55 @@
+"""B6 — scalability with database size at fixed relative support.
+
+Both pattern-growth miners should scale roughly linearly in the number of
+transactions (the reproduction target), because the structure build is one
+pass and the mining cost tracks the frequent-pattern volume, which is
+stable at a fixed relative threshold.
+"""
+
+import pytest
+
+from repro.core.mining import mine_frequent_itemsets
+from repro.data.quest import QuestGenerator, QuestParameters
+
+SIZES = (1_000, 2_500, 5_000, 10_000)
+SUPPORT = 0.01
+METHODS = ("plt", "fpgrowth")
+
+
+@pytest.fixture(scope="module")
+def databases():
+    """One generator instance -> same market behaviour at every size."""
+    params = QuestParameters(
+        n_transactions=max(SIZES),
+        avg_transaction_len=10,
+        avg_pattern_len=4,
+        n_patterns=250,
+        n_items=500,
+        seed=101,
+    )
+    gen = QuestGenerator(params)
+    return {n: gen.generate(n) for n in SIZES}
+
+
+@pytest.mark.parametrize("n_transactions", SIZES)
+@pytest.mark.parametrize("method", METHODS)
+def test_b6_scalability(benchmark, databases, method, n_transactions):
+    benchmark.group = f"B6 D={n_transactions}"
+    db = databases[n_transactions]
+    result = benchmark.pedantic(
+        mine_frequent_itemsets,
+        args=(db, SUPPORT),
+        kwargs={"method": method},
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["n_transactions"] = n_transactions
+    benchmark.extra_info["n_itemsets"] = len(result)
+
+
+def test_b6_methods_agree(databases):
+    for n, db in databases.items():
+        a = mine_frequent_itemsets(db, SUPPORT, method="plt").as_dict()
+        b = mine_frequent_itemsets(db, SUPPORT, method="fpgrowth").as_dict()
+        assert a == b, n

@@ -1,0 +1,55 @@
+"""B8 — PLT codec throughput and sizes (paper §1 compression claim)."""
+
+import pickle
+
+import pytest
+
+from repro.compress import deserialize_plt, serialize_plt
+from repro.compress.index import LengthIndex
+
+
+def test_b8_encode(benchmark, sparse_plt):
+    benchmark.group = "B8 codec"
+    blob = benchmark(serialize_plt, sparse_plt)
+    benchmark.extra_info["bytes"] = len(blob)
+
+
+def test_b8_encode_gzip(benchmark, sparse_plt):
+    benchmark.group = "B8 codec"
+    blob = benchmark(serialize_plt, sparse_plt, gzip=True)
+    benchmark.extra_info["bytes"] = len(blob)
+
+
+def test_b8_decode(benchmark, sparse_plt):
+    benchmark.group = "B8 codec"
+    blob = serialize_plt(sparse_plt)
+    restored = benchmark(deserialize_plt, blob)
+    assert restored.vectors() == sparse_plt.vectors()
+
+
+def test_b8_pickle_baseline(benchmark, sparse_plt):
+    """The naive alternative the varint stream is compared against."""
+    benchmark.group = "B8 codec"
+    table = sparse_plt.vectors()
+    blob = benchmark(pickle.dumps, table, pickle.HIGHEST_PROTOCOL)
+    benchmark.extra_info["bytes"] = len(blob)
+
+
+def test_b8_varint_beats_pickle_on_size(sparse_plt):
+    varint = len(serialize_plt(sparse_plt))
+    pickled = len(pickle.dumps(sparse_plt.vectors(), pickle.HIGHEST_PROTOCOL))
+    assert varint < pickled
+
+
+def test_b8_partition_point_read(benchmark, sparse_plt):
+    """Indexed read of a single partition out of the serialized blob."""
+    benchmark.group = "B8 index"
+    index = LengthIndex(sparse_plt)
+    longest = max(index.lengths())
+
+    def run():
+        return sum(freq for _, freq in index.read_partition(longest))
+
+    total = benchmark(run)
+    benchmark.extra_info["partition_len"] = longest
+    benchmark.extra_info["partition_freq"] = total

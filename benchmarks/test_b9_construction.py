@@ -1,0 +1,35 @@
+"""B9 — structure construction time: PLT (Algorithm 1) vs FP-tree.
+
+Both are two-scan builds; the PLT's scan 2 is a dictionary upsert per
+transaction while the FP-tree walks and allocates tree nodes.  The
+reproduction target is that PLT construction is at least as fast as
+FP-tree construction on every density.
+"""
+
+import pytest
+
+from repro.baselines.fptree import FPTree
+from repro.bench.workloads import scaled_db
+from repro.core.plt import PLT
+
+from conftest import abs_support
+
+DATASETS = ("T10.I4.D5K", "DENSE-50", "ZIPF-200")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_b9_plt_construction(benchmark, dataset):
+    benchmark.group = f"B9 {dataset}"
+    db = scaled_db(dataset)
+    min_count = abs_support(db, 0.01)
+    plt = benchmark(PLT.from_transactions, db, min_count)
+    benchmark.extra_info["n_vectors"] = plt.n_vectors()
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_b9_fptree_construction(benchmark, dataset):
+    benchmark.group = f"B9 {dataset}"
+    db = scaled_db(dataset)
+    min_count = abs_support(db, 0.01)
+    tree = benchmark(FPTree.from_transactions, db, min_count)
+    benchmark.extra_info["n_nodes"] = tree.n_nodes()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Quickstart: mine frequent itemsets and association rules in ~20 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import mine_frequent_itemsets
+from repro.rules import rules_from_result
+from repro.viz import render_itemsets
+
+# A tiny market-basket database: each transaction is what one customer bought.
+transactions = [
+    {"bread", "milk"},
+    {"bread", "diapers", "beer", "eggs"},
+    {"milk", "diapers", "beer", "cola"},
+    {"bread", "milk", "diapers", "beer"},
+    {"bread", "milk", "diapers", "cola"},
+]
+
+# Frequent itemsets at 60% relative support (>= 3 of 5 transactions).
+# method="plt" is the paper's conditional algorithm; try "plt-topdown",
+# "apriori", "fpgrowth", "eclat", "hmine" — all return identical results.
+result = mine_frequent_itemsets(transactions, min_support=0.6, method="plt")
+
+print(f"{len(result)} frequent itemsets (min support {result.min_support}/5):\n")
+print(render_itemsets(result))
+
+# Association rules at 75% confidence, from the same result object.
+rules = rules_from_result(result, min_confidence=0.75)
+print(f"\n{len(rules)} rules at confidence >= 0.75:")
+for rule in rules:
+    print(" ", rule)

@@ -1,0 +1,56 @@
+"""repro — a full reproduction of *PLT: Positional Lexicographic Tree: A New
+Structure for Mining Frequent Itemsets* (Boukerche & Samarah, ICPP 2006).
+
+Quick start::
+
+    from repro import mine_frequent_itemsets
+
+    transactions = [
+        {"bread", "milk"},
+        {"bread", "butter", "milk"},
+        {"beer", "bread"},
+    ]
+    result = mine_frequent_itemsets(transactions, min_support=2)
+    for itemset in result:
+        print(itemset.items, itemset.support)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    PLT,
+    FrequentItemset,
+    IncrementalPLT,
+    MiningResult,
+    RankTable,
+    build_plt,
+    mine_closed_itemsets,
+    mine_conditional,
+    mine_top_k,
+    mine_frequent_itemsets,
+    mine_maximal_itemsets,
+    mine_topdown,
+)
+from repro.data import TransactionDatabase
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PLT",
+    "FrequentItemset",
+    "IncrementalPLT",
+    "MiningResult",
+    "RankTable",
+    "TransactionDatabase",
+    "ReproError",
+    "build_plt",
+    "mine_conditional",
+    "mine_frequent_itemsets",
+    "mine_closed_itemsets",
+    "mine_maximal_itemsets",
+    "mine_topdown",
+    "mine_top_k",
+    "__version__",
+]

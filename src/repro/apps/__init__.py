@@ -1,0 +1,5 @@
+"""Downstream applications built on the mining stack (paper §1 motivation)."""
+
+from repro.apps.classifier import CBAClassifier, ClassRule
+
+__all__ = ["CBAClassifier", "ClassRule"]

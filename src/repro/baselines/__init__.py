@@ -1,0 +1,37 @@
+"""Baseline frequent-itemset miners implemented from their original papers.
+
+These are the comparison points of the paper's related-work section:
+Apriori and AprioriTid (candidate generation), Partition and DIC (scan
+reduction), FP-growth (pattern growth on a prefix tree), Eclat/dEclat
+(vertical layout), H-Mine (hyper-structure), plus a brute-force oracle
+for testing.
+"""
+
+from repro.baselines.apriori import mine_apriori
+from repro.baselines.aprioritid import mine_aprioritid
+from repro.baselines.bruteforce import mine_bruteforce, support_counts_bruteforce
+from repro.baselines.dic import mine_dic
+from repro.baselines.eclat import mine_declat, mine_eclat
+from repro.baselines.fpgrowth import fpgrowth_from_tree, mine_fpgrowth
+from repro.baselines.fptree import FPNode, FPTree
+from repro.baselines.hmine import mine_hmine
+from repro.baselines.partition import mine_partition
+from repro.baselines.sampling import mine_sampling, negative_border
+
+__all__ = [
+    "mine_apriori",
+    "mine_aprioritid",
+    "mine_bruteforce",
+    "support_counts_bruteforce",
+    "mine_dic",
+    "mine_eclat",
+    "mine_declat",
+    "mine_fpgrowth",
+    "fpgrowth_from_tree",
+    "FPTree",
+    "FPNode",
+    "mine_hmine",
+    "mine_partition",
+    "mine_sampling",
+    "negative_border",
+]

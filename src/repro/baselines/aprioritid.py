@@ -1,0 +1,76 @@
+"""AprioriTid — Agrawal & Srikant, VLDB 1994 (the paper's reference [2]).
+
+Apriori's sibling: after level 1 the raw database is never touched again.
+Each transaction is replaced by the set of level-``k`` candidates it
+contains (the paper's ``C̄_k``); a level-``(k+1)`` candidate is present in
+a transaction iff both of its two *generating* ``k``-subsets are present
+in the transaction's entry.  Entries that support no candidate are dropped,
+so ``C̄_k`` shrinks as ``k`` grows — the property that makes AprioriTid win
+late passes (and AprioriHybrid switch to it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Hashable
+
+from repro.baselines.apriori import generate_candidates
+from repro.core.rank import sort_key
+from repro.data.transaction_db import item_supports
+
+__all__ = ["mine_aprioritid"]
+
+Item = Hashable
+
+
+def mine_aprioritid(
+    transactions: Iterable[Iterable[Item]],
+    min_support: int,
+    *,
+    max_len: int | None = None,
+) -> dict[frozenset, int]:
+    """Run AprioriTid; returns ``{itemset -> absolute support}``."""
+    transactions = [set(t) for t in transactions]
+    supports = item_supports(transactions)
+    frequent_items = sorted(
+        (i for i, s in supports.items() if s >= min_support), key=sort_key
+    )
+    ids = {item: idx for idx, item in enumerate(frequent_items)}
+    labels = {idx: item for item, idx in ids.items()}
+
+    result: dict[frozenset, int] = {
+        frozenset((item,)): supports[item] for item in frequent_items
+    }
+    # C̄_1: transaction -> set of frequent 1-candidates (as 1-tuples)
+    cbar: list[set[tuple[int, ...]]] = []
+    for t in transactions:
+        entry = {(ids[i],) for i in t if i in ids}
+        if len(entry) >= 2:
+            cbar.append(entry)
+
+    frequent_k: set[tuple[int, ...]] = {(ids[i],) for i in frequent_items}
+    k = 2
+    while frequent_k and cbar and (max_len is None or k <= max_len):
+        candidates = generate_candidates(frequent_k)
+        if not candidates:
+            break
+        # index each candidate by its two generating (k-1)-subsets
+        counts = {c: 0 for c in candidates}
+        by_generators = [
+            (c, c[:-1], c[:-2] + (c[-1],)) for c in candidates
+        ]
+        next_cbar: list[set[tuple[int, ...]]] = []
+        for entry in cbar:
+            new_entry: set[tuple[int, ...]] = set()
+            for cand, gen_a, gen_b in by_generators:
+                if gen_a in entry and gen_b in entry:
+                    counts[cand] += 1
+                    new_entry.add(cand)
+            if len(new_entry) >= 2:
+                next_cbar.append(new_entry)
+        cbar = next_cbar
+        frequent_k = {c for c, n in counts.items() if n >= min_support}
+        for cand in frequent_k:
+            result[frozenset(labels[i] for i in cand)] = counts[cand]
+        k += 1
+    return result

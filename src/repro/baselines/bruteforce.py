@@ -1,0 +1,57 @@
+"""Brute-force frequent-itemset oracle.
+
+Enumerates every subset of every transaction and counts exactly.  This is
+the ground truth all other miners are tested against; it is exponential in
+transaction length and must only be used on small inputs (tests guard
+this).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from itertools import combinations
+from typing import Hashable
+
+from repro.errors import TopDownExplosionError
+
+__all__ = ["mine_bruteforce", "support_counts_bruteforce"]
+
+#: Safety ceiling on enumerated subsets (the oracle is for tests).
+_MAX_SUBSETS = 5_000_000
+
+
+def support_counts_bruteforce(
+    transactions: Iterable[Iterable[Hashable]],
+) -> Counter:
+    """Exact support of every non-empty itemset occurring in the data."""
+    counts: Counter = Counter()
+    budget = _MAX_SUBSETS
+    for t in transactions:
+        items = tuple(sorted(set(t), key=lambda x: (type(x).__name__, repr(x))))
+        n = len(items)
+        budget -= (1 << n) - 1
+        if budget < 0:
+            raise TopDownExplosionError(
+                "brute-force oracle exceeded its subset budget; use it on "
+                "small databases only"
+            )
+        for r in range(1, n + 1):
+            for combo in combinations(items, r):
+                counts[frozenset(combo)] += 1
+    return counts
+
+
+def mine_bruteforce(
+    transactions: Iterable[Iterable[Hashable]],
+    min_support: int,
+    *,
+    max_len: int | None = None,
+) -> dict[frozenset, int]:
+    """All itemsets with support >= ``min_support`` (absolute count)."""
+    counts = support_counts_bruteforce(transactions)
+    return {
+        itemset: sup
+        for itemset, sup in counts.items()
+        if sup >= min_support and (max_len is None or len(itemset) <= max_len)
+    }

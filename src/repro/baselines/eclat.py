@@ -1,0 +1,124 @@
+"""Eclat and dEclat — vertical-layout miners (Zaki 2000; Zaki & Gouda 2003).
+
+Eclat represents each itemset by its *tidset* (the transactions containing
+it); itemset extension is tidset intersection.  dEclat stores *diffsets*
+instead — the tids present in the prefix but missing from the extension —
+which shrink as the recursion deepens (reference [16] of the paper).
+
+Both walk the same prefix-based equivalence-class recursion; they differ
+only in the set algebra, and the tests assert they produce identical
+results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Hashable
+
+from repro.core.rank import sort_key
+
+__all__ = ["mine_eclat", "mine_declat", "vertical_layout"]
+
+Item = Hashable
+
+
+def vertical_layout(
+    transactions: Iterable[Iterable[Item]], min_support: int
+) -> list[tuple[Item, frozenset]]:
+    """(item, tidset) pairs for frequent items, support-ascending order.
+
+    Processing the least frequent item first keeps equivalence classes
+    small — the standard Eclat ordering.
+    """
+    tidsets: dict[Item, set[int]] = {}
+    for tid, t in enumerate(transactions):
+        for item in set(t):
+            tidsets.setdefault(item, set()).add(tid)
+    frequent = [
+        (item, frozenset(tids))
+        for item, tids in tidsets.items()
+        if len(tids) >= min_support
+    ]
+    frequent.sort(key=lambda pair: (len(pair[1]), sort_key(pair[0])))
+    return frequent
+
+
+def mine_eclat(
+    transactions: Iterable[Iterable[Item]],
+    min_support: int,
+    *,
+    max_len: int | None = None,
+) -> dict[frozenset, int]:
+    """Tidset-intersection Eclat; returns ``{itemset -> support}``."""
+    items = vertical_layout(transactions, min_support)
+    out: dict[frozenset, int] = {}
+
+    def recurse(prefix: frozenset, klass: list[tuple[Item, frozenset]]) -> None:
+        for i, (item, tids) in enumerate(klass):
+            itemset = prefix | {item}
+            out[itemset] = len(tids)
+            if max_len is not None and len(itemset) >= max_len:
+                continue
+            child_class = []
+            for other, other_tids in klass[i + 1 :]:
+                inter = tids & other_tids
+                if len(inter) >= min_support:
+                    child_class.append((other, inter))
+            if child_class:
+                recurse(itemset, child_class)
+
+    recurse(frozenset(), items)
+    return out
+
+
+def mine_declat(
+    transactions: Iterable[Iterable[Item]],
+    min_support: int,
+    *,
+    max_len: int | None = None,
+) -> dict[frozenset, int]:
+    """Diffset dEclat; identical output to :func:`mine_eclat`.
+
+    At the top level the "diffset" of an item is its complement tidset is
+    avoided by keeping plain tidsets for singletons and switching to
+    diffsets from level 2, per the dEclat paper: the diffset of ``P∪{y}``
+    w.r.t. prefix class member ``x`` is ``tids(x) - tids(y)`` at the switch
+    and ``d(Py) - d(Px)`` thereafter; ``sup(Pxy) = sup(Px) - |d(Pxy)|``.
+    """
+    items = vertical_layout(transactions, min_support)
+    out: dict[frozenset, int] = {}
+
+    for i, (item, tids) in enumerate(items):
+        out[frozenset((item,))] = len(tids)
+
+    def recurse(
+        prefix: frozenset,
+        klass: list[tuple[Item, frozenset, int]],  # (item, diffset, support)
+    ) -> None:
+        for i, (item, dset, support) in enumerate(klass):
+            itemset = prefix | {item}
+            out[itemset] = support
+            if max_len is not None and len(itemset) >= max_len:
+                continue
+            child_class = []
+            for other, other_dset, other_support in klass[i + 1 :]:
+                diff = other_dset - dset
+                child_support = support - len(diff)
+                if child_support >= min_support:
+                    child_class.append((other, diff, child_support))
+            if child_class:
+                recurse(itemset, child_class)
+
+    # level-2 switch: diffset(x, y) = tids(x) - tids(y)
+    for i, (item, tids) in enumerate(items):
+        if max_len is not None and max_len <= 1:
+            break
+        klass = []
+        for other, other_tids in items[i + 1 :]:
+            diff = tids - other_tids
+            support = len(tids) - len(diff)
+            if support >= min_support:
+                klass.append((other, diff, support))
+        if klass:
+            recurse(frozenset((item,)), klass)
+    return out

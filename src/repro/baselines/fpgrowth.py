@@ -1,0 +1,76 @@
+"""FP-growth mining over the FP-tree (Han, Pei & Yin, SIGMOD 2000).
+
+Bottom-up pattern growth with the single-path shortcut: when a conditional
+tree degenerates to one chain, all combinations of its nodes are emitted
+directly with the minimum count along each combination.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import combinations
+from typing import Hashable
+
+from repro.baselines.fptree import FPTree
+
+__all__ = ["mine_fpgrowth", "fpgrowth_from_tree"]
+
+Item = Hashable
+
+
+def _mine(tree: FPTree, suffix: frozenset, min_support: int, out: dict, max_len: int | None) -> None:
+    single = tree.single_path()
+    if single is not None:
+        # every combination of chain nodes extends the suffix; the support
+        # is the count of the deepest (least-counted) node included
+        for r in range(1, len(single) + 1):
+            if max_len is not None and len(suffix) + r > max_len:
+                break
+            for combo in combinations(single, r):
+                support = min(node.count for node in combo)
+                if support >= min_support:
+                    itemset = suffix | frozenset(node.item for node in combo)
+                    out[itemset] = support
+        return
+    for item in tree.items_bottom_up():
+        support = tree.item_support(item)
+        if support < min_support:
+            continue
+        itemset = suffix | {item}
+        out[itemset] = support
+        if max_len is not None and len(itemset) >= max_len:
+            continue
+        cond = tree.conditional_tree(item)
+        if not cond.is_empty():
+            _mine(cond, itemset, min_support, out, max_len)
+
+
+def fpgrowth_from_tree(
+    tree: FPTree, min_support: int, *, max_len: int | None = None
+) -> dict[frozenset, int]:
+    """Mine an existing FP-tree (used by structure-size benchmarks)."""
+    out: dict[frozenset, int] = {}
+    if not tree.is_empty():
+        _mine(tree, frozenset(), min_support, out, max_len)
+    return out
+
+
+def mine_fpgrowth(
+    transactions: Iterable[Iterable[Item]],
+    min_support: int,
+    *,
+    max_len: int | None = None,
+) -> dict[frozenset, int]:
+    """Build the FP-tree and mine it; returns ``{itemset -> support}``."""
+    import sys
+
+    tree = FPTree.from_transactions(transactions, min_support)
+    needed = len(tree.header) + 100
+    old = sys.getrecursionlimit()
+    if needed > old:
+        sys.setrecursionlimit(needed)
+    try:
+        return fpgrowth_from_tree(tree, min_support, max_len=max_len)
+    finally:
+        if needed > old:
+            sys.setrecursionlimit(old)

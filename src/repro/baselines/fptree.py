@@ -1,0 +1,172 @@
+"""FP-tree — the prefix-tree structure of Han, Pei & Yin (SIGMOD 2000).
+
+The tree stores transactions as root-anchored paths over items sorted by
+descending support; identical prefixes share nodes, and a header table
+chains all nodes of each item (the node-links the paper's Section 6
+contrasts with PLT's sum index).  :mod:`repro.baselines.fpgrowth` mines it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Hashable, Optional
+
+from repro.core.rank import sort_key
+from repro.data.transaction_db import item_supports
+
+__all__ = ["FPNode", "FPTree"]
+
+Item = Hashable
+
+
+class FPNode:
+    """One prefix-tree node: an item with a count, parent and node-link."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: Item, parent: Optional["FPNode"]):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict = {}
+        self.link: FPNode | None = None
+
+    def __repr__(self) -> str:
+        return f"FPNode({self.item!r}, count={self.count})"
+
+    def path_to_root(self) -> list[Item]:
+        """Items on the path from this node's parent up to the root."""
+        path = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            path.append(node.item)
+            node = node.parent
+        return path
+
+
+class FPTree:
+    """An FP-tree with header table; supports conditional-tree projection.
+
+    Parameters
+    ----------
+    item_order:
+        item -> sort key; smaller keys come first on root paths.  The
+        canonical FP-tree order is descending support (most frequent items
+        nearest the root), which maximises prefix sharing.
+    """
+
+    __slots__ = ("root", "header", "item_order", "min_support")
+
+    def __init__(self, item_order: dict, min_support: int):
+        self.root = FPNode(None, None)
+        self.header: dict = {}  # item -> first FPNode in the link chain
+        self.item_order = item_order
+        self.min_support = min_support
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Iterable[Item]], min_support: int
+    ) -> "FPTree":
+        """Two scans: count items, then insert support-ordered filtered paths."""
+        transactions = [set(t) for t in transactions]
+        supports = item_supports(transactions)
+        frequent = {i: s for i, s in supports.items() if s >= min_support}
+        # descending support; sort_key tiebreak for determinism
+        order = {
+            item: rank
+            for rank, item in enumerate(
+                sorted(frequent, key=lambda i: (-frequent[i], sort_key(i)))
+            )
+        }
+        tree = cls(order, min_support)
+        for t in transactions:
+            path = sorted((i for i in t if i in order), key=order.__getitem__)
+            if path:
+                tree.insert(path, 1)
+        return tree
+
+    def insert(self, path: list, count: int) -> None:
+        """Insert an already-ordered item path with the given count."""
+        node = self.root
+        for item in path:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                # prepend to the item's node-link chain
+                child.link = self.header.get(item)
+                self.header[item] = child
+            child.count += count
+            node = child
+
+    # ------------------------------------------------------------------
+    def item_support(self, item: Item) -> int:
+        """Total count along the item's node-link chain."""
+        total = 0
+        node = self.header.get(item)
+        while node is not None:
+            total += node.count
+            node = node.link
+        return total
+
+    def items_bottom_up(self) -> list:
+        """Header items from least to most frequent (the mining order)."""
+        return sorted(self.header, key=self.item_order.__getitem__, reverse=True)
+
+    def conditional_pattern_base(self, item: Item) -> list[tuple[list, int]]:
+        """(prefix path, count) pairs for every occurrence of ``item``."""
+        base = []
+        node = self.header.get(item)
+        while node is not None:
+            path = node.path_to_root()
+            if path:
+                base.append((path, node.count))
+            node = node.link
+        return base
+
+    def conditional_tree(self, item: Item) -> "FPTree":
+        """The FP-tree of ``item``'s conditional pattern base."""
+        base = self.conditional_pattern_base(item)
+        counts: dict = {}
+        for path, count in base:
+            for i in path:
+                counts[i] = counts.get(i, 0) + count
+        frequent = {i for i, c in counts.items() if c >= self.min_support}
+        order = {
+            i: r
+            for r, i in enumerate(
+                sorted(frequent, key=lambda x: (-counts[x], sort_key(x)))
+            )
+        }
+        tree = FPTree(order, self.min_support)
+        for path, count in base:
+            kept = sorted((i for i in path if i in frequent), key=order.__getitem__)
+            if kept:
+                tree.insert(kept, count)
+        return tree
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def single_path(self) -> list[FPNode] | None:
+        """The node list if the tree is a single chain, else None."""
+        path = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            path.append(node)
+        return path
+
+    def n_nodes(self) -> int:
+        """Total node count (benchmark B4's size metric)."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += len(node.children)
+            stack.extend(node.children.values())
+        return total

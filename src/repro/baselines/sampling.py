@@ -1,0 +1,137 @@
+"""Toivonen's sampling algorithm (VLDB 1996) — mine a sample, verify all.
+
+The last of the era's scan-reduction ideas: mine a random sample at a
+*lowered* threshold, then make one full pass counting the sample-frequent
+itemsets **plus their negative border** (the minimal itemsets not found
+frequent in the sample).  If no border itemset turns out globally
+frequent, the result is provably complete; otherwise the border witnesses
+a possible miss and the algorithm falls back (here: exact mining — the
+original paper re-runs with an expanded candidate set).
+
+The lowered threshold trades a bigger candidate set for a smaller failure
+probability; ``lowering`` is the multiplicative factor applied to the
+sample threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from itertools import combinations
+from typing import Hashable
+
+from repro.core.mining import mine_frequent_itemsets
+from repro.core.rank import sort_key
+
+__all__ = ["mine_sampling", "negative_border"]
+
+Item = Hashable
+
+
+def negative_border(
+    frequent: set[frozenset], items: Iterable[Item]
+) -> set[frozenset]:
+    """Minimal itemsets not in ``frequent`` whose subsets all are.
+
+    Computed level-wise from the frequent set (Apriori-gen over each size
+    plus the infrequent singletons).
+    """
+    border: set[frozenset] = set()
+    items = list(items)
+    frequent_singletons = {i for s in frequent for i in s}
+    for item in items:
+        if frozenset((item,)) not in frequent:
+            border.add(frozenset((item,)))
+    by_size: dict[int, set[frozenset]] = {}
+    for s in frequent:
+        by_size.setdefault(len(s), set()).add(s)
+    for size, level in sorted(by_size.items()):
+        # candidates one larger than each frequent set, all subsets frequent
+        for base in level:
+            for item in frequent_singletons:
+                if item in base:
+                    continue
+                cand = base | {item}
+                if cand in frequent or cand in border:
+                    continue
+                if all(
+                    frozenset(sub) in frequent
+                    for sub in combinations(sorted(cand, key=sort_key), size)
+                ):
+                    border.add(cand)
+    return border
+
+
+def mine_sampling(
+    transactions: Iterable[Iterable[Item]],
+    min_support: int,
+    *,
+    sample_fraction: float = 0.25,
+    lowering: float = 0.8,
+    seed: int = 0,
+    max_len: int | None = None,
+) -> tuple[dict[frozenset, int], dict]:
+    """Run Toivonen's algorithm; returns ``(result, info)``.
+
+    ``result`` is exact (``{itemset -> global support}``); ``info`` records
+    what happened: sample size, candidate count, whether the negative
+    border failed and the fallback ran.
+    """
+    db = [frozenset(t) for t in transactions]
+    info = {
+        "n_transactions": len(db),
+        "sample_size": 0,
+        "candidates": 0,
+        "border_size": 0,
+        "border_failures": 0,
+        "fallback": False,
+    }
+    if not db:
+        return {}, info
+    if not 0 < sample_fraction <= 1:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    if not 0 < lowering <= 1:
+        raise ValueError("lowering must be in (0, 1]")
+
+    rng = random.Random(seed)
+    sample_size = max(1, int(round(sample_fraction * len(db))))
+    sample = rng.sample(db, sample_size)
+    info["sample_size"] = sample_size
+
+    sample_threshold = max(1, int(lowering * min_support * sample_size / len(db)))
+    sample_frequent = set(
+        mine_frequent_itemsets(sample, sample_threshold, max_len=max_len).as_dict()
+    )
+    items = {i for t in db for i in t}
+    border = negative_border(sample_frequent, items)
+    if max_len is not None:
+        border = {b for b in border if len(b) <= max_len}
+    info["candidates"] = len(sample_frequent)
+    info["border_size"] = len(border)
+
+    # one full counting pass over candidates + border
+    to_count = list(sample_frequent | border)
+    counts = {c: 0 for c in to_count}
+    by_size: dict[int, list[frozenset]] = {}
+    for c in to_count:
+        by_size.setdefault(len(c), []).append(c)
+    for t in db:
+        for size, group in by_size.items():
+            if len(t) < size:
+                continue
+            for c in group:
+                if c <= t:
+                    counts[c] += 1
+
+    failures = sum(1 for b in border if counts[b] >= min_support)
+    info["border_failures"] = failures
+    if failures:
+        # a miss is possible: fall back to exact mining (one more pass
+        # family; the original paper expands candidates instead)
+        info["fallback"] = True
+        exact = mine_frequent_itemsets(db, min_support, max_len=max_len).as_dict()
+        return dict(exact), info
+    # no border itemset reached the threshold (else we fell back), so the
+    # surviving counts are exactly the sample-frequent sets that verified
+    result = {c: n for c, n in counts.items() if n >= min_support}
+    return result, info

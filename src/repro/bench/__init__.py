@@ -1,0 +1,28 @@
+"""Benchmark harness utilities (timing, sweeps, canonical grids, figures)."""
+
+from repro.bench.harness import (
+    Measurement,
+    SweepResult,
+    format_table,
+    run_support_sweep,
+    time_call,
+)
+from repro.bench.plotting import render_line_chart, sweep_to_svg
+from repro.bench.report import load_benchmark_json, render_groups
+from repro.bench.workloads import GRIDS, ExperimentGrid, grid, scaled_db
+
+__all__ = [
+    "Measurement",
+    "SweepResult",
+    "format_table",
+    "run_support_sweep",
+    "time_call",
+    "render_line_chart",
+    "load_benchmark_json",
+    "render_groups",
+    "sweep_to_svg",
+    "GRIDS",
+    "ExperimentGrid",
+    "grid",
+    "scaled_db",
+]

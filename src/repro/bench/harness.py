@@ -1,0 +1,160 @@
+"""Benchmark harness: timing, validation and table rendering.
+
+The pytest-benchmark files under ``benchmarks/`` exercise single
+(workload, method, support) cells; this module provides the sweep driver
+that regenerates a full table/figure series in one call — what
+``examples/run_experiments.py`` and EXPERIMENTS.md use.
+
+Every sweep cross-validates miner outputs against each other (same itemset
+count and supports) so a benchmark can never silently report the speed of
+a wrong answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.mining import mine_frequent_itemsets
+from repro.data.transaction_db import TransactionDatabase
+from repro.errors import ReproError
+
+__all__ = ["Measurement", "SweepResult", "time_call", "run_support_sweep", "format_table"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One benchmark cell."""
+
+    workload: str
+    method: str
+    min_support: float | int
+    seconds: float
+    n_itemsets: int
+    note: str = ""
+
+
+@dataclass
+class SweepResult:
+    """All cells of one experiment, with helpers for rendering."""
+
+    title: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def methods(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for m in self.measurements:
+            seen.setdefault(m.method)
+        return list(seen)
+
+    def supports(self) -> list:
+        seen: dict = {}
+        for m in self.measurements:
+            seen.setdefault(m.min_support)
+        return list(seen)
+
+    def cell(self, method: str, min_support) -> Measurement | None:
+        for m in self.measurements:
+            if m.method == method and m.min_support == min_support:
+                return m
+        return None
+
+    def as_rows(self) -> list[tuple[str, ...]]:
+        """Rows: one per support level, one column per method (seconds)."""
+        rows = []
+        for sup in self.supports():
+            row = [str(sup)]
+            n_itemsets = ""
+            for method in self.methods():
+                m = self.cell(method, sup)
+                row.append(f"{m.seconds:.3f}" if m else "-")
+                if m:
+                    n_itemsets = str(m.n_itemsets)
+            row.append(n_itemsets)
+            rows.append(tuple(row))
+        return rows
+
+    def render(self) -> str:
+        header = ("min_sup",) + tuple(self.methods()) + ("#itemsets",)
+        return f"== {self.title} ==\n" + format_table(self.as_rows(), header)
+
+
+def format_table(rows: Sequence[tuple[str, ...]], header: tuple[str, ...]) -> str:
+    """Fixed-width text table (same style as the viz renderers)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    return "\n".join([fmt(header), "  ".join("-" * w for w in widths)] + [fmt(r) for r in rows])
+
+
+def time_call(fn: Callable, *args, repeat: int = 1, **kwargs) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time and the (last) return value."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_support_sweep(
+    title: str,
+    db: TransactionDatabase,
+    methods: Iterable[str],
+    supports: Iterable[float | int],
+    *,
+    repeat: int = 1,
+    max_len: int | None = None,
+    validate: bool = True,
+    method_kwargs: dict | None = None,
+) -> SweepResult:
+    """Time every (method, support) cell on one workload.
+
+    With ``validate=True`` (default) all methods' outputs at each support
+    level are checked for exact agreement; a mismatch raises
+    :class:`ReproError` naming the methods, which turns a silent
+    correctness regression into a benchmark failure.
+    """
+    sweep = SweepResult(title)
+    method_kwargs = method_kwargs or {}
+    for sup in supports:
+        reference: dict | None = None
+        reference_method = ""
+        for method in methods:
+            kwargs = dict(method_kwargs.get(method, {}))
+            seconds, result = time_call(
+                mine_frequent_itemsets,
+                db,
+                sup,
+                method=method,
+                max_len=max_len,
+                repeat=repeat,
+                **kwargs,
+            )
+            table = result.as_dict()
+            if validate:
+                if reference is None:
+                    reference, reference_method = table, method
+                elif table != reference:
+                    raise ReproError(
+                        f"{title}: methods {reference_method!r} and {method!r} "
+                        f"disagree at min_support={sup} "
+                        f"({len(reference)} vs {len(table)} itemsets)"
+                    )
+            sweep.measurements.append(
+                Measurement(
+                    workload=title,
+                    method=method,
+                    min_support=sup,
+                    seconds=seconds,
+                    n_itemsets=len(table),
+                )
+            )
+    return sweep

@@ -1,0 +1,188 @@
+"""Dependency-free SVG line charts for benchmark sweeps.
+
+matplotlib is not a dependency of this library, but a benchmark harness
+without figures forces readers to eyeball tables.  This module emits
+small, self-contained SVG files (log-scale y optional) from
+:class:`~repro.bench.harness.SweepResult` objects — enough to regenerate
+the runtime-vs-support *figures* an evaluation section would show.
+
+The SVG is hand-assembled (no f-string injection of untrusted text:
+labels are XML-escaped), viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.bench.harness import SweepResult
+
+__all__ = ["sweep_to_svg", "render_line_chart"]
+
+# a small qualitative palette (colour-blind safe-ish)
+_COLORS = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb")
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 160, 40, 60
+
+
+def _ticks(lo: float, hi: float, log: bool) -> list[float]:
+    if log:
+        lo_e = math.floor(math.log10(lo))
+        hi_e = math.ceil(math.log10(hi))
+        return [10.0**e for e in range(lo_e, hi_e + 1)]
+    if hi == lo:
+        return [lo]
+    step = 10 ** math.floor(math.log10(hi - lo))
+    if (hi - lo) / step > 5:
+        step *= 2
+    first = math.floor(lo / step) * step
+    ticks = []
+    v = first
+    while v <= hi + 1e-12:
+        if v >= lo - 1e-12:
+            ticks.append(round(v, 10))
+        v += step
+    return ticks
+
+
+def render_line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+    log_y: bool = False,
+    log_x: bool = False,
+) -> str:
+    """Render named (x, y) series to an SVG string."""
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("no data to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_x and min(xs) <= 0 or log_y and min(ys) <= 0:
+        raise ValueError("log scale requires strictly positive values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo * 0.9 or -1, x_hi * 1.1 or 1
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo * 0.9 or -1, y_hi * 1.1 or 1
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def sx(x: float) -> float:
+        if log_x:
+            frac = (math.log10(x) - math.log10(x_lo)) / (
+                math.log10(x_hi) - math.log10(x_lo)
+            )
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return _MARGIN_L + frac * plot_w
+
+    def sy(y: float) -> float:
+        if log_y:
+            frac = (math.log10(y) - math.log10(y_lo)) / (
+                math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            frac = (y - y_lo) / (y_hi - y_lo)
+        return _MARGIN_T + (1 - frac) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="22" text-anchor="middle" font-size="15" '
+        f'font-weight="bold">{escape(title)}</text>',
+    ]
+    # axes frame
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#444"/>'
+    )
+    # y ticks + gridlines
+    for tick in _ticks(y_lo, y_hi, log_y):
+        if not y_lo <= tick <= y_hi:
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_MARGIN_L + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        label = f"{tick:g}"
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" text-anchor="end">{label}</text>'
+        )
+    # x ticks
+    for tick in _ticks(x_lo, x_hi, log_x):
+        if not x_lo <= tick <= x_hi:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_T + plot_h}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_T + plot_h + 4}" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 18}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    # axis labels
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2}" y="{_HEIGHT - 14}" '
+        f'text-anchor="middle">{escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {_MARGIN_T + plot_h / 2})">{escape(y_label)}</text>'
+    )
+    # series
+    for idx, (name, pts) in enumerate(series.items()):
+        color = _COLORS[idx % len(_COLORS)]
+        pts = sorted(pts)
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for i, (x, y) in enumerate(pts)
+        )
+        parts.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3.2" fill="{color}"/>'
+            )
+        # legend entry
+        ly = _MARGIN_T + 14 + idx * 18
+        lx = _MARGIN_L + plot_w + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 20}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 26}" y="{ly}">{escape(str(name))}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def sweep_to_svg(
+    sweep: SweepResult,
+    path: str | Path,
+    *,
+    log_y: bool = True,
+    log_x: bool = True,
+) -> Path:
+    """Write a runtime-vs-support figure for a sweep; returns the path."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for m in sweep.measurements:
+        series.setdefault(m.method, []).append((float(m.min_support), m.seconds))
+    svg = render_line_chart(
+        series,
+        title=sweep.title,
+        x_label="minimum support",
+        y_label="seconds",
+        log_y=log_y,
+        log_x=log_x,
+    )
+    path = Path(path)
+    path.write_text(svg, encoding="utf-8")
+    return path

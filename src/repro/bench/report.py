@@ -1,0 +1,111 @@
+"""Render pytest-benchmark JSON output as the EXPERIMENTS.md tables.
+
+Workflow::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python -m repro.bench.report bench.json            # all groups
+    python -m repro.bench.report bench.json --group B1 # one experiment
+
+Each benchmark group becomes one table: a row per benchmark with its
+median time and every ``extra_info`` key the benchmark recorded (itemset
+counts, byte volumes, model speedups, ...), so the human-readable record
+regenerates mechanically from the raw run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.harness import format_table
+from repro.errors import DatasetError
+
+__all__ = ["load_benchmark_json", "render_groups", "main"]
+
+
+def load_benchmark_json(path: str | Path) -> list[dict]:
+    """Parse the file; returns the benchmark entries."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DatasetError(f"cannot read benchmark JSON {path}: {exc}") from exc
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise DatasetError(f"{path}: not pytest-benchmark output (no 'benchmarks')")
+    return benchmarks
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_groups(
+    benchmarks: list[dict], *, group_filter: str | None = None
+) -> str:
+    """One aligned table per benchmark group, sorted by median time."""
+    groups: dict[str, list[dict]] = {}
+    for bench in benchmarks:
+        group = bench.get("group") or "(ungrouped)"
+        if group_filter is not None and not group.startswith(group_filter):
+            continue
+        groups.setdefault(group, []).append(bench)
+    if not groups:
+        available = sorted({b.get("group") or "(ungrouped)" for b in benchmarks})
+        raise DatasetError(
+            f"no groups match {group_filter!r}; available: {', '.join(available)}"
+        )
+    sections = []
+    for group in sorted(groups):
+        entries = sorted(groups[group], key=lambda b: b["stats"]["median"])
+        extra_keys: list[str] = []
+        for bench in entries:
+            for key in bench.get("extra_info", {}):
+                if key not in extra_keys:
+                    extra_keys.append(key)
+        rows = []
+        for bench in entries:
+            name = bench["name"]
+            # strip the module prefix pytest adds for readability
+            name = name.split("::")[-1]
+            row = [name, _fmt_seconds(bench["stats"]["median"])]
+            info = bench.get("extra_info", {})
+            row.extend(_fmt_value(info[k]) if k in info else "-" for k in extra_keys)
+            rows.append(tuple(row))
+        header = ("benchmark", "median") + tuple(extra_keys)
+        sections.append(f"== {group} ==\n" + format_table(rows, header))
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.report",
+        description="render pytest-benchmark JSON as experiment tables",
+    )
+    parser.add_argument("json_path", help="output of --benchmark-json=...")
+    parser.add_argument("--group", default=None, help="only groups with this prefix")
+    args = parser.parse_args(argv)
+    try:
+        benchmarks = load_benchmark_json(args.json_path)
+        print(render_groups(benchmarks, group_filter=args.group))
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Canonical experiment grids shared by the pytest benches and the sweep CLI.
+
+Each entry corresponds to one DESIGN.md experiment row and fixes the
+workload, method set and support grid so that the pytest-benchmark files
+and ``examples/run_experiments.py`` measure exactly the same cells.
+
+Grids are deliberately small enough that the full suite runs in minutes of
+pure Python; set ``REPRO_BENCH_SCALE`` (float, default 1.0) to scale
+transaction counts up for longer, more stable runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.data.datasets import load
+from repro.data.transaction_db import TransactionDatabase
+
+__all__ = ["ExperimentGrid", "GRIDS", "grid", "scaled_db"]
+
+#: Methods compared in the headline sweeps (B1/B2).  ``plt`` is the
+#: paper's conditional algorithm.
+HEADLINE_METHODS = ("plt", "fpgrowth", "hmine", "eclat", "apriori")
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """One experiment's fixed parameter grid."""
+
+    experiment: str  # DESIGN.md id, e.g. "B1"
+    dataset: str  # repro.data.datasets registry name
+    methods: tuple[str, ...]
+    supports: tuple[float, ...]  # relative thresholds
+    description: str = ""
+    max_len: int | None = None
+    method_kwargs: dict = field(default_factory=dict)
+
+
+GRIDS: dict[str, ExperimentGrid] = {
+    "B1": ExperimentGrid(
+        experiment="B1",
+        dataset="T10.I4.D5K",
+        methods=HEADLINE_METHODS,
+        supports=(0.05, 0.02, 0.01, 0.005),
+        description="runtime vs min_support, sparse Quest data",
+    ),
+    "B2": ExperimentGrid(
+        experiment="B2",
+        dataset="DENSE-50",
+        methods=("plt", "fpgrowth", "hmine", "eclat", "declat"),
+        supports=(0.3, 0.25, 0.2, 0.15),
+        description="runtime vs min_support, dense correlated data",
+    ),
+    "B3": ExperimentGrid(
+        experiment="B3",
+        dataset="DENSE-30",
+        methods=("plt", "plt-topdown"),
+        supports=(0.1, 0.02, 0.005, 0.002),
+        description="top-down vs conditional crossover (paper §6 claim)",
+        method_kwargs={"plt-topdown": {"work_limit": 500_000_000}},
+    ),
+    "B6": ExperimentGrid(
+        experiment="B6",
+        dataset="T10.I4.D10K",
+        methods=("plt", "fpgrowth"),
+        supports=(0.01,),
+        description="scalability vs database size (driven by bench file)",
+    ),
+}
+
+
+def grid(name: str) -> ExperimentGrid:
+    return GRIDS[name]
+
+
+def scaled_db(dataset: str) -> TransactionDatabase:
+    """Load a dataset, optionally subsampled by ``REPRO_BENCH_SCALE``.
+
+    Scale < 1 subsamples transactions (quick CI runs); scale is clamped to
+    (0, 1] because the registry datasets have fixed generated sizes.
+    """
+    db = load(dataset)
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    if scale <= 0:
+        raise ValueError("REPRO_BENCH_SCALE must be positive")
+    scale = min(scale, 1.0)
+    if scale < 1.0:
+        return db.sample(max(1, int(len(db) * scale)), seed=0)
+    return db

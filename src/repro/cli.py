@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``mine``      mine frequent (or closed/maximal) itemsets from a ``.dat`` file
+``rules``     mine association rules
+``generate``  produce a synthetic workload file (quest/dense/zipf/uniform)
+``encode``    build a PLT from a ``.dat`` file and serialize it
+``info``      dataset and PLT statistics
+``datasets``  list the built-in benchmark workloads
+
+All commands read/write the FIMI ``.dat`` format (gzip by extension).
+Exit status is 0 on success, 2 on bad arguments, 1 on runtime errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _support_value(text: str) -> float | int:
+    """min-support argument: int count (``25``) or fraction (``0.01``)."""
+    try:
+        if "." in text or "e" in text.lower():
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid support {text!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PLT frequent-itemset mining (Boukerche & Samarah, ICPP 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mine = sub.add_parser("mine", help="mine frequent itemsets from a .dat file")
+    p_mine.add_argument("--input", required=True, help=".dat or .dat.gz file")
+    p_mine.add_argument("--min-support", type=_support_value, required=True)
+    p_mine.add_argument(
+        "--method",
+        default="plt",
+        help="mining algorithm (default: plt; see repro.core.mining.METHODS)",
+    )
+    p_mine.add_argument("--max-len", type=int, default=None)
+    p_mine.add_argument(
+        "--kind",
+        choices=["all", "closed", "maximal"],
+        default="all",
+        help="full frequent set, or a condensed representation",
+    )
+    p_mine.add_argument("--relative", action="store_true", help="print fractional supports")
+    p_mine.add_argument("--output", default=None, help="write results here instead of stdout")
+
+    p_rules = sub.add_parser("rules", help="mine association rules")
+    p_rules.add_argument("--input", required=True)
+    p_rules.add_argument("--min-support", type=_support_value, required=True)
+    p_rules.add_argument("--min-confidence", type=float, required=True)
+    p_rules.add_argument("--min-lift", type=float, default=None)
+    p_rules.add_argument("--method", default="plt")
+    p_rules.add_argument("--top", type=int, default=None, help="print only the top-N rules")
+    p_rules.add_argument("--output", default=None)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic workload")
+    p_gen.add_argument("--kind", choices=["quest", "dense", "zipf", "uniform"], required=True)
+    p_gen.add_argument("--output", required=True)
+    p_gen.add_argument("--transactions", type=int, default=10_000)
+    p_gen.add_argument("--items", type=int, default=500)
+    p_gen.add_argument("--avg-len", type=float, default=10.0)
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    p_enc = sub.add_parser("encode", help="build and serialize a PLT")
+    p_enc.add_argument("--input", required=True)
+    p_enc.add_argument("--min-support", type=_support_value, required=True)
+    p_enc.add_argument("--output", required=True)
+    p_enc.add_argument("--gzip", action="store_true")
+
+    p_info = sub.add_parser("info", help="dataset / structure statistics")
+    p_info.add_argument("--input", required=True)
+    p_info.add_argument("--min-support", type=_support_value, default=None)
+
+    sub.add_parser("datasets", help="list built-in benchmark workloads")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+def _write(text: str, output: str | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+
+
+def _cmd_mine(args) -> int:
+    from repro.core.mining import (
+        mine_closed_itemsets,
+        mine_frequent_itemsets,
+        mine_maximal_itemsets,
+    )
+    from repro.data.io import read_dat
+    from repro.viz import render_itemsets
+
+    db = read_dat(args.input)
+    if args.kind == "closed":
+        result = mine_closed_itemsets(db, args.min_support)
+    elif args.kind == "maximal":
+        result = mine_maximal_itemsets(db, args.min_support)
+    else:
+        result = mine_frequent_itemsets(
+            db, args.min_support, method=args.method, max_len=args.max_len
+        )
+    header = (
+        f"# {len(result)} itemsets  method={result.method}  "
+        f"min_support={result.min_support}/{result.n_transactions}"
+    )
+    _write(header + "\n" + render_itemsets(result, relative=args.relative), args.output)
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    from repro.core.mining import mine_frequent_itemsets
+    from repro.data.io import read_dat
+    from repro.rules import rules_from_result
+
+    db = read_dat(args.input)
+    result = mine_frequent_itemsets(db, args.min_support, method=args.method)
+    rules = rules_from_result(
+        result, args.min_confidence, min_lift=args.min_lift
+    )
+    if args.top is not None:
+        rules = rules[: args.top]
+    lines = [f"# {len(rules)} rules from {len(result)} frequent itemsets"]
+    lines += [str(rule) for rule in rules]
+    _write("\n".join(lines), args.output)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.data.generators import generate_dense, generate_uniform, generate_zipf
+    from repro.data.io import write_dat
+    from repro.data.quest import QuestGenerator, QuestParameters
+
+    if args.kind == "quest":
+        db = QuestGenerator(
+            QuestParameters(
+                n_transactions=args.transactions,
+                avg_transaction_len=args.avg_len,
+                n_items=args.items,
+                n_patterns=max(50, args.items // 2),
+                seed=args.seed,
+            )
+        ).generate()
+    elif args.kind == "dense":
+        db = generate_dense(
+            args.transactions, args.items, max(1, int(args.avg_len)), seed=args.seed
+        )
+    elif args.kind == "zipf":
+        db = generate_zipf(args.transactions, args.items, args.avg_len, seed=args.seed)
+    else:
+        db = generate_uniform(
+            args.transactions, args.items, max(1, int(args.avg_len)), seed=args.seed
+        )
+    write_dat(db, args.output)
+    print(
+        f"wrote {len(db)} transactions over {db.n_items()} items to {args.output}"
+    )
+    return 0
+
+
+def _cmd_encode(args) -> int:
+    from repro.compress import serialize_plt
+    from repro.core.plt import PLT
+    from repro.data.io import read_dat
+
+    db = read_dat(args.input)
+    plt = PLT.from_transactions(db, args.min_support)
+    blob = serialize_plt(plt, gzip=args.gzip)
+    Path(args.output).write_bytes(blob)
+    stats = plt.stats()
+    print(
+        f"encoded {stats.n_vectors} vectors ({stats.n_frequent_items} items, "
+        f"{stats.n_encoded_transactions} transactions) -> {len(blob)} bytes"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.core.plt import PLT
+    from repro.data.io import read_dat
+
+    db = read_dat(args.input)
+    print(f"transactions:       {len(db)}")
+    print(f"distinct items:     {db.n_items()}")
+    print(f"avg length:         {db.avg_transaction_length():.2f}")
+    print(f"max length:         {db.max_transaction_length()}")
+    print(f"density:            {db.density():.4f}")
+    if args.min_support is not None:
+        plt = PLT.from_transactions(db, args.min_support)
+        stats = plt.stats()
+        print(f"-- PLT @ min_support={plt.min_support} --")
+        print(f"frequent items:     {stats.n_frequent_items}")
+        print(f"aggregated vectors: {stats.n_vectors}")
+        print(f"aggregation ratio:  {stats.compression_ratio:.2f}")
+        print(f"max vector length:  {stats.max_vector_len}")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.data.datasets import available, load
+
+    for name in available():
+        db = load(name)
+        print(
+            f"{name:16s} {len(db):>7} tx  {db.n_items():>5} items  "
+            f"avg {db.avg_transaction_length():5.1f}  density {db.density():.3f}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "mine": _cmd_mine,
+    "rules": _cmd_rules,
+    "generate": _cmd_generate,
+    "encode": _cmd_encode,
+    "info": _cmd_info,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed early: standard Unix exit
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Disk-shaped indexes over serialized PLT partitions.
+
+The paper argues (Sections 1, 6) that because the PLT "regulates" the data
+into fixed-shape, sorted vector partitions, standard indexing applies.
+This module demonstrates both index kinds the mining algorithms need:
+
+* :class:`LengthIndex` — partition directory: vector length -> byte span
+  inside a serialized blob, so the top-down miner can read partitions
+  longest-first without parsing the whole stream.
+* :class:`SumIndex` — ``sum -> [vector ids]``: the conditional miner's
+  entry point (an item's conditional database is one bucket lookup).
+
+Both are built once over an in-memory PLT and answer queries without
+touching the original transactions, matching the paper's
+"self-contained structure" claim.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterator
+
+from repro.core.plt import PLT
+from repro.core.position import PositionVector, decode, vector_sum
+from repro.errors import ReproError
+
+__all__ = ["SumIndex", "LengthIndex"]
+
+
+class SumIndex:
+    """Immutable ``sum -> sorted vectors`` index with support aggregates.
+
+    ``bucket(s)`` answers "every stored transaction whose maximal item has
+    rank ``s``" — the conditional-database lookup of Algorithm 3 — and
+    ``support(s)`` its total frequency (the support the top of Algorithm 3
+    computes) in O(1) after construction.
+    """
+
+    __slots__ = ("_buckets", "_supports")
+
+    def __init__(self, plt: PLT):
+        buckets: dict[int, list[tuple[PositionVector, int]]] = {}
+        supports: dict[int, int] = {}
+        for vec, freq in plt.iter_vectors():
+            s = vector_sum(vec)
+            buckets.setdefault(s, []).append((vec, freq))
+            supports[s] = supports.get(s, 0) + freq
+        for s in buckets:
+            buckets[s].sort()
+        self._buckets = buckets
+        self._supports = supports
+
+    def sums(self) -> list[int]:
+        """All sums present, descending (the mining order)."""
+        return sorted(self._buckets, reverse=True)
+
+    def bucket(self, s: int) -> list[tuple[PositionVector, int]]:
+        return list(self._buckets.get(s, ()))
+
+    def support(self, s: int) -> int:
+        """Total frequency of vectors ending at rank ``s``.
+
+        Note: this is the support of item ``s`` *as a maximal item*; the
+        full support additionally counts vectors passing through ``s``
+        (what Algorithm 3's migration accumulates).
+        """
+        return self._supports.get(s, 0)
+
+    def __contains__(self, s: int) -> bool:
+        return s in self._buckets
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class LengthIndex:
+    """Partition directory over a serialized blob: length -> (offset, size).
+
+    Built alongside a simple concatenated encoding of partitions (each
+    partition encoded with :func:`repro.compress.plt_codec.serialize_plt`
+    applied to a single-partition PLT would duplicate headers; instead we
+    store spans into one stream of varint vector records).  Parsing a
+    partition touches only its span.
+    """
+
+    __slots__ = ("_blob", "_spans", "_counts")
+
+    def __init__(self, plt: PLT):
+        from repro.compress.varint import encode_uvarint
+
+        blob = bytearray()
+        spans: dict[int, tuple[int, int]] = {}
+        counts: dict[int, int] = {}
+        for length in sorted(plt.partitions):
+            start = len(blob)
+            bucket = plt.partitions[length]
+            for vec in sorted(bucket):
+                for p in vec:
+                    encode_uvarint(p, blob)
+                encode_uvarint(bucket[vec], blob)
+            spans[length] = (start, len(blob) - start)
+            counts[length] = len(bucket)
+        self._blob = bytes(blob)
+        self._spans = spans
+        self._counts = counts
+
+    def lengths(self) -> list[int]:
+        return sorted(self._spans)
+
+    def span(self, length: int) -> tuple[int, int]:
+        try:
+            return self._spans[length]
+        except KeyError:
+            raise ReproError(f"no partition of length {length}") from None
+
+    def n_vectors(self, length: int) -> int:
+        return self._counts.get(length, 0)
+
+    def total_bytes(self) -> int:
+        return len(self._blob)
+
+    def read_partition(self, length: int) -> Iterator[tuple[PositionVector, int]]:
+        """Decode one partition from its byte span only."""
+        from repro.compress.varint import decode_uvarint
+
+        start, size = self.span(length)
+        view = memoryview(self._blob)[start : start + size]
+        pos = 0
+        for _ in range(self._counts[length]):
+            vec = []
+            for _ in range(length):
+                p, pos = decode_uvarint(view, pos)
+                vec.append(p)
+            freq, pos = decode_uvarint(view, pos)
+            yield tuple(vec), freq
+
+    def find_vector(self, vector: PositionVector) -> int | None:
+        """Frequency of ``vector`` or None — a point query via its partition.
+
+        Decodes only the partition of the vector's length; within it the
+        records are sorted, so the scan early-exits past the key.
+        """
+        length = len(vector)
+        if length not in self._spans:
+            return None
+        for vec, freq in self.read_partition(length):
+            if vec == vector:
+                return freq
+            if vec > vector:
+                return None
+        return None

@@ -1,0 +1,89 @@
+"""LEB128-style variable-length integer codec.
+
+Position vectors are tuples of small positive integers (rank deltas), so a
+varint byte stream is the natural wire format — the paper's claim that the
+PLT "regulates the data ... applicable to compression and indexing
+techniques" is realised here: most deltas fit one byte regardless of the
+item-universe size.
+
+Encoding: 7 data bits per byte, little-endian groups, high bit set on all
+but the final byte.  Only non-negative integers are supported (positions
+and frequencies are positive by construction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import CodecError
+
+__all__ = [
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_uvarints",
+    "decode_uvarints",
+    "uvarint_len",
+]
+
+
+def encode_uvarint(value: int, out: bytearray | None = None) -> bytearray:
+    """Append the varint encoding of ``value`` to ``out`` (or a new buffer)."""
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    buf = out if out is not None else bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return buf
+
+
+def decode_uvarint(data: bytes | bytearray | memoryview, offset: int = 0) -> tuple[int, int]:
+    """Decode one varint at ``offset``; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    pos = offset
+    n = len(data)
+    while True:
+        if pos >= n:
+            raise CodecError(f"truncated uvarint at offset {offset}")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise CodecError(f"uvarint at offset {offset} exceeds 64 bits")
+
+
+def encode_uvarints(values: Iterable[int]) -> bytes:
+    """Encode a sequence of varints back-to-back."""
+    buf = bytearray()
+    for v in values:
+        encode_uvarint(v, buf)
+    return bytes(buf)
+
+
+def decode_uvarints(data: bytes, count: int, offset: int = 0) -> tuple[list[int], int]:
+    """Decode exactly ``count`` varints; returns ``(values, next_offset)``."""
+    values = []
+    pos = offset
+    for _ in range(count):
+        v, pos = decode_uvarint(data, pos)
+        values.append(v)
+    return values, pos
+
+
+def uvarint_len(value: int) -> int:
+    """Encoded byte length of ``value`` without encoding it."""
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    length = 1
+    while value >= 0x80:
+        value >>= 7
+        length += 1
+    return length

@@ -1,0 +1,51 @@
+"""Core PLT implementation: the paper's primary contribution.
+
+* :mod:`repro.core.rank` — the ``Rank`` function (Definition 4.1.1)
+* :mod:`repro.core.position` — position-vector algebra (Lemmas 4.1.1–4.1.3)
+* :mod:`repro.core.plt` — the PLT structure and Algorithm 1
+* :mod:`repro.core.topdown` — Algorithm 2
+* :mod:`repro.core.conditional` — Algorithm 3
+* :mod:`repro.core.closed` — closed/maximal mining over the PLT
+* :mod:`repro.core.incremental` — incremental PLT maintenance
+* :mod:`repro.core.lextree` — the explicit lexicographic tree (Figures 1–2)
+* :mod:`repro.core.mining` — the user-facing facade
+"""
+
+from repro.core.closed import mine_closed, mine_maximal
+from repro.core.constraints import mine_constrained, verify_antimonotone
+from repro.core.conditional import mine_conditional
+from repro.core.incremental import IncrementalPLT
+from repro.core.mining import (
+    FrequentItemset,
+    MiningResult,
+    mine_closed_itemsets,
+    mine_frequent_itemsets,
+    mine_maximal_itemsets,
+)
+from repro.core.plt import PLT, PLTStats, build_plt
+from repro.core.topk import mine_top_k
+from repro.core.window import SlidingWindowPLT
+from repro.core.rank import RankTable
+from repro.core.topdown import mine_topdown, topdown_subset_frequencies
+
+__all__ = [
+    "PLT",
+    "PLTStats",
+    "build_plt",
+    "RankTable",
+    "IncrementalPLT",
+    "SlidingWindowPLT",
+    "mine_top_k",
+    "mine_constrained",
+    "verify_antimonotone",
+    "mine_conditional",
+    "mine_topdown",
+    "mine_closed",
+    "mine_maximal",
+    "topdown_subset_frequencies",
+    "FrequentItemset",
+    "MiningResult",
+    "mine_frequent_itemsets",
+    "mine_closed_itemsets",
+    "mine_maximal_itemsets",
+]

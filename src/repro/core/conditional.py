@@ -1,0 +1,227 @@
+"""Algorithm 3 — the conditional (pattern-growth) PLT miner.
+
+The paper's conditional approach processes items in *decreasing* rank
+order.  For item ``j``:
+
+1. Its conditional database is exactly the vectors whose sum equals ``j``
+   (the sum index makes this a dictionary lookup — this is the paper's
+   "easy identification of the conditional structure" claim).
+2. The support of the current pattern extended by ``j`` is the total
+   frequency of that bucket.
+3. Each bucket vector's prefix (last position dropped, Lemma 4.1.3a) is
+   simultaneously
+
+   * **migrated** back into the enclosing structure, so that lower-ranked
+     items later receive the counts of transactions whose maximal item was
+     ``j`` — the paper's ``Update PLT with V'`` step, performed
+     *unconditionally* (even when ``j`` itself is infrequent), and
+   * **added to the conditional database** ``CD_j``.
+
+4. If the extension is frequent, a *conditional PLT* is built from
+   ``CD_j`` by removing locally-infrequent items from every vector
+   (position merging, Lemma 4.1.3b / :func:`~repro.core.position.restrict_to_ranks`)
+   and the procedure recurses.
+
+The recursion depth is bounded by the longest frequent itemset, so we use
+plain recursion with a raised limit guard.
+
+Anti-monotone pruning is fully exploited: a conditional PLT only ever
+contains items that are frequent *together with* the current suffix.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable, Iterator
+
+from repro.core.plt import PLT
+from repro.core.position import PositionVector, restrict_to_ranks
+from repro.errors import InvalidSupportError
+
+__all__ = [
+    "mine_conditional",
+    "conditional_database",
+    "build_conditional_buckets",
+    "rank_supports_of_vectors",
+]
+
+Buckets = dict[int, dict[PositionVector, int]]
+Emit = Callable[[tuple[int, ...], int], None]
+
+
+def rank_supports_of_vectors(vectors: dict[PositionVector, int]) -> dict[int, int]:
+    """Support of every rank appearing in an aggregated vector table.
+
+    Decodes each vector's cumulative sums once; the frequency of the vector
+    contributes to every rank on its path (Lemma 4.1.1).
+    """
+    supports: dict[int, int] = {}
+    for vec, freq in vectors.items():
+        total = 0
+        for p in vec:
+            total += p
+            supports[total] = supports.get(total, 0) + freq
+    return supports
+
+
+def build_conditional_buckets(
+    prefixes: dict[PositionVector, int], min_support: int
+) -> Buckets:
+    """Build a conditional PLT (as sum-indexed buckets) from prefix vectors.
+
+    Locally infrequent ranks are removed from every vector by projection
+    (equivalent to the paper's consecutive-position merging); surviving
+    vectors are re-aggregated and bucketed by sum.
+    """
+    supports = rank_supports_of_vectors(prefixes)
+    frequent = {r for r, s in supports.items() if s >= min_support}
+    if not frequent:
+        return {}
+    buckets: Buckets = {}
+    if len(frequent) == len(supports):
+        # nothing to filter: bucket the prefixes as-is
+        for vec, freq in prefixes.items():
+            bucket = buckets.setdefault(sum(vec), {})
+            bucket[vec] = bucket.get(vec, 0) + freq
+        return buckets
+    for vec, freq in prefixes.items():
+        kept = restrict_to_ranks(vec, frequent)
+        if not kept:
+            continue
+        bucket = buckets.setdefault(sum(kept), {})
+        bucket[kept] = bucket.get(kept, 0) + freq
+    return buckets
+
+
+def conditional_database(
+    plt: PLT, rank: int
+) -> tuple[dict[PositionVector, int], int, Buckets]:
+    """Stand-alone form of the paper's ``Conditional_Construct`` for tests.
+
+    Returns ``(CD_rank, support(rank), remaining_buckets)`` where
+    ``remaining_buckets`` is the PLT's sum index *after* the bucket of
+    ``rank`` was consumed and its prefixes migrated — i.e. the state of
+    Figure 5(b).  Higher-ranked buckets must already have been processed
+    for the support to be the true support; for the top rank this holds
+    trivially.
+    """
+    buckets = plt.sum_index()
+    for j in range(max(buckets, default=0), rank - 1, -1):
+        bucket = buckets.pop(j, None)
+        if bucket is None:
+            if j == rank:
+                return {}, 0, buckets
+            continue
+        cd, support = _consume_bucket(bucket, buckets)
+        if j == rank:
+            return cd, support, buckets
+    return {}, 0, buckets
+
+
+def _consume_bucket(
+    bucket: dict[PositionVector, int], buckets: Buckets
+) -> tuple[dict[PositionVector, int], int]:
+    """Migrate a bucket's prefixes into ``buckets``; return (CD_j, support)."""
+    support = 0
+    cd: dict[PositionVector, int] = {}
+    for vec, freq in bucket.items():
+        support += freq
+        prefix = vec[:-1]
+        if prefix:
+            parent = buckets.setdefault(sum(prefix), {})
+            parent[prefix] = parent.get(prefix, 0) + freq
+            cd[prefix] = cd.get(prefix, 0) + freq
+    return cd, support
+
+
+def _mine(
+    buckets: Buckets,
+    suffix: tuple[int, ...],
+    min_support: int,
+    emit: Emit,
+    max_len: int | None,
+) -> None:
+    # Algorithm 3: "For j = Max down to 1".  Migration inserts buckets at
+    # sums strictly below the one being consumed, so a descending counter
+    # visits every bucket exactly once, including freshly created ones.
+    for j in range(max(buckets, default=0), 0, -1):
+        bucket = buckets.pop(j, None)
+        if bucket is None:
+            continue
+        cd, support = _consume_bucket(bucket, buckets)
+        if support < min_support:
+            continue  # prefixes were still migrated, as Algorithm 3 requires
+        itemset = suffix + (j,)
+        emit(itemset, support)
+        if cd and (max_len is None or len(itemset) < max_len):
+            sub_buckets = build_conditional_buckets(cd, min_support)
+            if sub_buckets:
+                _mine(sub_buckets, itemset, min_support, emit, max_len)
+
+
+def mine_conditional(
+    plt: PLT,
+    min_support: int | None = None,
+    *,
+    max_len: int | None = None,
+    ranks: Iterator[int] | None = None,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Mine all frequent itemsets from a PLT (Algorithm 3).
+
+    Parameters
+    ----------
+    plt:
+        The structure built by Algorithm 1.
+    min_support:
+        Absolute count; defaults to the threshold the PLT was built with.
+    max_len:
+        Optional cap on itemset length (a standard practical extension).
+    ranks:
+        Restrict the *top-level* loop to these ranks (used by the parallel
+        executor's task partitioning).  Prefix migration for higher ranks
+        is still performed so counts stay exact.
+
+    Returns
+    -------
+    list of ``(rank_tuple, support)`` where ``rank_tuple`` is sorted
+    ascending.  Use the PLT's rank table to decode to item labels.
+    """
+    if min_support is None:
+        min_support = plt.min_support
+    if min_support < 1:
+        raise InvalidSupportError(f"absolute min_support must be >= 1, got {min_support}")
+    if max_len is not None and max_len < 1:
+        raise InvalidSupportError(f"max_len must be >= 1, got {max_len}")
+
+    results: list[tuple[tuple[int, ...], int]] = []
+
+    def emit(itemset: tuple[int, ...], support: int) -> None:
+        # suffixes are produced in decreasing rank order; store ascending
+        results.append((tuple(sorted(itemset)), support))
+
+    buckets = plt.sum_index()
+    depth_needed = plt.max_length() + len(plt.rank_table) + 100
+    old_limit = sys.getrecursionlimit()
+    if depth_needed > old_limit:
+        sys.setrecursionlimit(depth_needed)
+    try:
+        if ranks is None:
+            _mine(buckets, (), min_support, emit, max_len)
+        else:
+            wanted = set(ranks)
+            for j in range(max(buckets, default=0), 0, -1):
+                bucket = buckets.pop(j, None)
+                if bucket is None:
+                    continue
+                cd, support = _consume_bucket(bucket, buckets)
+                if j not in wanted or support < min_support:
+                    continue
+                emit((j,), support)
+                if cd and (max_len is None or max_len > 1):
+                    sub = build_conditional_buckets(cd, min_support)
+                    if sub:
+                        _mine(sub, (j,), min_support, emit, max_len)
+    finally:
+        if depth_needed > old_limit:
+            sys.setrecursionlimit(old_limit)
+    return results

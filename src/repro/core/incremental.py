@@ -1,0 +1,183 @@
+"""Incremental PLT maintenance — the structure's natural extension.
+
+The paper's conclusion argues the PLT "regulates" the database into a
+compact, self-contained form.  A consequence the paper leaves implicit is
+that the form is *maintainable*: because the structure is an aggregated
+``{vector: frequency}`` table, inserting or deleting a transaction is a
+single upsert — no tree surgery, no node links to repair (contrast the
+FP-tree, where order-by-support means an insertion can invalidate the
+global item order).
+
+The subtlety is the ``Rank`` function: Algorithm 1 ranks only *frequent*
+items, but which items are frequent changes as transactions arrive.
+:class:`IncrementalPLT` therefore keeps the **unfiltered** vector table
+over a rank table of every item ever seen (appended in arrival order, so
+existing ranks never shift), and materialises a standard filtered
+:class:`~repro.core.plt.PLT` on demand via :meth:`snapshot`.
+
+Snapshotting re-encodes each aggregated vector by projecting away
+infrequent ranks and re-ranking densely — O(total positions), independent
+of the number of raw transactions, which is the incremental win over
+rebuilding from the transaction log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Hashable
+
+from repro.core import position
+from repro.core.plt import PLT
+from repro.core.rank import RankTable
+from repro.data.transaction_db import resolve_min_support
+from repro.errors import ReproError
+
+__all__ = ["IncrementalPLT"]
+
+Item = Hashable
+
+
+class IncrementalPLT:
+    """A PLT that supports transaction insertion and deletion.
+
+    >>> inc = IncrementalPLT()
+    >>> inc.add_transaction({"a", "b"})
+    >>> inc.add_transaction({"a"})
+    >>> plt = inc.snapshot(min_support=1)
+    >>> plt.support_of({"a"})
+    2
+    """
+
+    __slots__ = ("_item_to_rank", "_items", "_vectors", "_n_transactions", "_item_counts")
+
+    def __init__(self, transactions: Iterable[Iterable[Item]] = ()):
+        self._item_to_rank: dict[Item, int] = {}
+        self._items: list[Item] = []
+        self._vectors: dict[tuple[int, ...], int] = {}
+        self._item_counts: dict[Item, int] = {}
+        self._n_transactions = 0
+        for t in transactions:
+            self.add_transaction(t)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _rank_of(self, item: Item, *, create: bool) -> int | None:
+        rank = self._item_to_rank.get(item)
+        if rank is None and create:
+            self._items.append(item)
+            rank = len(self._items)
+            self._item_to_rank[item] = rank
+        return rank
+
+    def _encode(self, transaction: Iterable[Item], *, create: bool) -> tuple[int, ...] | None:
+        ranks = []
+        for item in set(transaction):
+            rank = self._rank_of(item, create=create)
+            if rank is None:
+                return None  # deletion of a transaction containing an unseen item
+            ranks.append(rank)
+        if not ranks:
+            return ()
+        return position.encode(tuple(sorted(ranks)))
+
+    def add_transaction(self, transaction: Iterable[Item]) -> None:
+        """Insert one transaction (a single dictionary upsert)."""
+        items = set(transaction)
+        vec = self._encode(items, create=True)
+        self._n_transactions += 1
+        for item in items:
+            self._item_counts[item] = self._item_counts.get(item, 0) + 1
+        if vec:
+            self._vectors[vec] = self._vectors.get(vec, 0) + 1
+
+    def add_transactions(self, transactions: Iterable[Iterable[Item]]) -> None:
+        for t in transactions:
+            self.add_transaction(t)
+
+    def remove_transaction(self, transaction: Iterable[Item]) -> None:
+        """Delete one previously-inserted transaction.
+
+        Raises :class:`ReproError` if no such transaction is stored (the
+        structure is a faithful multiset; deleting what was never added
+        would silently corrupt counts).
+        """
+        items = set(transaction)
+        vec = self._encode(items, create=False)
+        if vec is None or (vec and self._vectors.get(vec, 0) == 0):
+            raise ReproError(
+                f"cannot remove transaction {sorted(map(repr, items))}: not present"
+            )
+        if vec:
+            remaining = self._vectors[vec] - 1
+            if remaining:
+                self._vectors[vec] = remaining
+            else:
+                del self._vectors[vec]
+        elif self._n_transactions == 0:
+            raise ReproError("cannot remove from an empty structure")
+        self._n_transactions -= 1
+        for item in items:
+            count = self._item_counts[item] - 1
+            if count:
+                self._item_counts[item] = count
+            else:
+                del self._item_counts[item]
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def n_transactions(self) -> int:
+        return self._n_transactions
+
+    def n_vectors(self) -> int:
+        return len(self._vectors)
+
+    def item_support(self, item: Item) -> int:
+        return self._item_counts.get(item, 0)
+
+    def items_seen(self) -> tuple[Item, ...]:
+        """Every item ever inserted, in first-seen order (= rank order)."""
+        return tuple(self._items)
+
+    def snapshot(self, min_support: float | int) -> PLT:
+        """Materialise a standard PLT at the given threshold.
+
+        Re-encodes the aggregated table (not the raw transactions):
+        infrequent ranks are projected out of every vector, surviving
+        ranks are re-numbered densely in the canonical (lexicographic)
+        order, and identical projections merge.
+        """
+        abs_support = resolve_min_support(min_support, max(self._n_transactions, 1))
+        frequent_items = {
+            item for item, count in self._item_counts.items() if count >= abs_support
+        }
+        rank_table = RankTable.from_supports(
+            {i: self._item_counts[i] for i in frequent_items}, min_support=1
+        )
+        # old arrival-order rank -> new lexicographic rank (None = drop)
+        remap: dict[int, int | None] = {}
+        for item in frequent_items:
+            remap[self._item_to_rank[item]] = rank_table.rank(item)
+        vectors: dict[tuple[int, ...], int] = {}
+        for vec, freq in self._vectors.items():
+            new_ranks = sorted(
+                remap[r] for r in position.decode(vec) if r in remap
+            )
+            if not new_ranks:
+                continue
+            new_vec = position.encode(tuple(new_ranks))
+            vectors[new_vec] = vectors.get(new_vec, 0) + freq
+        return PLT.from_vectors(
+            rank_table,
+            vectors,
+            min_support=abs_support,
+            n_transactions=self._n_transactions,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalPLT(transactions={self._n_transactions}, "
+            f"items={len(self._items)}, vectors={len(self._vectors)})"
+        )

@@ -1,0 +1,145 @@
+"""Explicit lexicographic trees — Figures 1, 2 and 3(b) of the paper.
+
+Two tree shapes are provided:
+
+* :func:`full_lexicographic_tree` — the complete lexicographic prefix tree
+  over a set of items (Figure 1): the root is ``null`` and each node links
+  to every item that follows it in the order.  The node count is ``2^n``,
+  so this is a didactic object for small ``n`` (the PLT never materialises
+  it; position vectors *address into* it implicitly).
+* :func:`plt_path_tree` — the tree whose root-anchored paths are the
+  vectors actually stored in a PLT (Figure 3b), each terminal carrying its
+  frequency.
+
+Every node carries the paper's ``pos`` annotation
+(``pos(j) = Rank(j) - Rank(i)`` for child ``j`` of ``i``), which is what
+turns the lexicographic tree of Figure 1 into the PLT of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.plt import PLT
+from repro.core.position import decode
+from repro.core.rank import RankTable
+from repro.errors import ReproError
+
+__all__ = ["LexNode", "full_lexicographic_tree", "plt_path_tree"]
+
+#: Building the full tree over more items than this is almost certainly a
+#: mistake (2^n nodes).
+_MAX_FULL_TREE_ITEMS = 20
+
+
+@dataclass
+class LexNode:
+    """A node of a (positional) lexicographic tree.
+
+    ``item``/``rank`` are ``None`` for the root.  ``pos`` is the node's
+    position among its parent's children (Definition 4.1.2); ``freq`` is
+    the aggregated vector frequency for path trees (``None`` for the full
+    didactic tree, whose nodes are *potential* itemsets, not data).
+    """
+
+    item: object = None
+    rank: Optional[int] = None
+    pos: Optional[int] = None
+    freq: Optional[int] = None
+    children: list["LexNode"] = field(default_factory=list)
+
+    # -- structure queries -------------------------------------------------
+    def is_root(self) -> bool:
+        return self.rank is None
+
+    def n_nodes(self) -> int:
+        """Total nodes in this subtree, excluding the root itself."""
+        return sum(1 + child.n_nodes() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def find_path(self, ranks: tuple[int, ...]) -> Optional["LexNode"]:
+        """Follow a rank path from this node; None when absent."""
+        node = self
+        for r in ranks:
+            node = next((c for c in node.children if c.rank == r), None)
+            if node is None:
+                return None
+        return node
+
+    def itemsets(self, prefix: tuple = ()) -> list[tuple]:
+        """All itemsets represented by descendants (preorder)."""
+        out = []
+        for child in self.children:
+            path = prefix + (child.item,)
+            out.append(path)
+            out.extend(child.itemsets(path))
+        return out
+
+    def position_vector(self, ranks: tuple[int, ...]) -> tuple[int, ...]:
+        """The ``pos`` values along a path — Lemma 4.1.1's V(X)."""
+        node = self
+        vec = []
+        for r in ranks:
+            node = node.find_path((r,))
+            if node is None:
+                raise ReproError(f"path {ranks!r} not present in tree")
+            vec.append(node.pos)
+        return tuple(vec)
+
+
+def full_lexicographic_tree(rank_table: RankTable) -> LexNode:
+    """The complete lexicographic tree of Figure 1 / PLT of Figure 2.
+
+    Each node for rank ``r`` has one child per rank ``r' > r``; the child's
+    ``pos`` is ``r' - r`` (``Rank(null) = 0`` at the root), which is exactly
+    the position annotation of Figure 2.
+    """
+    n = len(rank_table)
+    if n > _MAX_FULL_TREE_ITEMS:
+        raise ReproError(
+            f"full lexicographic tree over {n} items would have 2^{n} nodes; "
+            f"this constructor is for didactic inputs (<= {_MAX_FULL_TREE_ITEMS})"
+        )
+    root = LexNode()
+
+    def expand(node: LexNode, rank: int) -> None:
+        for child_rank in range(rank + 1, n + 1):
+            child = LexNode(
+                item=rank_table.item(child_rank),
+                rank=child_rank,
+                pos=child_rank - rank,
+            )
+            node.children.append(child)
+            expand(child, child_rank)
+
+    expand(root, 0)
+    return root
+
+
+def plt_path_tree(plt: PLT) -> LexNode:
+    """The tree whose paths are the PLT's stored vectors (Figure 3b).
+
+    Shared prefixes share nodes; a node's ``freq`` is the frequency of the
+    vector ending there (``None`` when no stored vector ends there — the
+    node exists only as a shared prefix).
+    """
+    root = LexNode()
+    for vec, freq in sorted(plt.vectors().items(), key=lambda kv: decode(kv[0])):
+        ranks = decode(vec)
+        node = root
+        prev_rank = 0
+        for r, p in zip(ranks, vec):
+            child = node.find_path((r,))
+            if child is None:
+                child = LexNode(item=plt.rank_table.item(r), rank=r, pos=p)
+                node.children.append(child)
+                node.children.sort(key=lambda c: c.rank)
+            node = child
+            prev_rank = r
+        node.freq = (node.freq or 0) + freq
+    return root

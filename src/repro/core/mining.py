@@ -1,0 +1,395 @@
+"""High-level mining facade: one entry point over every miner in the repo.
+
+:func:`mine_frequent_itemsets` accepts raw transactions (any iterable of
+item collections, or a :class:`~repro.data.transaction_db.TransactionDatabase`),
+a support threshold (absolute count or relative fraction), and a method
+name; it returns a :class:`MiningResult`, a thin ordered container with the
+standard post-processing operations (closed/maximal filtering, lookups,
+dict conversion).
+
+The two PLT miners are the paper's contribution; the rest are the
+literature baselines implemented in :mod:`repro.baselines`.  All methods
+produce *identical* itemset/support sets on the same input — the test
+suite enforces this property.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.conditional import mine_conditional
+from repro.core.plt import PLT
+from repro.core.rank import sort_key
+from repro.core.topdown import mine_topdown
+from repro.data.transaction_db import TransactionDatabase, resolve_min_support
+from repro.errors import ReproError
+
+__all__ = [
+    "FrequentItemset",
+    "MiningResult",
+    "mine_frequent_itemsets",
+    "mine_closed_itemsets",
+    "mine_maximal_itemsets",
+    "METHODS",
+]
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """An itemset together with its absolute support count."""
+
+    items: tuple
+    support: int
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self.items
+
+    def as_frozenset(self) -> frozenset:
+        return frozenset(self.items)
+
+    def relative_support(self, n_transactions: int) -> float:
+        if n_transactions <= 0:
+            raise ValueError("n_transactions must be positive")
+        return self.support / n_transactions
+
+
+class MiningResult(Sequence):
+    """Ordered collection of frequent itemsets plus run metadata.
+
+    Itemsets are sorted canonically (by length, then lexicographically) so
+    results from different miners compare equal.
+    """
+
+    def __init__(
+        self,
+        itemsets: Iterable[FrequentItemset],
+        *,
+        n_transactions: int,
+        min_support: int,
+        method: str,
+    ) -> None:
+        self._itemsets = sorted(
+            itemsets, key=lambda fi: (len(fi.items), [sort_key(i) for i in fi.items])
+        )
+        self.n_transactions = n_transactions
+        self.min_support = min_support
+        self.method = method
+
+    # -- Sequence protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._itemsets)
+
+    def __getitem__(self, idx):
+        return self._itemsets[idx]
+
+    def __iter__(self) -> Iterator[FrequentItemset]:
+        return iter(self._itemsets)
+
+    def __eq__(self, other: object) -> bool:
+        """Equality is *semantic*: same itemsets with same supports."""
+        if not isinstance(other, MiningResult):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningResult({len(self)} itemsets, method={self.method!r}, "
+            f"min_support={self.min_support}, n_transactions={self.n_transactions})"
+        )
+
+    # -- views ------------------------------------------------------------
+    def as_dict(self) -> dict[frozenset, int]:
+        return {fi.as_frozenset(): fi.support for fi in self._itemsets}
+
+    def itemsets_of_size(self, k: int) -> list[FrequentItemset]:
+        return [fi for fi in self._itemsets if len(fi) == k]
+
+    def sizes(self) -> dict[int, int]:
+        """Histogram: itemset length -> how many frequent itemsets."""
+        hist: dict[int, int] = {}
+        for fi in self._itemsets:
+            hist[len(fi)] = hist.get(len(fi), 0) + 1
+        return hist
+
+    def support_of(self, itemset: Iterable[Item]) -> int | None:
+        """Support of the given itemset, or None if it is not frequent."""
+        return self.as_dict().get(frozenset(itemset))
+
+    def maximal(self) -> "MiningResult":
+        """Itemsets with no frequent proper superset."""
+        by_size: dict[int, list[FrequentItemset]] = {}
+        for fi in self._itemsets:
+            by_size.setdefault(len(fi), []).append(fi)
+        all_sets = [fi.as_frozenset() for fi in self._itemsets]
+        keep = []
+        for fi in self._itemsets:
+            s = fi.as_frozenset()
+            if not any(s < other for other in all_sets):
+                keep.append(fi)
+        return MiningResult(
+            keep,
+            n_transactions=self.n_transactions,
+            min_support=self.min_support,
+            method=self.method + "+maximal",
+        )
+
+    def closed(self) -> "MiningResult":
+        """Itemsets with no proper superset of the *same* support."""
+        table = self.as_dict()
+        keep = []
+        for fi in self._itemsets:
+            s = fi.as_frozenset()
+            if not any(
+                s < other and sup == fi.support for other, sup in table.items()
+            ):
+                keep.append(fi)
+        return MiningResult(
+            keep,
+            n_transactions=self.n_transactions,
+            min_support=self.min_support,
+            method=self.method + "+closed",
+        )
+
+
+# ---------------------------------------------------------------------------
+# method registry
+# ---------------------------------------------------------------------------
+def _mine_plt(transactions, abs_support, order, max_len, **kwargs):
+    plt = PLT.from_transactions(transactions, abs_support, order=order)
+    pairs = mine_conditional(plt, abs_support, max_len=max_len)
+    table = plt.rank_table
+    return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}
+
+
+def _mine_plt_topdown(transactions, abs_support, order, max_len, **kwargs):
+    from repro.core.topdown import DEFAULT_WORK_LIMIT
+
+    plt = PLT.from_transactions(transactions, abs_support, order=order)
+    pairs = mine_topdown(
+        plt,
+        abs_support,
+        max_len=max_len,
+        work_limit=kwargs.get("work_limit", DEFAULT_WORK_LIMIT),
+    )
+    table = plt.rank_table
+    return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}
+
+
+def _mine_bruteforce(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.bruteforce import mine_bruteforce
+
+    return mine_bruteforce(transactions, abs_support, max_len=max_len)
+
+
+def _mine_apriori(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.apriori import mine_apriori
+
+    return mine_apriori(transactions, abs_support, max_len=max_len)
+
+
+def _mine_fpgrowth(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.fpgrowth import mine_fpgrowth
+
+    return mine_fpgrowth(transactions, abs_support, max_len=max_len)
+
+
+def _mine_eclat(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.eclat import mine_eclat
+
+    return mine_eclat(transactions, abs_support, max_len=max_len)
+
+
+def _mine_declat(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.eclat import mine_declat
+
+    return mine_declat(transactions, abs_support, max_len=max_len)
+
+
+def _mine_hmine(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.hmine import mine_hmine
+
+    return mine_hmine(transactions, abs_support, max_len=max_len)
+
+
+def _mine_aprioritid(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.aprioritid import mine_aprioritid
+
+    return mine_aprioritid(transactions, abs_support, max_len=max_len)
+
+
+def _mine_partition(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.partition import mine_partition
+
+    return mine_partition(
+        transactions,
+        abs_support,
+        max_len=max_len,
+        n_partitions=kwargs.get("n_partitions", 4),
+    )
+
+
+def _mine_dic(transactions, abs_support, order, max_len, **kwargs):
+    from repro.baselines.dic import mine_dic
+
+    return mine_dic(
+        transactions,
+        abs_support,
+        max_len=max_len,
+        interval=kwargs.get("interval", 100),
+    )
+
+
+def _mine_count_distribution(transactions, abs_support, order, max_len, **kwargs):
+    from repro.parallel.count_distribution import mine_count_distribution
+
+    return mine_count_distribution(
+        transactions,
+        abs_support,
+        max_len=max_len,
+        n_nodes=kwargs.get("n_nodes", 4),
+        use_processes=kwargs.get("use_processes", False),
+    )
+
+
+def _mine_plt_parallel(transactions, abs_support, order, max_len, **kwargs):
+    from repro.parallel.executor import mine_parallel
+
+    plt = PLT.from_transactions(transactions, abs_support, order=order)
+    pairs = mine_parallel(
+        plt, abs_support, max_len=max_len, n_workers=kwargs.get("n_workers")
+    )
+    table = plt.rank_table
+    return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}
+
+
+METHODS: dict[str, Callable] = {
+    "plt": _mine_plt,
+    "plt-conditional": _mine_plt,
+    "plt-topdown": _mine_plt_topdown,
+    "plt-parallel": _mine_plt_parallel,
+    "apriori": _mine_apriori,
+    "aprioritid": _mine_aprioritid,
+    "apriori-cd": _mine_count_distribution,
+    "partition": _mine_partition,
+    "dic": _mine_dic,
+    "fpgrowth": _mine_fpgrowth,
+    "eclat": _mine_eclat,
+    "declat": _mine_declat,
+    "hmine": _mine_hmine,
+    "bruteforce": _mine_bruteforce,
+}
+
+
+def mine_frequent_itemsets(
+    transactions: Iterable[Iterable[Item]],
+    min_support: float | int,
+    *,
+    method: str = "plt",
+    order: str = "lexicographic",
+    max_len: int | None = None,
+    **kwargs,
+) -> MiningResult:
+    """Mine all frequent itemsets from ``transactions``.
+
+    Parameters
+    ----------
+    transactions:
+        Any iterable of item collections, or a :class:`TransactionDatabase`.
+    min_support:
+        Absolute count (int >= 1) or relative fraction (float in (0, 1]).
+    method:
+        One of ``plt`` (alias ``plt-conditional``; the paper's Algorithm 3),
+        ``plt-topdown`` (Algorithm 2), ``plt-parallel``, or a baseline:
+        ``apriori``, ``aprioritid``, ``apriori-cd`` (count distribution),
+        ``partition``, ``dic``, ``fpgrowth``, ``eclat``, ``declat``,
+        ``hmine``, ``bruteforce``.
+    order:
+        Item-ordering policy for the PLT's rank table (PLT methods only):
+        ``lexicographic`` (paper), ``support_asc``, ``support_desc``.
+    max_len:
+        Optional cap on itemset length.
+    kwargs:
+        Method-specific options (e.g. ``n_workers`` for ``plt-parallel``,
+        ``work_limit`` for ``plt-topdown``).
+
+    Examples
+    --------
+    >>> from repro import mine_frequent_itemsets
+    >>> res = mine_frequent_itemsets([("a", "b"), ("a", "b", "c"), ("a",)], 2)
+    >>> sorted((tuple(sorted(fi.items)), fi.support) for fi in res)
+    [(('a',), 3), (('a', 'b'), 2), (('b',), 2)]
+    """
+    if method not in METHODS:
+        raise ReproError(
+            f"unknown mining method {method!r}; available: {', '.join(sorted(METHODS))}"
+        )
+    if not isinstance(transactions, TransactionDatabase):
+        transactions = TransactionDatabase(transactions)
+    abs_support = resolve_min_support(min_support, len(transactions))
+    table = METHODS[method](transactions, abs_support, order, max_len, **kwargs)
+    itemsets = [
+        FrequentItemset(tuple(sorted(items, key=sort_key)), sup)
+        for items, sup in table.items()
+    ]
+    return MiningResult(
+        itemsets,
+        n_transactions=len(transactions),
+        min_support=abs_support,
+        method=method,
+    )
+
+
+def _mine_condensed(transactions, min_support, order, kind):
+    from repro.core.closed import mine_closed, mine_maximal
+
+    if not isinstance(transactions, TransactionDatabase):
+        transactions = TransactionDatabase(transactions)
+    abs_support = resolve_min_support(min_support, len(transactions))
+    plt = PLT.from_transactions(transactions, abs_support, order=order)
+    miner = mine_closed if kind == "closed" else mine_maximal
+    pairs = miner(plt, abs_support)
+    table = plt.rank_table
+    itemsets = [
+        FrequentItemset(
+            tuple(sorted(table.decode_ranks(ranks), key=sort_key)), sup
+        )
+        for ranks, sup in pairs
+    ]
+    return MiningResult(
+        itemsets,
+        n_transactions=len(transactions),
+        min_support=abs_support,
+        method=f"plt-{kind}",
+    )
+
+
+def mine_closed_itemsets(
+    transactions: Iterable[Iterable[Item]],
+    min_support: float | int,
+    *,
+    order: str = "lexicographic",
+) -> MiningResult:
+    """Mine only the *closed* frequent itemsets (lossless condensed form).
+
+    Equivalent to ``mine_frequent_itemsets(...).closed()`` but computed
+    directly on the conditional PLT with closure pruning, without
+    materialising the full frequent set.
+    """
+    return _mine_condensed(transactions, min_support, order, "closed")
+
+
+def mine_maximal_itemsets(
+    transactions: Iterable[Iterable[Item]],
+    min_support: float | int,
+    *,
+    order: str = "lexicographic",
+) -> MiningResult:
+    """Mine only the *maximal* frequent itemsets (the frequent border)."""
+    return _mine_condensed(transactions, min_support, order, "maximal")

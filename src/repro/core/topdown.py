@@ -1,0 +1,162 @@
+"""Algorithm 2 — the top-down PLT miner.
+
+The top-down approach materialises the frequency of **every** subset of
+every transaction (Figure 4 of the paper), then filters by support.  It is
+exponential in transaction length by design; the paper positions it for
+very low support thresholds on short-transaction data, where the frequent
+set approaches the full subset lattice anyway and anti-monotone pruning
+buys nothing.
+
+No-duplication discipline
+-------------------------
+A subset of transaction ``T = {x0 < ... < x_{k-1}}`` is generated exactly
+once by composing the paper's two subset rules (Lemma 4.1.3) canonically:
+
+1. *Prefix seeding* ("part A", folded into construction exactly as the
+   paper suggests): for every stored vector, all of its prefixes are
+   seeded.  The prefix ending at the subset's **maximal** item is the
+   subset's unique ancestor.
+2. *Left-shifting merges* ("part B", Algorithm 2's shift discipline):
+   interior items are removed by consecutive-position merges at strictly
+   **decreasing** indices.  Every work item carries a merge *cursor*
+   ``limit`` — merges are only allowed at 0-based indices ``< limit``; a
+   child created by merging at index ``i`` gets ``limit = i``.
+
+Any subset has exactly one (prefix, decreasing-merge-sequence)
+decomposition, so every (transaction, subset) pair contributes its
+frequency exactly once.  Work items are aggregated by ``(vector, limit)``
+across transactions — the dictionary-merge the paper's ``D_{i-1}`` lookup
+performs — which is what makes the pass feasible on aggregated data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.plt import PLT
+from repro.core.position import PositionVector
+from repro.errors import InvalidSupportError, TopDownExplosionError
+
+__all__ = [
+    "topdown_subset_frequencies",
+    "mine_topdown",
+    "estimate_topdown_work",
+    "DEFAULT_WORK_LIMIT",
+]
+
+#: Default ceiling on generated subset-work items before aggregation savings.
+DEFAULT_WORK_LIMIT = 20_000_000
+
+
+def estimate_topdown_work(plt: PLT) -> int:
+    """Upper bound on subset generation events: sum of 2^len per vector.
+
+    Aggregation across identical ``(vector, cursor)`` work items usually
+    keeps the real cost far below this, but the bound is what protects the
+    process from pathological inputs.
+    """
+    total = 0
+    for length, bucket in plt.partitions.items():
+        total += (2 ** length - 1) * len(bucket)
+        if total > 1 << 62:  # avoid silly bignums
+            break
+    return total
+
+
+def topdown_subset_frequencies(
+    plt: PLT, *, work_limit: int | None = DEFAULT_WORK_LIMIT
+) -> dict[int, dict[PositionVector, int]]:
+    """Run the top-down pass; return all subset frequencies by length.
+
+    The result maps ``length -> {vector -> frequency}`` and contains every
+    non-empty subset of every encoded transaction with its exact support —
+    the state of Figure 4.
+
+    Raises :class:`TopDownExplosionError` when the estimated work exceeds
+    ``work_limit`` (pass ``None`` to disable the guard).
+    """
+    if work_limit is not None:
+        estimate = estimate_topdown_work(plt)
+        if estimate > work_limit:
+            raise TopDownExplosionError(
+                f"top-down pass would generate up to {estimate} subset events "
+                f"(work_limit={work_limit}); use the conditional miner or raise "
+                f"the limit"
+            )
+
+    counts: dict[int, dict[PositionVector, int]] = {}
+    # work[(vector, limit)] = frequency, partitioned by vector length
+    work: dict[int, dict[tuple[PositionVector, int], int]] = {}
+
+    def count(vec: PositionVector, freq: int) -> None:
+        bucket = counts.setdefault(len(vec), {})
+        bucket[vec] = bucket.get(vec, 0) + freq
+
+    def push(vec: PositionVector, limit: int, freq: int) -> None:
+        bucket = work.setdefault(len(vec), {})
+        key = (vec, limit)
+        bucket[key] = bucket.get(key, 0) + freq
+
+    # Part A (prefix seeding, folded into "construction" per the paper):
+    # every prefix of every stored vector is both counted and queued with a
+    # cursor allowing merges anywhere inside it.
+    for vec, freq in plt.iter_vectors():
+        for j in range(1, len(vec) + 1):
+            prefix = vec[:j]
+            count(prefix, freq)
+            if j >= 2:
+                push(prefix, j - 1, freq)
+
+    # Part B: consume partitions longest-first, merging with the
+    # left-shift (strictly decreasing index) discipline.  Children always
+    # land one length below the partition being consumed, so a descending
+    # counter visits everything.
+    length = max(work, default=0)
+    while length >= 2:
+        bucket = work.pop(length, None)
+        if bucket:
+            for (vec, limit), freq in bucket.items():
+                for i in range(limit):
+                    child = vec[:i] + (vec[i] + vec[i + 1],) + vec[i + 2 :]
+                    count(child, freq)
+                    if len(child) >= 2 and i >= 1:
+                        push(child, i, freq)
+        length -= 1
+    return counts
+
+
+def mine_topdown(
+    plt: PLT,
+    min_support: int | None = None,
+    *,
+    max_len: int | None = None,
+    work_limit: int | None = DEFAULT_WORK_LIMIT,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Mine frequent itemsets with the top-down approach.
+
+    Returns ``(rank_tuple, support)`` pairs like
+    :func:`~repro.core.conditional.mine_conditional`, so the two miners are
+    interchangeable behind the facade.
+    """
+    if min_support is None:
+        min_support = plt.min_support
+    if min_support < 1:
+        raise InvalidSupportError(f"absolute min_support must be >= 1, got {min_support}")
+    from repro.core.position import decode
+
+    counts = topdown_subset_frequencies(plt, work_limit=work_limit)
+    results: list[tuple[tuple[int, ...], int]] = []
+    for length, bucket in counts.items():
+        if max_len is not None and length > max_len:
+            continue
+        for vec, freq in bucket.items():
+            if freq >= min_support:
+                results.append((decode(vec), freq))
+    return results
+
+
+def subset_frequencies_flat(
+    counts: Mapping[int, Mapping[PositionVector, int]]
+) -> dict[PositionVector, int]:
+    """Flatten the per-length table (convenience for tests and rendering)."""
+    return {vec: f for bucket in counts.values() for vec, f in bucket.items()}

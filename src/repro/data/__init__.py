@@ -1,0 +1,53 @@
+"""Transaction-database substrate: representations, I/O, and generators."""
+
+from repro.data.attributes import (
+    discretize_numeric,
+    from_records,
+    generate_attribute_table,
+)
+from repro.data.transaction_db import TransactionDatabase, item_supports, resolve_min_support
+from repro.data.io import read_dat, write_dat, read_basket_csv, write_basket_csv
+from repro.data.quest import QuestGenerator, QuestParameters, generate_quest, t_name
+from repro.data.generators import (
+    PlantedRule,
+    generate_dense,
+    generate_planted,
+    generate_uniform,
+    generate_zipf,
+)
+from repro.data.datasets import (
+    PAPER_EXAMPLE,
+    PAPER_EXAMPLE_MIN_SUPPORT,
+    available,
+    load,
+    paper_example,
+    register,
+)
+
+__all__ = [
+    "TransactionDatabase",
+    "item_supports",
+    "resolve_min_support",
+    "from_records",
+    "discretize_numeric",
+    "generate_attribute_table",
+    "read_dat",
+    "write_dat",
+    "read_basket_csv",
+    "write_basket_csv",
+    "QuestGenerator",
+    "QuestParameters",
+    "generate_quest",
+    "t_name",
+    "PlantedRule",
+    "generate_dense",
+    "generate_planted",
+    "generate_uniform",
+    "generate_zipf",
+    "PAPER_EXAMPLE",
+    "PAPER_EXAMPLE_MIN_SUPPORT",
+    "available",
+    "load",
+    "paper_example",
+    "register",
+]

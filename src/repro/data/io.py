@@ -1,0 +1,118 @@
+"""Reading and writing transaction databases in the formats of the era.
+
+Supported formats:
+
+* **FIMI ``.dat``** — one transaction per line, whitespace-separated item
+  ids (the format of the FIMI'03/'04 repository the paper's references
+  [4], [10] evaluate on).  Items parse to ``int`` when possible, else stay
+  strings.
+* **basket CSV** — ``tid,item`` pairs, one row per (transaction, item)
+  occurrence; the long format relational databases export.
+
+Both readers accept plain or gzip-compressed files (by extension).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import Hashable, TextIO
+
+from repro.data.transaction_db import TransactionDatabase
+from repro.errors import DatasetError
+
+__all__ = [
+    "read_dat",
+    "write_dat",
+    "read_basket_csv",
+    "write_basket_csv",
+    "iter_dat_lines",
+]
+
+
+def _open_text(path: str | Path, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode + "t", encoding="utf-8")
+
+
+def _parse_token(token: str) -> Hashable:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def iter_dat_lines(path: str | Path) -> Iterator[tuple[Hashable, ...]]:
+    """Stream transactions from a FIMI ``.dat`` file without materialising.
+
+    Blank lines are skipped (some FIMI dumps include them); a line of only
+    whitespace is treated as blank rather than as an empty transaction.
+    """
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            tokens = line.split()
+            if not tokens:
+                continue
+            yield tuple(_parse_token(tok) for tok in tokens)
+
+
+def read_dat(path: str | Path) -> TransactionDatabase:
+    """Load a FIMI ``.dat`` (optionally ``.dat.gz``) file."""
+    try:
+        return TransactionDatabase(iter_dat_lines(path))
+    except OSError as exc:
+        raise DatasetError(f"cannot read {path}: {exc}") from exc
+
+
+def write_dat(db: Iterable[Iterable[Hashable]], path: str | Path) -> None:
+    """Write transactions in FIMI format, items sorted for determinism."""
+    from repro.core.rank import sort_key
+
+    with _open_text(path, "w") as fh:
+        for t in db:
+            items = sorted(set(t), key=sort_key)
+            fh.write(" ".join(str(i) for i in items))
+            fh.write("\n")
+
+
+def read_basket_csv(path: str | Path, *, header: bool = True) -> TransactionDatabase:
+    """Load ``tid,item`` long-format CSV into a database.
+
+    Transactions appear in first-seen TID order.  TIDs may be arbitrary
+    strings; items parse to int when possible.
+    """
+    baskets: dict[str, set] = {}
+    order: list[str] = []
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if header and lineno == 1:
+                continue
+            parts = line.split(",")
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected 'tid,item', got {line!r}"
+                )
+            tid, item = parts[0].strip(), ",".join(parts[1:]).strip()
+            if tid not in baskets:
+                baskets[tid] = set()
+                order.append(tid)
+            baskets[tid].add(_parse_token(item))
+    return TransactionDatabase(baskets[tid] for tid in order)
+
+
+def write_basket_csv(db: Iterable[Iterable[Hashable]], path: str | Path) -> None:
+    """Write transactions as ``tid,item`` rows with a header."""
+    from repro.core.rank import sort_key
+
+    with _open_text(path, "w") as fh:
+        fh.write("tid,item\n")
+        for tid, t in enumerate(db, start=1):
+            for item in sorted(set(t), key=sort_key):
+                fh.write(f"{tid},{item}\n")

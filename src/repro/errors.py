@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError`` etc. are still raised for
+plain misuse).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidVectorError",
+    "UnknownItemError",
+    "InvalidSupportError",
+    "TopDownExplosionError",
+    "DatasetError",
+    "CodecError",
+    "ParallelExecutionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidVectorError(ReproError, ValueError):
+    """A position vector violates the PLT invariants.
+
+    Valid vectors are non-empty tuples of strictly positive integers
+    (Definition 4.1.2/4.1.3 of the paper: positions are rank deltas and
+    ranks are strictly increasing along a path).
+    """
+
+
+class UnknownItemError(ReproError, KeyError):
+    """An item or rank was looked up that the rank table does not contain."""
+
+
+class InvalidSupportError(ReproError, ValueError):
+    """A minimum-support threshold is out of range.
+
+    Absolute supports must be integers ``>= 1``; relative supports must be
+    floats in ``(0, 1]``.
+    """
+
+
+class TopDownExplosionError(ReproError, RuntimeError):
+    """The top-down pass would enumerate too many subset vectors.
+
+    The paper's top-down approach (Algorithm 2) materialises the frequency
+    of *every* subset of every transaction, which is exponential in the
+    transaction length.  The miner estimates this cost up front and raises
+    this error instead of exhausting memory; raise the ``work_limit`` or use
+    the conditional miner for long transactions.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset file or generator specification is malformed."""
+
+
+class CodecError(ReproError, ValueError):
+    """A serialized PLT byte stream is malformed or truncated."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel mining worker failed; the original traceback is chained."""

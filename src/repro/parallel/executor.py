@@ -1,0 +1,161 @@
+"""Multiprocessing executors for PLT mining.
+
+Two exact (not approximate) parallel schemes, following the task
+decompositions in :mod:`repro.parallel.partitioner`:
+
+* :func:`mine_parallel` — parallel **conditional** mining.  A sequential
+  sweep builds every top-level item's conditional database (cheap), then
+  the recursive mining of those databases — where all the time goes — is
+  farmed out.  Results concatenate; no reconciliation is needed because
+  itemsets are partitioned by their maximal item.
+* :func:`topdown_parallel` — parallel **top-down** subset propagation.
+  Workers expand disjoint slices of the vector table; the partial subset
+  frequency tables merge by addition.
+
+Both fall back to in-process execution for one worker (or tiny inputs),
+so results and code paths stay testable without process overhead.  The
+pool uses the default start method; tasks and results are plain
+picklable dicts/tuples.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+from repro.core.conditional import _mine, build_conditional_buckets
+from repro.core.plt import PLT
+from repro.core.position import PositionVector
+from repro.core.topdown import DEFAULT_WORK_LIMIT, estimate_topdown_work
+from repro.errors import ParallelExecutionError, TopDownExplosionError
+from repro.parallel.partitioner import (
+    ConditionalTask,
+    conditional_tasks,
+    lpt_partition,
+    split_vectors,
+)
+
+__all__ = ["mine_parallel", "topdown_parallel", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count default: physical parallelism, capped for sanity."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+# ---------------------------------------------------------------------------
+# worker entry points (module level: picklable)
+# ---------------------------------------------------------------------------
+def _mine_task_batch(
+    args: tuple[list[tuple[int, int, dict]], int, int | None]
+) -> list[tuple[tuple[int, ...], int]]:
+    """Mine a batch of conditional tasks; returns (ranks, support) pairs."""
+    batch, min_support, max_len = args
+    results: list[tuple[tuple[int, ...], int]] = []
+
+    def emit(itemset: tuple[int, ...], support: int) -> None:
+        results.append((tuple(sorted(itemset)), support))
+
+    for rank, support, prefixes in batch:
+        emit((rank,), support)
+        if prefixes and (max_len is None or max_len > 1):
+            buckets = build_conditional_buckets(prefixes, min_support)
+            if buckets:
+                _mine(buckets, (rank,), min_support, emit, max_len)
+    return results
+
+
+def _topdown_slice(
+    args: tuple[dict, int]
+) -> dict[int, dict[PositionVector, int]]:
+    """Expand a vector-table slice; returns partial subset frequencies."""
+    vectors, _ = args
+    from repro.core.topdown import topdown_subset_frequencies
+
+    return topdown_subset_frequencies(_shell_plt(vectors), work_limit=None)
+
+
+def _shell_plt(vectors: dict[PositionVector, int]) -> PLT:
+    """A label-less PLT carrying only vectors (enough for top-down)."""
+    from repro.core.rank import RankTable
+
+    max_rank = max((sum(v) for v in vectors), default=0)
+    table = RankTable(list(range(1, max_rank + 1)), order="shell")
+    return PLT.from_vectors(table, vectors, min_support=1)
+
+
+# ---------------------------------------------------------------------------
+# drivers
+# ---------------------------------------------------------------------------
+def mine_parallel(
+    plt: PLT,
+    min_support: int | None = None,
+    *,
+    n_workers: int | None = None,
+    max_len: int | None = None,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Parallel conditional mining; same output as ``mine_conditional``."""
+    if min_support is None:
+        min_support = plt.min_support
+    if n_workers is None:
+        n_workers = default_workers()
+    tasks = conditional_tasks(plt, min_support)
+    if not tasks:
+        return []
+    if n_workers <= 1 or len(tasks) == 1:
+        return _mine_task_batch(
+            ([(t.rank, t.support, t.prefixes) for t in tasks], min_support, max_len)
+        )
+    sizes = [t.cost_estimate() for t in tasks]
+    bins = lpt_partition(tasks, sizes, n_workers)
+    batches = [
+        ([(t.rank, t.support, t.prefixes) for t in bin_tasks], min_support, max_len)
+        for bin_tasks in bins
+        if bin_tasks
+    ]
+    results: list[tuple[tuple[int, ...], int]] = []
+    import multiprocessing as mp
+
+    try:
+        with mp.Pool(processes=len(batches)) as pool:
+            for part in pool.map(_mine_task_batch, batches):
+                results.extend(part)
+    except Exception as exc:  # pragma: no cover - depends on platform failures
+        raise ParallelExecutionError(f"parallel conditional mining failed: {exc}") from exc
+    return results
+
+
+def topdown_parallel(
+    plt: PLT,
+    *,
+    n_workers: int | None = None,
+    work_limit: int | None = DEFAULT_WORK_LIMIT,
+) -> dict[int, dict[PositionVector, int]]:
+    """Parallel top-down pass; same output as ``topdown_subset_frequencies``."""
+    if n_workers is None:
+        n_workers = default_workers()
+    if work_limit is not None:
+        estimate = estimate_topdown_work(plt)
+        if estimate > work_limit:
+            raise TopDownExplosionError(
+                f"top-down pass would generate up to {estimate} subset events "
+                f"(work_limit={work_limit})"
+            )
+    slices = [s for s in split_vectors(plt, n_workers) if s]
+    if len(slices) <= 1 or n_workers <= 1:
+        from repro.core.topdown import topdown_subset_frequencies
+
+        return topdown_subset_frequencies(plt, work_limit=None)
+    import multiprocessing as mp
+
+    merged: dict[int, dict[PositionVector, int]] = {}
+    try:
+        with mp.Pool(processes=len(slices)) as pool:
+            for partial in pool.map(_topdown_slice, [(s, 0) for s in slices]):
+                for length, bucket in partial.items():
+                    target = merged.setdefault(length, {})
+                    for vec, freq in bucket.items():
+                        target[vec] = target.get(vec, 0) + freq
+    except Exception as exc:  # pragma: no cover
+        raise ParallelExecutionError(f"parallel top-down failed: {exc}") from exc
+    return merged

@@ -1,0 +1,24 @@
+"""Association-rule generation and interestingness measures (paper §2)."""
+
+from repro.rules.basis import generator_basis, mine_rule_basis
+from repro.rules.generation import Rule, generate_rules, rules_from_result
+from repro.rules.metrics import (
+    confidence,
+    conviction,
+    leverage,
+    lift,
+    rule_metrics,
+)
+
+__all__ = [
+    "Rule",
+    "generate_rules",
+    "rules_from_result",
+    "generator_basis",
+    "mine_rule_basis",
+    "confidence",
+    "conviction",
+    "leverage",
+    "lift",
+    "rule_metrics",
+]

@@ -1,0 +1,152 @@
+"""Association-rule generation from frequent itemsets.
+
+The second step of the paper's problem definition (Section 2): given all
+frequent itemsets with supports, emit every rule ``X → Y`` (``X, Y``
+disjoint, ``X ∪ Y`` frequent) whose confidence meets a threshold.
+
+The algorithm is Agrawal & Srikant's *ap-genrules*: for each frequent
+itemset, grow consequents level-wise; if a rule with consequent ``Y``
+fails the confidence bar, every rule with a superset consequent ``Y' ⊃ Y``
+from the same itemset fails too (confidence is anti-monotone in the
+consequent), so that branch is pruned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Hashable
+
+from repro.core.mining import MiningResult
+from repro.core.rank import sort_key
+from repro.errors import InvalidSupportError, ReproError
+from repro.rules.metrics import rule_metrics
+
+__all__ = ["Rule", "generate_rules", "rules_from_result"]
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule ``antecedent → consequent`` with its measures.
+
+    ``support`` and ``confidence`` are the paper's two measures; the rest
+    are the conventional extras.  ``support`` here is the *relative*
+    support of ``antecedent ∪ consequent``; ``support_count`` keeps the
+    absolute count (the paper's footnote-1 convention).
+    """
+
+    antecedent: tuple
+    consequent: tuple
+    support_count: int
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def __str__(self) -> str:
+        lhs = ", ".join(map(str, self.antecedent))
+        rhs = ", ".join(map(str, self.consequent))
+        return (
+            f"{{{lhs}}} -> {{{rhs}}}  "
+            f"(sup={self.support:.3f}, conf={self.confidence:.3f}, lift={self.lift:.2f})"
+        )
+
+    @property
+    def items(self) -> frozenset:
+        return frozenset(self.antecedent) | frozenset(self.consequent)
+
+
+def generate_rules(
+    supports: Mapping[frozenset, int],
+    n_transactions: int,
+    min_confidence: float,
+    *,
+    min_lift: float | None = None,
+) -> list[Rule]:
+    """ap-genrules over a ``{frozenset -> absolute support}`` table.
+
+    The table must be *downward closed* (every subset of a listed itemset
+    listed too) — which any complete miner output is; a missing subset
+    raises :class:`ReproError` rather than silently producing wrong
+    confidences.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise InvalidSupportError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    if n_transactions <= 0:
+        raise InvalidSupportError("n_transactions must be positive")
+
+    def support_of(itemset: frozenset) -> int:
+        try:
+            return supports[itemset]
+        except KeyError:
+            raise ReproError(
+                f"support table is not downward closed: missing {set(itemset)!r}"
+            ) from None
+
+    rules: list[Rule] = []
+    for itemset, sup_union in supports.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset, key=sort_key)
+        # level-wise consequent growth with anti-monotone confidence pruning
+        consequents: list[tuple] = [(i,) for i in items]
+        while consequents:
+            next_level: set[tuple] = set()
+            surviving: set[tuple] = set()
+            for consequent in consequents:
+                cons_set = frozenset(consequent)
+                ante_set = itemset - cons_set
+                if not ante_set:
+                    continue
+                sup_ante = support_of(ante_set)
+                conf = sup_union / sup_ante
+                if conf < min_confidence:
+                    continue
+                surviving.add(consequent)
+                metrics = rule_metrics(
+                    sup_union, sup_ante, support_of(cons_set), n_transactions
+                )
+                if min_lift is not None and metrics["lift"] < min_lift:
+                    continue
+                rules.append(
+                    Rule(
+                        antecedent=tuple(sorted(ante_set, key=sort_key)),
+                        consequent=tuple(sorted(cons_set, key=sort_key)),
+                        support_count=sup_union,
+                        **metrics,
+                    )
+                )
+            # join surviving consequents to grow the next level; tuples are
+            # kept in sort_key order so the prefix join is canonical even
+            # for mixed-type item labels
+            tuple_key = lambda t: [sort_key(x) for x in t]  # noqa: E731
+            surviving_list = sorted(surviving, key=tuple_key)
+            for a, b in combinations(surviving_list, 2):
+                if a[:-1] == b[:-1]:
+                    cand = a + (b[-1],)
+                    if len(cand) < len(itemset):
+                        next_level.add(cand)
+            consequents = sorted(next_level, key=tuple_key)
+    rules.sort(key=lambda r: (-r.confidence, -r.support, [sort_key(i) for i in r.antecedent]))
+    return rules
+
+
+def rules_from_result(
+    result: MiningResult,
+    min_confidence: float,
+    *,
+    min_lift: float | None = None,
+) -> list[Rule]:
+    """Generate rules straight from a :class:`MiningResult`."""
+    return generate_rules(
+        result.as_dict(),
+        result.n_transactions,
+        min_confidence,
+        min_lift=min_lift,
+    )

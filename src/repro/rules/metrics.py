@@ -1,0 +1,64 @@
+"""Interestingness measures for association rules.
+
+Support and confidence are the paper's (Section 2) measures; lift,
+leverage and conviction are the standard follow-ups the rules API exposes
+because every downstream user of an FIM library expects them.
+
+All functions take absolute counts and the database size, and return
+floats; they are pure and individually tested against hand-computed
+values.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["confidence", "lift", "leverage", "conviction", "rule_metrics"]
+
+
+def confidence(support_union: int, support_antecedent: int) -> float:
+    """``P(Y | X) = sup(X ∪ Y) / sup(X)``."""
+    if support_antecedent <= 0:
+        raise ValueError("antecedent support must be positive")
+    if support_union > support_antecedent:
+        raise ValueError("sup(X ∪ Y) cannot exceed sup(X)")
+    return support_union / support_antecedent
+
+
+def lift(support_union: int, support_antecedent: int, support_consequent: int, n: int) -> float:
+    """``conf(X→Y) / P(Y)``: 1 means independence, > 1 positive correlation."""
+    if n <= 0 or support_consequent <= 0:
+        raise ValueError("database size and consequent support must be positive")
+    return confidence(support_union, support_antecedent) / (support_consequent / n)
+
+
+def leverage(support_union: int, support_antecedent: int, support_consequent: int, n: int) -> float:
+    """``P(X ∪ Y) − P(X)·P(Y)``: 0 at independence."""
+    if n <= 0:
+        raise ValueError("database size must be positive")
+    return support_union / n - (support_antecedent / n) * (support_consequent / n)
+
+
+def conviction(support_union: int, support_antecedent: int, support_consequent: int, n: int) -> float:
+    """``P(X)·P(¬Y) / P(X ∧ ¬Y)``; ``inf`` for exact rules (conf = 1)."""
+    conf = confidence(support_union, support_antecedent)
+    p_not_y = 1.0 - support_consequent / n
+    if math.isclose(conf, 1.0):
+        return math.inf
+    return p_not_y / (1.0 - conf)
+
+
+def rule_metrics(
+    support_union: int,
+    support_antecedent: int,
+    support_consequent: int,
+    n: int,
+) -> dict[str, float]:
+    """All measures at once (what :class:`~repro.rules.generation.Rule` carries)."""
+    return {
+        "support": support_union / n,
+        "confidence": confidence(support_union, support_antecedent),
+        "lift": lift(support_union, support_antecedent, support_consequent, n),
+        "leverage": leverage(support_union, support_antecedent, support_consequent, n),
+        "conviction": conviction(support_union, support_antecedent, support_consequent, n),
+    }

@@ -1,0 +1,15 @@
+"""ASCII rendering of the paper's figures (trees, matrices, tables)."""
+
+from repro.viz.render import (
+    render_itemsets,
+    render_matrix,
+    render_subset_table,
+    render_tree,
+)
+
+__all__ = [
+    "render_itemsets",
+    "render_matrix",
+    "render_subset_table",
+    "render_tree",
+]

@@ -1,0 +1,107 @@
+"""Unit tests for the CBA associative classifier."""
+
+import pytest
+
+from repro.apps.classifier import CBAClassifier, ClassRule
+from repro.data.attributes import generate_attribute_table
+from repro.errors import ReproError
+
+
+def featurize(records):
+    return [frozenset(f"{k}={v}" for k, v in r.items()) for r in records]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    records, labels = generate_attribute_table(
+        1200, 8, 3, n_classes=3, class_correlation=0.75, seed=4
+    )
+    features = featurize(records)
+    return (features[:800], labels[:800]), (features[800:], labels[800:])
+
+
+class TestClassRule:
+    def test_matches(self):
+        rule = ClassRule(frozenset({"a=1"}), "pos", 10, 0.9)
+        assert rule.matches(frozenset({"a=1", "b=2"}))
+        assert not rule.matches(frozenset({"b=2"}))
+
+    def test_str(self):
+        rule = ClassRule(frozenset({"a=1"}), "pos", 10, 0.9)
+        assert "=> 'pos'" in str(rule)
+
+
+class TestFit:
+    def test_beats_majority_baseline(self, dataset):
+        (train_f, train_l), (test_f, test_l) = dataset
+        clf = CBAClassifier(min_support=0.05, min_confidence=0.6).fit(train_f, train_l)
+        baseline = max(test_l.count(c) for c in set(test_l)) / len(test_l)
+        assert clf.score(test_f, test_l) > baseline + 0.15
+
+    def test_rules_sorted_by_confidence(self, dataset):
+        (train_f, train_l), _ = dataset
+        clf = CBAClassifier(min_support=0.05, min_confidence=0.6).fit(train_f, train_l)
+        confs = [r.confidence for r in clf.rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_perfectly_separable_data(self):
+        features = [frozenset({"x=1"})] * 10 + [frozenset({"x=2"})] * 10
+        labels = ["A"] * 10 + ["B"] * 10
+        clf = CBAClassifier(min_support=2, min_confidence=0.9).fit(features, labels)
+        assert clf.predict_one({"x=1"}) == "A"
+        assert clf.predict_one({"x=2"}) == "B"
+        assert clf.score(features, labels) == 1.0
+
+    def test_default_label_for_unmatched(self):
+        features = [frozenset({"x=1"})] * 9 + [frozenset({"x=2"})]
+        labels = ["A"] * 9 + ["B"]
+        clf = CBAClassifier(min_support=2, min_confidence=0.9).fit(features, labels)
+        # a record matching no rule falls back to the default
+        assert clf.predict_one({"z=9"}) in {"A", "B"}
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            CBAClassifier().fit([frozenset()], ["a", "b"])
+
+    def test_empty_training_set(self):
+        with pytest.raises(ReproError):
+            CBAClassifier().fit([], [])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ReproError):
+            CBAClassifier(min_confidence=0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ReproError):
+            CBAClassifier().predict_one({"a"})
+
+    def test_class_labels_never_collide_with_features(self):
+        # a feature that textually resembles the class marker is fine:
+        # class items are tuples, features are strings
+        features = [frozenset({"__class__"})] * 4 + [frozenset({"other"})] * 4
+        labels = [1] * 4 + [2] * 4
+        clf = CBAClassifier(min_support=2, min_confidence=0.8).fit(features, labels)
+        assert clf.predict_one({"__class__"}) == 1
+
+    def test_method_selection(self, dataset):
+        (train_f, train_l), _ = dataset
+        a = CBAClassifier(min_support=0.1, min_confidence=0.7, method="plt").fit(
+            train_f, train_l
+        )
+        b = CBAClassifier(min_support=0.1, min_confidence=0.7, method="fpgrowth").fit(
+            train_f, train_l
+        )
+        assert [str(r) for r in a.rules] == [str(r) for r in b.rules]
+
+    def test_score_validation(self, dataset):
+        (train_f, train_l), _ = dataset
+        clf = CBAClassifier(min_support=0.1, min_confidence=0.7).fit(train_f, train_l)
+        with pytest.raises(ReproError):
+            clf.score([], [])
+
+    def test_repr(self, dataset):
+        clf = CBAClassifier()
+        assert "unfitted" in repr(clf)
+        (train_f, train_l), _ = dataset
+        clf.fit(train_f, train_l)
+        assert "rules" in repr(clf)

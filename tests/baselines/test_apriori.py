@@ -1,0 +1,105 @@
+"""Unit tests for the Apriori baseline (candidate generation approach)."""
+
+import pytest
+
+from repro.baselines.apriori import CandidateTrie, generate_candidates, mine_apriori
+from repro.baselines.bruteforce import mine_bruteforce
+from tests.conftest import random_database
+
+
+class TestGenerateCandidates:
+    def test_pairs_from_singletons(self):
+        frequent = {(0,), (1,), (2,)}
+        candidates = set(generate_candidates(frequent))
+        assert candidates == {(0, 1), (0, 2), (1, 2)}
+
+    def test_join_requires_shared_prefix(self):
+        # (0,1) joins (0,2); (3,4) shares no prefix with anything
+        frequent = {(0, 1), (0, 2), (1, 2), (3, 4)}
+        candidates = set(generate_candidates(frequent))
+        assert candidates == {(0, 1, 2)}
+
+    def test_prune_by_antimonotone(self):
+        # the join of (0,1) and (0,2) is (0,1,2); it survives only if its
+        # third 2-subset (1,2) is also frequent
+        frequent_with = {(0, 1), (0, 2), (1, 2)}
+        assert (0, 1, 2) in set(generate_candidates(frequent_with))
+        frequent_without = {(0, 1), (0, 2), (1, 3)}
+        assert (0, 1, 2) not in set(generate_candidates(frequent_without))
+
+    def test_empty_input(self):
+        assert generate_candidates(set()) == []
+
+    def test_candidates_are_sorted_tuples(self):
+        frequent = {(1,), (5,), (9,)}
+        for cand in generate_candidates(frequent):
+            assert list(cand) == sorted(cand)
+
+
+class TestCandidateTrie:
+    def test_counts_subsets_only(self):
+        trie = CandidateTrie([(0, 1), (1, 2), (0, 3)])
+        trie.count_transaction((0, 1, 2))
+        counts = trie.counts()
+        assert counts[(0, 1)] == 1
+        assert counts[(1, 2)] == 1
+        assert counts[(0, 3)] == 0
+
+    def test_short_transactions_skipped(self):
+        trie = CandidateTrie([(0, 1, 2)])
+        trie.count_transaction((0, 1))
+        assert trie.counts()[(0, 1, 2)] == 0
+
+    def test_multiple_transactions_accumulate(self):
+        trie = CandidateTrie([(0, 2)])
+        for _ in range(3):
+            trie.count_transaction((0, 1, 2, 5))
+        assert trie.counts()[(0, 2)] == 3
+
+    def test_exhaustive_against_set_check(self):
+        import itertools
+        import random
+
+        rng = random.Random(1)
+        candidates = [
+            tuple(sorted(rng.sample(range(8), 3))) for _ in range(12)
+        ]
+        candidates = list(dict.fromkeys(candidates))
+        trie = CandidateTrie(candidates)
+        transactions = [
+            tuple(sorted(rng.sample(range(8), rng.randint(1, 8)))) for _ in range(40)
+        ]
+        for t in transactions:
+            trie.count_transaction(t)
+        counts = trie.counts()
+        for cand in candidates:
+            expected = sum(1 for t in transactions if set(cand) <= set(t))
+            assert counts[cand] == expected, cand
+
+
+class TestMineApriori:
+    def test_paper_example(self, paper_db):
+        got = mine_apriori(list(paper_db), 2)
+        assert got[frozenset("AB")] == 4
+        assert len(got) == 13
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle(self, seed):
+        db = random_database(seed + 20)
+        for min_support in (1, 2, 4):
+            assert mine_apriori(db, min_support) == mine_bruteforce(db, min_support)
+
+    def test_max_len(self, paper_db):
+        got = mine_apriori(list(paper_db), 2, max_len=2)
+        assert max(len(k) for k in got) == 2
+
+    def test_empty_database(self):
+        assert mine_apriori([], 1) == {}
+
+    def test_no_frequent_items(self):
+        assert mine_apriori([("a",), ("b",)], 2) == {}
+
+    def test_terminates_at_longest_itemset(self):
+        db = [("a", "b", "c", "d", "e")] * 3
+        got = mine_apriori(db, 2)
+        assert len(got) == 2**5 - 1

@@ -1,0 +1,44 @@
+"""Unit tests for AprioriTid."""
+
+import pytest
+
+from repro.baselines.apriori import mine_apriori
+from repro.baselines.aprioritid import mine_aprioritid
+from repro.baselines.bruteforce import mine_bruteforce
+from tests.conftest import random_database
+
+
+class TestAprioriTid:
+    def test_paper_example(self, paper_db):
+        assert mine_aprioritid(list(paper_db), 2) == mine_bruteforce(list(paper_db), 2)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle(self, seed):
+        db = random_database(seed + 1300)
+        for min_support in (1, 2, 4):
+            assert mine_aprioritid(db, min_support) == mine_bruteforce(db, min_support)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_apriori(self, seed):
+        db = random_database(seed + 1400)
+        assert mine_aprioritid(db, 2) == mine_apriori(db, 2)
+
+    def test_empty(self):
+        assert mine_aprioritid([], 1) == {}
+
+    def test_max_len(self):
+        db = [("a", "b", "c", "d")] * 3
+        got = mine_aprioritid(db, 2, max_len=2)
+        assert max(len(k) for k in got) == 2
+
+    def test_cbar_shrinks(self):
+        """Transactions that stop supporting candidates leave the pass."""
+        # 'x y' pairs support no 3-candidates; only abc transactions stay
+        db = [("a", "b", "c")] * 3 + [("x", "y")] * 5
+        got = mine_aprioritid(db, 3)
+        assert got[frozenset("abc")] == 3
+        assert got[frozenset("xy")] == 5
+
+    def test_singletons_only(self):
+        got = mine_aprioritid([("a",), ("a",), ("b",)], 2)
+        assert got == {frozenset("a"): 2}

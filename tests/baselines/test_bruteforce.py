@@ -1,0 +1,48 @@
+"""Tests for the brute-force oracle itself (hand-computed ground truths)."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce, support_counts_bruteforce
+from repro.errors import TopDownExplosionError
+
+
+class TestSupportCounts:
+    def test_hand_computed(self):
+        db = [("a", "b"), ("b", "c"), ("a", "b", "c")]
+        counts = support_counts_bruteforce(db)
+        assert counts[frozenset("a")] == 2
+        assert counts[frozenset("b")] == 3
+        assert counts[frozenset("c")] == 2
+        assert counts[frozenset("ab")] == 2
+        assert counts[frozenset("bc")] == 2
+        assert counts[frozenset("ac")] == 1
+        assert counts[frozenset("abc")] == 1
+        assert len(counts) == 7
+
+    def test_duplicates_inside_transaction_collapse(self):
+        counts = support_counts_bruteforce([("a", "a", "b")])
+        assert counts[frozenset("a")] == 1
+        assert len(counts) == 3
+
+    def test_empty_database(self):
+        assert support_counts_bruteforce([]) == {}
+
+    def test_budget_guard(self):
+        with pytest.raises(TopDownExplosionError):
+            support_counts_bruteforce([tuple(range(40))])
+
+
+class TestMineBruteforce:
+    def test_threshold_filtering(self):
+        db = [("a", "b"), ("b",)]
+        assert mine_bruteforce(db, 2) == {frozenset("b"): 2}
+
+    def test_max_len(self):
+        db = [("a", "b", "c")] * 2
+        got = mine_bruteforce(db, 2, max_len=2)
+        assert frozenset("abc") not in got
+        assert got[frozenset("ab")] == 2
+
+    def test_min_support_one_counts_everything(self):
+        db = [("a", "b")]
+        assert len(mine_bruteforce(db, 1)) == 3

@@ -1,0 +1,46 @@
+"""Unit tests for Dynamic Itemset Counting."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.baselines.dic import mine_dic
+from tests.conftest import random_database
+
+
+class TestDic:
+    def test_paper_example(self, paper_db):
+        assert mine_dic(list(paper_db), 2) == mine_bruteforce(list(paper_db), 2)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("interval", (1, 3, 1000))
+    def test_matches_oracle_any_interval(self, seed, interval):
+        db = random_database(seed + 1600, max_items=7, max_transactions=25)
+        for min_support in (1, 2, 4):
+            got = mine_dic(db, min_support, interval=interval)
+            assert got == mine_bruteforce(db, min_support), (min_support, interval)
+
+    def test_supports_are_exact_full_cycle_counts(self):
+        db = [("a", "b")] * 7 + [("a",)] * 2
+        got = mine_dic(db, 2, interval=2)
+        assert got[frozenset("a")] == 9
+        assert got[frozenset("ab")] == 7
+
+    def test_small_interval_starts_candidates_early(self):
+        # correctness must be independent of when counting started
+        db = [("a", "b", "c")] * 10
+        assert mine_dic(db, 5, interval=1) == mine_bruteforce(db, 5)
+
+    def test_empty(self):
+        assert mine_dic([], 1) == {}
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            mine_dic([("a",)], 1, interval=0)
+
+    def test_max_len(self):
+        db = [("a", "b", "c")] * 4
+        got = mine_dic(db, 2, max_len=2)
+        assert max(len(k) for k in got) == 2
+
+    def test_no_frequent_items(self):
+        assert mine_dic([("a",), ("b",)], 2) == {}

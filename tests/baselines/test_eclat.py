@@ -1,0 +1,76 @@
+"""Unit tests for Eclat and dEclat (vertical miners)."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.baselines.eclat import mine_declat, mine_eclat, vertical_layout
+from tests.conftest import random_database
+
+
+class TestVerticalLayout:
+    def test_tidsets(self):
+        db = [("a", "b"), ("a",), ("b", "c")]
+        layout = dict(vertical_layout(db, 1))
+        assert layout["a"] == frozenset({0, 1})
+        assert layout["b"] == frozenset({0, 2})
+        assert layout["c"] == frozenset({2})
+
+    def test_filters_infrequent(self):
+        db = [("a", "z"), ("a",)]
+        items = [i for i, _ in vertical_layout(db, 2)]
+        assert items == ["a"]
+
+    def test_support_ascending_order(self):
+        db = [("a", "b"), ("a",), ("a", "b"), ("b",), ("a",)]
+        items = [i for i, _ in vertical_layout(db, 1)]
+        # a: 4, b: 3 -> b first (ascending)
+        assert items == ["b", "a"]
+
+    def test_empty(self):
+        assert vertical_layout([], 1) == []
+
+
+class TestEclat:
+    def test_paper_example(self, paper_db):
+        assert mine_eclat(list(paper_db), 2) == mine_bruteforce(list(paper_db), 2)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle(self, seed):
+        db = random_database(seed + 60)
+        for min_support in (1, 2, 5):
+            assert mine_eclat(db, min_support) == mine_bruteforce(db, min_support)
+
+    def test_max_len(self):
+        db = [("a", "b", "c")] * 4
+        got = mine_eclat(db, 2, max_len=2)
+        assert max(len(k) for k in got) == 2
+
+    def test_empty(self):
+        assert mine_eclat([], 1) == {}
+
+
+class TestDeclat:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_to_eclat(self, seed):
+        db = random_database(seed + 80)
+        for min_support in (1, 2, 4):
+            assert mine_declat(db, min_support) == mine_eclat(db, min_support)
+
+    def test_paper_example(self, paper_db):
+        assert mine_declat(list(paper_db), 2) == mine_bruteforce(list(paper_db), 2)
+
+    def test_diffset_supports_exact(self):
+        # crafted so diffsets differ in size from tidsets
+        db = [("a", "b")] * 6 + [("a",)] * 1 + [("b",)] * 2
+        got = mine_declat(db, 2)
+        assert got[frozenset("ab")] == 6
+        assert got[frozenset("a")] == 7
+        assert got[frozenset("b")] == 8
+
+    def test_max_len_one(self):
+        db = [("a", "b")] * 3
+        got = mine_declat(db, 2, max_len=1)
+        assert set(got) == {frozenset("a"), frozenset("b")}
+
+    def test_empty(self):
+        assert mine_declat([], 1) == {}

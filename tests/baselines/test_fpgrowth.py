@@ -1,0 +1,70 @@
+"""Unit tests for FP-growth mining."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.baselines.fpgrowth import fpgrowth_from_tree, mine_fpgrowth
+from repro.baselines.fptree import FPTree
+from tests.conftest import random_database
+
+
+class TestMineFpgrowth:
+    def test_paper_example(self, paper_db):
+        got = mine_fpgrowth(list(paper_db), 2)
+        assert len(got) == 13
+        assert got[frozenset("ABC")] == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle(self, seed):
+        db = random_database(seed + 40)
+        for min_support in (1, 3):
+            assert mine_fpgrowth(db, min_support) == mine_bruteforce(db, min_support)
+
+    def test_empty(self):
+        assert mine_fpgrowth([], 1) == {}
+
+    def test_max_len(self, paper_db):
+        got = mine_fpgrowth(list(paper_db), 2, max_len=2)
+        assert got == {
+            k: v for k, v in mine_bruteforce(list(paper_db), 2).items() if len(k) <= 2
+        }
+
+
+class TestSinglePathShortcut:
+    def test_chain_database(self):
+        # pure chain: the shortcut path must produce all combinations
+        db = [("a", "b", "c")] * 3 + [("a", "b")] * 2 + [("a",)]
+        got = mine_fpgrowth(db, 2)
+        assert got == mine_bruteforce(db, 2)
+
+    def test_chain_with_max_len(self):
+        db = [("a", "b", "c", "d")] * 3
+        got = mine_fpgrowth(db, 2, max_len=2)
+        truth = {
+            k: v for k, v in mine_bruteforce(db, 2).items() if len(k) <= 2
+        }
+        assert got == truth
+
+    def test_shortcut_counts_use_min_along_chain(self):
+        db = [("a", "b")] * 5 + [("a",)] * 2
+        got = mine_fpgrowth(db, 2)
+        assert got[frozenset("a")] == 7
+        assert got[frozenset("ab")] == 5
+
+
+class TestFromTree:
+    def test_mine_prebuilt_tree(self, paper_db):
+        tree = FPTree.from_transactions(list(paper_db), 2)
+        got = fpgrowth_from_tree(tree, 2)
+        assert len(got) == 13
+
+    def test_empty_tree(self):
+        tree = FPTree.from_transactions([], 1)
+        assert fpgrowth_from_tree(tree, 1) == {}
+
+    def test_deep_tree_recursion_guard(self):
+        # 60 distinct items in a chain with noise to defeat single-path
+        base = list(range(60))
+        db = [tuple(base)] * 3 + [tuple(base[:30]) + ("x",)] * 2
+        got = mine_fpgrowth(db, 2, max_len=1)
+        assert len(got) == 61

@@ -1,0 +1,114 @@
+"""Unit tests for the FP-tree structure."""
+
+import pytest
+
+from repro.baselines.fptree import FPNode, FPTree
+
+
+@pytest.fixture
+def small_tree():
+    db = [
+        ("a", "b", "c"),
+        ("a", "b"),
+        ("a", "c"),
+        ("b", "c"),
+        ("a",),
+    ]
+    return FPTree.from_transactions(db, 2)
+
+
+class TestConstruction:
+    def test_item_order_is_support_descending(self, small_tree):
+        # supports: a=4, b=3, c=3 -> a before b before c (lex tiebreak)
+        order = small_tree.item_order
+        assert order["a"] < order["b"] < order["c"]
+
+    def test_infrequent_items_excluded(self):
+        tree = FPTree.from_transactions([("a", "z"), ("a",)], 2)
+        assert "z" not in tree.header
+        assert "a" in tree.header
+
+    def test_header_supports_match_scan(self, small_tree):
+        assert small_tree.item_support("a") == 4
+        assert small_tree.item_support("b") == 3
+        assert small_tree.item_support("c") == 3
+
+    def test_prefix_sharing(self, small_tree):
+        # all four a-transactions share the root's single 'a' child
+        root_children = small_tree.root.children
+        assert set(root_children) == {"a", "b"}
+        assert root_children["a"].count == 4
+
+    def test_empty_database(self):
+        tree = FPTree.from_transactions([], 1)
+        assert tree.is_empty()
+        assert tree.n_nodes() == 0
+
+    def test_node_repr_and_path(self, small_tree):
+        node = small_tree.header["c"]
+        assert "FPNode" in repr(node)
+        path = node.path_to_root()
+        assert isinstance(path, list)
+
+
+class TestNodeLinks:
+    def test_links_chain_all_occurrences(self, small_tree):
+        count = 0
+        node = small_tree.header["c"]
+        while node is not None:
+            count += 1
+            node = node.link
+        # c appears under a-b, a, and b -> 3 nodes
+        assert count == 3
+
+    def test_item_support_sums_chain(self, small_tree):
+        total = 0
+        node = small_tree.header["c"]
+        while node is not None:
+            total += node.count
+            node = node.link
+        assert total == small_tree.item_support("c") == 3
+
+
+class TestConditional:
+    def test_pattern_base(self, small_tree):
+        base = small_tree.conditional_pattern_base("c")
+        normalized = sorted((tuple(sorted(p)), c) for p, c in base)
+        assert normalized == [(("a",), 1), (("a", "b"), 1), (("b",), 1)]
+
+    def test_conditional_tree_filters_infrequent(self, small_tree):
+        cond = small_tree.conditional_tree("c")
+        # within c's base: a appears 2x, b appears 2x -> both kept at min 2
+        assert set(cond.header) == {"a", "b"}
+        assert cond.item_support("a") == 2
+        assert cond.item_support("b") == 2
+
+    def test_conditional_of_top_item_is_empty(self, small_tree):
+        cond = small_tree.conditional_tree("a")
+        assert cond.is_empty()
+
+
+class TestSinglePath:
+    def test_chain_detected(self):
+        tree = FPTree.from_transactions([("a", "b", "c")] * 3, 2)
+        path = tree.single_path()
+        assert path is not None
+        assert [n.item for n in path] == sorted("abc", key=tree.item_order.__getitem__)
+
+    def test_branching_returns_none(self, small_tree):
+        assert small_tree.single_path() is None
+
+    def test_empty_tree_single_path(self):
+        tree = FPTree.from_transactions([], 1)
+        assert tree.single_path() == []
+
+
+class TestSize:
+    def test_n_nodes(self, small_tree):
+        # paths (ordered a,b,c): abc, ab, ac, bc, a
+        # tree: a(b(c),c), b(c) -> nodes a, ab, abc, ac, b, bc = 6
+        assert small_tree.n_nodes() == 6
+
+    def test_duplicate_transactions_share_everything(self):
+        tree = FPTree.from_transactions([("x", "y")] * 10, 2)
+        assert tree.n_nodes() == 2

@@ -1,0 +1,42 @@
+"""Unit tests for the H-Mine hyper-structure miner."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.baselines.hmine import mine_hmine
+from tests.conftest import random_database
+
+
+class TestHMine:
+    def test_paper_example(self, paper_db):
+        assert mine_hmine(list(paper_db), 2) == mine_bruteforce(list(paper_db), 2)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle(self, seed):
+        db = random_database(seed + 200)
+        for min_support in (1, 2, 4):
+            assert mine_hmine(db, min_support) == mine_bruteforce(db, min_support)
+
+    def test_empty(self):
+        assert mine_hmine([], 1) == {}
+
+    def test_singletons_only(self):
+        db = [("a",), ("b",), ("a",)]
+        got = mine_hmine(db, 2)
+        assert got == {frozenset("a"): 2}
+
+    def test_max_len(self):
+        db = [("a", "b", "c")] * 3
+        got = mine_hmine(db, 2, max_len=2)
+        assert max(len(k) for k in got) == 2
+        got1 = mine_hmine(db, 2, max_len=1)
+        assert all(len(k) == 1 for k in got1)
+
+    def test_projection_reuses_rows_not_copies(self):
+        # correctness on heavily overlapping transactions (shared suffixes)
+        db = [tuple("abcdef")] * 4 + [tuple("cdef")] * 3 + [tuple("ef")] * 2
+        assert mine_hmine(db, 2) == mine_bruteforce(db, 2)
+
+    def test_sparse_wide(self):
+        db = [(i, i + 1) for i in range(20)] * 2
+        assert mine_hmine(db, 2) == mine_bruteforce(db, 2)

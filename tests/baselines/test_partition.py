@@ -1,0 +1,83 @@
+"""Unit tests for the Partition algorithm."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.baselines.partition import (
+    local_frequent_itemsets,
+    mine_partition,
+    split_database,
+)
+from tests.conftest import random_database
+
+
+class TestSplitDatabase:
+    def test_chunks_cover_in_order(self):
+        db = [frozenset((i,)) for i in range(10)]
+        chunks = split_database(db, 3)
+        flat = [t for c in chunks for t in c]
+        assert flat == db
+
+    def test_near_equal_sizes(self):
+        db = [frozenset((i,)) for i in range(10)]
+        sizes = [len(c) for c in split_database(db, 3)]
+        assert max(sizes) - min(sizes) <= 2
+        assert sum(sizes) == 10
+
+    def test_more_partitions_than_transactions(self):
+        db = [frozenset("a")]
+        chunks = split_database(db, 5)
+        assert len(chunks) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_database([], 0)
+
+    def test_empty_db(self):
+        assert split_database([], 3) == []
+
+
+class TestLocalMining:
+    def test_complete_on_one_chunk(self):
+        chunk = [frozenset("ab"), frozenset("ab"), frozenset("b")]
+        got = local_frequent_itemsets(chunk, 2)
+        assert got == {frozenset("a"), frozenset("b"), frozenset("ab")}
+
+    def test_threshold(self):
+        chunk = [frozenset("a"), frozenset("b")]
+        assert local_frequent_itemsets(chunk, 2) == set()
+
+
+class TestMinePartition:
+    def test_paper_example(self, paper_db):
+        for n_partitions in (1, 2, 3, 6):
+            got = mine_partition(list(paper_db), 2, n_partitions=n_partitions)
+            assert got == mine_bruteforce(list(paper_db), 2), n_partitions
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("n_partitions", (1, 3, 7))
+    def test_matches_oracle(self, seed, n_partitions):
+        db = random_database(seed + 1500)
+        for min_support in (1, 2, 4):
+            got = mine_partition(db, min_support, n_partitions=n_partitions)
+            assert got == mine_bruteforce(db, min_support)
+
+    def test_pigeonhole_no_false_negatives(self):
+        """A skewed layout where an itemset is concentrated in one chunk."""
+        # 'ab' appears only in the first 4 transactions; global support 4
+        db = [frozenset("ab")] * 4 + [frozenset("c")] * 12
+        got = mine_partition(db, 4, n_partitions=4)
+        assert got[frozenset("ab")] == 4
+
+    def test_supports_are_global_not_local(self):
+        db = [frozenset("a")] * 3 + [frozenset("ab")] * 3
+        got = mine_partition(db, 2, n_partitions=2)
+        assert got[frozenset("a")] == 6
+
+    def test_empty(self):
+        assert mine_partition([], 1) == {}
+
+    def test_max_len(self):
+        db = [("a", "b", "c")] * 3
+        got = mine_partition(db, 2, max_len=2)
+        assert max(len(k) for k in got) == 2

@@ -1,0 +1,81 @@
+"""Unit tests for Toivonen's sampling algorithm."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.baselines.sampling import mine_sampling, negative_border
+from tests.conftest import random_database
+
+
+class TestNegativeBorder:
+    def test_infrequent_singletons_in_border(self):
+        frequent = {frozenset("a")}
+        border = negative_border(frequent, ["a", "b", "c"])
+        assert frozenset("b") in border and frozenset("c") in border
+
+    def test_minimal_non_frequent_pairs(self):
+        frequent = {frozenset("a"), frozenset("b"), frozenset("c"), frozenset("ab")}
+        border = negative_border(frequent, ["a", "b", "c"])
+        # ac and bc have all singletons frequent but are not frequent
+        assert frozenset("ac") in border and frozenset("bc") in border
+        # abc is excluded: its subset ac is not frequent (not minimal)
+        assert frozenset("abc") not in border
+
+    def test_border_of_empty_frequent_set(self):
+        border = negative_border(set(), ["x", "y"])
+        assert border == {frozenset("x"), frozenset("y")}
+
+    def test_border_disjoint_from_frequent(self):
+        frequent = {frozenset("a"), frozenset("b"), frozenset("ab")}
+        border = negative_border(frequent, ["a", "b"])
+        assert not border & frequent
+
+
+class TestMineSampling:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("fraction", (0.3, 0.6, 1.0))
+    def test_always_exact(self, seed, fraction):
+        """The verification pass makes the algorithm exact regardless of
+        the sample drawn — fallback or not."""
+        db = random_database(seed + 2700, max_items=8, max_transactions=40)
+        for min_support in (2, 4):
+            got, info = mine_sampling(
+                db, min_support, sample_fraction=fraction, seed=seed
+            )
+            assert got == mine_bruteforce(db, min_support)
+
+    def test_full_sample_never_falls_back(self):
+        db = random_database(3, max_items=6, max_transactions=30)
+        _, info = mine_sampling(db, 3, sample_fraction=1.0, lowering=1.0)
+        assert not info["fallback"]
+
+    def test_info_fields(self):
+        db = random_database(5, max_items=6, max_transactions=30)
+        _, info = mine_sampling(db, 3, sample_fraction=0.5)
+        assert info["n_transactions"] == len(db)
+        assert 0 < info["sample_size"] <= len(db)
+        assert info["border_size"] >= 0
+
+    def test_empty_database(self):
+        got, info = mine_sampling([], 1)
+        assert got == {}
+        assert info["sample_size"] == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mine_sampling([("a",)], 1, sample_fraction=0)
+        with pytest.raises(ValueError):
+            mine_sampling([("a",)], 1, lowering=1.5)
+
+    def test_max_len(self):
+        db = [("a", "b", "c")] * 6
+        got, _ = mine_sampling(db, 3, sample_fraction=1.0, max_len=2)
+        assert got == {
+            k: v for k, v in mine_bruteforce(db, 3).items() if len(k) <= 2
+        }
+
+    def test_deterministic_given_seed(self):
+        db = random_database(9, max_items=7, max_transactions=35)
+        a = mine_sampling(db, 3, sample_fraction=0.4, seed=1)
+        b = mine_sampling(db, 3, sample_fraction=0.4, seed=1)
+        assert a == b

@@ -1,0 +1,107 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    SweepResult,
+    format_table,
+    run_support_sweep,
+    time_call,
+)
+from repro.data.transaction_db import TransactionDatabase
+from repro.errors import ReproError
+
+
+class TestTimeCall:
+    def test_returns_result(self):
+        secs, result = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert secs >= 0
+
+    def test_repeat_takes_best(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "ok"
+
+        secs, result = time_call(fn, repeat=3)
+        assert len(calls) == 3
+        assert result == "ok"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table([("a", "1"), ("bbbb", "22")], ("col", "n"))
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert len(lines) == 4
+        assert "bbbb" in lines[3]
+
+    def test_empty_rows(self):
+        text = format_table([], ("x",))
+        assert "x" in text
+
+
+class TestSweep:
+    DB = TransactionDatabase([("a", "b")] * 4 + [("a",)] * 2 + [("c",)])
+
+    def test_measurements_per_cell(self):
+        sweep = run_support_sweep(
+            "test", self.DB, ["plt", "apriori"], [2, 4]
+        )
+        assert len(sweep.measurements) == 4
+        assert sweep.methods() == ["plt", "apriori"]
+        assert sweep.supports() == [2, 4]
+
+    def test_itemset_counts_recorded(self):
+        sweep = run_support_sweep("test", self.DB, ["plt"], [2])
+        m = sweep.cell("plt", 2)
+        assert m is not None
+        assert m.n_itemsets == 3  # a(6), b(4), ab(4)
+
+    def test_missing_cell_is_none(self):
+        sweep = run_support_sweep("test", self.DB, ["plt"], [2])
+        assert sweep.cell("plt", 99) is None
+        assert sweep.cell("nope", 2) is None
+
+    def test_validation_catches_disagreement(self, monkeypatch):
+        from repro.core import mining
+
+        real = mining.METHODS["apriori"]
+
+        def broken(transactions, abs_support, order, max_len, **kwargs):
+            table = dict(real(transactions, abs_support, order, max_len))
+            if table:
+                k = next(iter(table))
+                table[k] += 1  # corrupt one support
+            return table
+
+        monkeypatch.setitem(mining.METHODS, "apriori", broken)
+        with pytest.raises(ReproError, match="disagree"):
+            run_support_sweep("test", self.DB, ["plt", "apriori"], [2])
+
+    def test_validation_can_be_disabled(self, monkeypatch):
+        from repro.core import mining
+
+        monkeypatch.setitem(
+            mining.METHODS, "apriori", lambda *a, **k: {frozenset("zz"): 1}
+        )
+        sweep = run_support_sweep(
+            "test", self.DB, ["plt", "apriori"], [2], validate=False
+        )
+        assert len(sweep.measurements) == 2  # one cell per (method, support)
+
+    def test_render_contains_all_cells(self):
+        sweep = run_support_sweep("demo", self.DB, ["plt"], [2, 4])
+        text = sweep.render()
+        assert "demo" in text and "min_sup" in text
+        assert "#itemsets" in text
+
+
+class TestMeasurement:
+    def test_frozen_dataclass(self):
+        m = Measurement("w", "m", 2, 0.5, 10)
+        with pytest.raises(AttributeError):
+            m.seconds = 1.0

@@ -1,0 +1,88 @@
+"""Unit tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.harness import Measurement, SweepResult
+from repro.bench.plotting import render_line_chart, sweep_to_svg
+
+SERIES = {
+    "plt": [(0.01, 0.15), (0.02, 0.08), (0.05, 0.03)],
+    "apriori": [(0.01, 0.40), (0.02, 0.21), (0.05, 0.06)],
+}
+
+
+class TestRenderLineChart:
+    def test_valid_xml(self):
+        svg = render_line_chart(SERIES, title="t", x_label="x", y_label="y")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_path_per_series(self):
+        svg = render_line_chart(SERIES, title="t", x_label="x", y_label="y")
+        assert svg.count("<path") == len(SERIES)
+
+    def test_one_marker_per_point(self):
+        svg = render_line_chart(SERIES, title="t", x_label="x", y_label="y")
+        n_points = sum(len(pts) for pts in SERIES.values())
+        assert svg.count("<circle") == n_points
+
+    def test_legend_and_labels_present(self):
+        svg = render_line_chart(
+            SERIES, title="My Title", x_label="support", y_label="seconds"
+        )
+        for text in ("My Title", "support", "seconds", "plt", "apriori"):
+            assert text in svg
+
+    def test_labels_are_escaped(self):
+        svg = render_line_chart(
+            {"<evil>": [(1, 1), (2, 2)]},
+            title="a & b",
+            x_label="x<y",
+            y_label="y",
+        )
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+        assert "a &amp; b" in svg
+        ET.fromstring(svg)  # stays well-formed
+
+    def test_log_scale_positive_only(self):
+        with pytest.raises(ValueError):
+            render_line_chart(
+                {"s": [(0.0, 1.0), (1.0, 2.0)]},
+                title="t", x_label="x", y_label="y", log_x=True,
+            )
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart({}, title="t", x_label="x", y_label="y")
+
+    def test_constant_series_ok(self):
+        svg = render_line_chart(
+            {"s": [(1.0, 5.0), (2.0, 5.0)]}, title="t", x_label="x", y_label="y"
+        )
+        ET.fromstring(svg)
+
+    def test_single_point(self):
+        svg = render_line_chart(
+            {"s": [(1.0, 1.0)]}, title="t", x_label="x", y_label="y"
+        )
+        ET.fromstring(svg)
+
+
+class TestSweepToSvg:
+    def test_writes_file(self, tmp_path):
+        sweep = SweepResult(
+            "demo",
+            [
+                Measurement("w", "plt", 0.01, 0.2, 100),
+                Measurement("w", "plt", 0.02, 0.1, 50),
+                Measurement("w", "apriori", 0.01, 0.5, 100),
+                Measurement("w", "apriori", 0.02, 0.2, 50),
+            ],
+        )
+        path = sweep_to_svg(sweep, tmp_path / "sweep.svg")
+        content = path.read_text()
+        assert "demo" in content
+        ET.fromstring(content)

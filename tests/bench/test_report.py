@@ -1,0 +1,137 @@
+"""Unit tests for the benchmark-JSON report renderer."""
+
+import json
+
+import pytest
+
+from repro.bench.report import load_benchmark_json, main, render_groups
+from repro.errors import DatasetError
+
+
+def make_payload():
+    return {
+        "benchmarks": [
+            {
+                "name": "test_b1_sweep[plt-0.01]",
+                "group": "B1 sup=0.01",
+                "stats": {"median": 0.151},
+                "extra_info": {"n_itemsets": 3613},
+            },
+            {
+                "name": "test_b1_sweep[apriori-0.01]",
+                "group": "B1 sup=0.01",
+                "stats": {"median": 0.403},
+                "extra_info": {"n_itemsets": 3613},
+            },
+            {
+                "name": "test_b8_encode",
+                "group": "B8 codec",
+                "stats": {"median": 0.0138},
+                "extra_info": {"bytes": 104983, "fallback": False},
+            },
+        ]
+    }
+
+
+@pytest.fixture
+def json_file(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(make_payload()))
+    return path
+
+
+class TestLoad:
+    def test_load(self, json_file):
+        assert len(load_benchmark_json(json_file)) == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_benchmark_json(tmp_path / "nope.json")
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(DatasetError, match="benchmarks"):
+            load_benchmark_json(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            load_benchmark_json(path)
+
+
+class TestRender:
+    def test_groups_rendered_sorted_by_time(self, json_file):
+        text = render_groups(load_benchmark_json(json_file))
+        assert "== B1 sup=0.01 ==" in text
+        assert "== B8 codec ==" in text
+        # faster plt row comes before apriori within the group
+        assert text.index("plt-0.01") < text.index("apriori-0.01")
+
+    def test_extra_info_columns(self, json_file):
+        text = render_groups(load_benchmark_json(json_file))
+        assert "n_itemsets" in text and "3613" in text
+        assert "bytes" in text and "104983" in text
+
+    def test_time_units(self, json_file):
+        text = render_groups(load_benchmark_json(json_file))
+        assert "151.0 ms" in text
+        assert "13.8 ms" in text
+
+    def test_bool_formatting(self, json_file):
+        text = render_groups(load_benchmark_json(json_file))
+        assert "no" in text  # fallback: False
+
+    def test_group_filter(self, json_file):
+        text = render_groups(load_benchmark_json(json_file), group_filter="B8")
+        assert "B8 codec" in text and "B1" not in text
+
+    def test_unknown_filter(self, json_file):
+        with pytest.raises(DatasetError, match="available"):
+            render_groups(load_benchmark_json(json_file), group_filter="B99")
+
+
+class TestCli:
+    def test_main_ok(self, json_file, capsys):
+        assert main([str(json_file)]) == 0
+        assert "B1 sup=0.01" in capsys.readouterr().out
+
+    def test_main_filter(self, json_file, capsys):
+        assert main([str(json_file), "--group", "B8"]) == 0
+
+    def test_main_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "x.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEndToEnd:
+    @pytest.mark.slow
+    def test_real_benchmark_json(self, tmp_path):
+        """Run one tiny real benchmark and render its JSON."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        out = tmp_path / "real.json"
+        repo = Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(repo / "benchmarks" / "test_b9_construction.py"),
+                "--benchmark-only",
+                f"--benchmark-json={out}",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=repo,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        text = render_groups(load_benchmark_json(out))
+        assert "B9" in text and "n_vectors" in text

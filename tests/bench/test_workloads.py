@@ -1,0 +1,54 @@
+"""Unit tests for the canonical experiment grids."""
+
+import pytest
+
+from repro.bench.workloads import GRIDS, grid, scaled_db
+from repro.core.mining import METHODS
+from repro.data import datasets
+
+
+class TestGrids:
+    def test_design_experiments_present(self):
+        assert {"B1", "B2", "B3"} <= set(GRIDS)
+
+    def test_grid_lookup(self):
+        assert grid("B1").experiment == "B1"
+        with pytest.raises(KeyError):
+            grid("B99")
+
+    def test_all_datasets_registered(self):
+        for g in GRIDS.values():
+            assert g.dataset in datasets.available(), g.experiment
+
+    def test_all_methods_exist(self):
+        for g in GRIDS.values():
+            for m in g.methods:
+                assert m in METHODS, (g.experiment, m)
+
+    def test_supports_descending(self):
+        for g in GRIDS.values():
+            assert list(g.supports) == sorted(g.supports, reverse=True), g.experiment
+
+    def test_b3_compares_the_two_plt_algorithms(self):
+        g = grid("B3")
+        assert set(g.methods) == {"plt", "plt-topdown"}
+
+
+class TestScaledDb:
+    def test_full_scale_is_registry_db(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert scaled_db("T10.I4.D1K") is datasets.load("T10.I4.D1K")
+
+    def test_subsampling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+        db = scaled_db("T10.I4.D1K")
+        assert len(db) == 100
+
+    def test_scale_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "5.0")
+        assert len(scaled_db("T10.I4.D1K")) == 1000
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scaled_db("T10.I4.D1K")

@@ -1,0 +1,117 @@
+"""Unit tests for PLT binary serialization."""
+
+import pytest
+
+from repro.compress.plt_codec import (
+    deserialize_plt,
+    encoded_size_report,
+    serialize_plt,
+)
+from repro.core.plt import PLT
+from repro.core.rank import RankTable
+from repro.data.generators import generate_zipf
+from repro.errors import CodecError
+from tests.conftest import random_database
+
+
+def assert_same_plt(a: PLT, b: PLT) -> None:
+    assert a.rank_table.items() == b.rank_table.items()
+    assert a.partitions == b.partitions
+    assert a.min_support == b.min_support
+    assert a.n_transactions == b.n_transactions
+
+
+class TestRoundtrip:
+    def test_paper_example(self, paper_plt):
+        assert_same_plt(deserialize_plt(serialize_plt(paper_plt)), paper_plt)
+
+    def test_gzip_roundtrip(self, paper_plt):
+        assert_same_plt(deserialize_plt(serialize_plt(paper_plt, gzip=True)), paper_plt)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_databases(self, seed):
+        db = random_database(seed + 300, max_items=12, max_transactions=60)
+        plt = PLT.from_transactions(db, 2)
+        assert_same_plt(deserialize_plt(serialize_plt(plt)), plt)
+
+    def test_int_labels(self):
+        plt = PLT.from_transactions([(10, 20), (10,)], 1)
+        assert_same_plt(deserialize_plt(serialize_plt(plt)), plt)
+
+    def test_unicode_string_labels(self):
+        plt = PLT.from_transactions([("café", "naïve"), ("café",)], 1)
+        restored = deserialize_plt(serialize_plt(plt))
+        assert restored.rank_table.items() == ("café", "naïve")
+
+    def test_empty_plt(self):
+        plt = PLT.from_transactions([], 1)
+        assert_same_plt(deserialize_plt(serialize_plt(plt)), plt)
+
+    def test_mining_restored_plt_gives_same_result(self, paper_db, paper_plt):
+        from repro.core.conditional import mine_conditional
+
+        restored = deserialize_plt(serialize_plt(paper_plt))
+        assert sorted(mine_conditional(restored, 2)) == sorted(
+            mine_conditional(paper_plt, 2)
+        )
+
+
+class TestRejection:
+    def test_unsupported_label_type(self):
+        plt = PLT.from_transactions([((1, 2),)], 1)  # tuple item label
+        with pytest.raises(CodecError, match="int and str"):
+            serialize_plt(plt)
+
+    def test_bool_label_rejected(self):
+        plt = PLT.from_transactions([(True,)], 1)
+        with pytest.raises(CodecError):
+            serialize_plt(plt)
+
+    def test_negative_int_label_rejected(self):
+        plt = PLT.from_transactions([(-3,)], 1)
+        with pytest.raises(CodecError):
+            serialize_plt(plt)
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError, match="magic"):
+            deserialize_plt(b"NOPE\x00\x01")
+
+    def test_truncated(self, paper_plt):
+        blob = serialize_plt(paper_plt)
+        with pytest.raises(CodecError):
+            deserialize_plt(blob[: len(blob) // 2])
+
+    def test_trailing_garbage(self, paper_plt):
+        blob = serialize_plt(paper_plt)
+        with pytest.raises(CodecError, match="trailing"):
+            deserialize_plt(blob + b"\x00")
+
+    def test_corrupt_gzip(self, paper_plt):
+        blob = serialize_plt(paper_plt, gzip=True)
+        corrupted = blob[:6] + b"\xff" + blob[7:]
+        with pytest.raises(CodecError):
+            deserialize_plt(corrupted)
+
+    def test_too_short(self):
+        with pytest.raises(CodecError):
+            deserialize_plt(b"PLT")
+
+
+class TestSizes:
+    def test_varint_smaller_than_pickle(self):
+        db = generate_zipf(800, 80, 6.0, seed=13)
+        plt = PLT.from_transactions(db, 2)
+        report = encoded_size_report(plt)
+        assert report["plain"] < report["pickle"]
+        assert report["gzip"] < report["plain"]
+
+    def test_encoded_smaller_than_raw_text(self):
+        db = generate_zipf(800, 80, 6.0, seed=13)
+        plt = PLT.from_transactions(db, 2)
+        report = encoded_size_report(plt)
+        assert report["plain"] < report["raw_dat_estimate"]
+
+    def test_report_keys(self, paper_plt):
+        report = encoded_size_report(paper_plt)
+        assert set(report) == {"plain", "gzip", "pickle", "raw_dat_estimate"}
+        assert all(v >= 0 for v in report.values())

@@ -1,0 +1,112 @@
+"""Failure injection: corrupted byte streams must fail loudly, never
+silently return wrong data.
+
+Every mutation of a valid stream must either (a) raise ``CodecError`` or
+(b) decode to a structure whose vectors are all *valid* PLT vectors — a
+silent crash (non-Repro exception) or an invalid structure is a bug.
+"""
+
+import random
+
+import pytest
+
+from repro.compress.plt_codec import deserialize_plt, serialize_plt
+from repro.compress.store import PLTStore
+from repro.core import position
+from repro.core.plt import PLT
+from repro.errors import CodecError
+from tests.conftest import random_database
+
+
+@pytest.fixture(scope="module")
+def blob():
+    db = random_database(4242, max_items=10, max_transactions=40)
+    return serialize_plt(PLT.from_transactions(db, 1))
+
+
+def _check_decode(data: bytes) -> None:
+    try:
+        plt = deserialize_plt(data)
+    except CodecError:
+        return  # loud failure: fine
+    # decoded without error: the result must at least be structurally valid
+    for vec, freq in plt.vectors().items():
+        position.validate(vec)
+        assert freq >= 1
+
+
+class TestCodecFuzz:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_single_byte_flip(self, blob, seed):
+        rng = random.Random(seed)
+        data = bytearray(blob)
+        idx = rng.randrange(len(data))
+        data[idx] ^= 1 << rng.randrange(8)
+        _check_decode(bytes(data))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_truncation(self, blob, seed):
+        rng = random.Random(seed + 100)
+        cut = rng.randrange(len(blob))
+        _check_decode(blob[:cut])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_garbage(self, seed):
+        rng = random.Random(seed + 200)
+        data = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 200)))
+        with pytest.raises(CodecError):
+            # garbage essentially never carries the magic, so this must raise
+            deserialize_plt(data)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_garbage_with_valid_magic(self, seed):
+        rng = random.Random(seed + 300)
+        data = b"PLT1\x00" + bytes(rng.randrange(256) for _ in range(rng.randrange(200)))
+        _check_decode(data)
+
+    def test_byte_insertion(self, blob):
+        rng = random.Random(7)
+        for _ in range(10):
+            data = bytearray(blob)
+            data.insert(rng.randrange(len(data)), rng.randrange(256))
+            _check_decode(bytes(data))
+
+
+class TestStoreFuzz:
+    @pytest.fixture(scope="class")
+    def store_bytes(self, tmp_path_factory):
+        db = random_database(777, max_items=9, max_transactions=30)
+        plt = PLT.from_transactions(db, 1)
+        path = tmp_path_factory.mktemp("fuzz") / "s.plts"
+        PLTStore.write(plt, path)
+        return path.read_bytes()
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_mutated_store(self, store_bytes, tmp_path, seed):
+        rng = random.Random(seed)
+        data = bytearray(store_bytes)
+        idx = rng.randrange(len(data))
+        data[idx] ^= 1 << rng.randrange(8)
+        path = tmp_path / "m.plts"
+        path.write_bytes(bytes(data))
+        try:
+            with PLTStore(path) as store:
+                for s in store.sums():
+                    bucket = store.read_bucket(s)
+                    for vec, freq in bucket.items():
+                        position.validate(vec)
+                        assert freq >= 1
+        except CodecError:
+            pass  # loud failure: fine
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_truncated_store(self, store_bytes, tmp_path, seed):
+        rng = random.Random(seed + 50)
+        path = tmp_path / "t.plts"
+        path.write_bytes(store_bytes[: rng.randrange(len(store_bytes))])
+        try:
+            with PLTStore(path) as store:
+                for s in store.sums():
+                    store.read_bucket(s)
+        except CodecError:
+            pass

@@ -1,0 +1,92 @@
+"""Unit tests for the PLT indexes (sum index and length directory)."""
+
+import pytest
+
+from repro.compress.index import LengthIndex, SumIndex
+from repro.core.plt import PLT
+from repro.errors import ReproError
+from tests.conftest import random_database
+
+
+class TestSumIndex:
+    def test_buckets_match_plt_sum_index(self, paper_plt):
+        idx = SumIndex(paper_plt)
+        raw = paper_plt.sum_index()
+        assert set(idx.sums()) == set(raw)
+        for s in raw:
+            assert dict(idx.bucket(s)) == raw[s]
+
+    def test_sums_descending(self, paper_plt):
+        idx = SumIndex(paper_plt)
+        sums = idx.sums()
+        assert sums == sorted(sums, reverse=True)
+
+    def test_support_is_bucket_total(self, paper_plt):
+        idx = SumIndex(paper_plt)
+        # vectors ending at rank 4: CD, ABD, BCD, ABCD -> total freq 4
+        assert idx.support(4) == 4
+        assert idx.support(3) == 2  # ABC x2
+        assert idx.support(99) == 0
+
+    def test_contains_len(self, paper_plt):
+        idx = SumIndex(paper_plt)
+        assert 4 in idx and 99 not in idx
+        assert len(idx) == 2
+
+    def test_bucket_returns_copy(self, paper_plt):
+        idx = SumIndex(paper_plt)
+        b = idx.bucket(4)
+        b.clear()
+        assert idx.bucket(4)
+
+    def test_empty_plt(self):
+        idx = SumIndex(PLT.from_transactions([], 1))
+        assert idx.sums() == []
+        assert len(idx) == 0
+
+
+class TestLengthIndex:
+    def test_read_partition_roundtrip(self, paper_plt):
+        idx = LengthIndex(paper_plt)
+        for length in idx.lengths():
+            assert dict(idx.read_partition(length)) == paper_plt.partition(length)
+
+    def test_spans_are_disjoint_and_cover(self, paper_plt):
+        idx = LengthIndex(paper_plt)
+        spans = sorted(idx.span(k) for k in idx.lengths())
+        end = 0
+        for start, size in spans:
+            assert start == end
+            end = start + size
+        assert end == idx.total_bytes()
+
+    def test_missing_partition_raises(self, paper_plt):
+        idx = LengthIndex(paper_plt)
+        with pytest.raises(ReproError):
+            idx.span(99)
+
+    def test_n_vectors(self, paper_plt):
+        idx = LengthIndex(paper_plt)
+        assert idx.n_vectors(3) == 3
+        assert idx.n_vectors(99) == 0
+
+    def test_find_vector_point_query(self, paper_plt):
+        idx = LengthIndex(paper_plt)
+        assert idx.find_vector((1, 1, 1)) == 2
+        assert idx.find_vector((1, 1, 3)) is None  # right length, absent
+        assert idx.find_vector((9, 9, 9, 9, 9)) is None  # no such partition
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_roundtrip(self, seed):
+        db = random_database(seed + 400, max_items=10, max_transactions=50)
+        plt = PLT.from_transactions(db, 1)
+        idx = LengthIndex(plt)
+        for length in idx.lengths():
+            assert dict(idx.read_partition(length)) == plt.partition(length)
+        for vec, freq in plt.vectors().items():
+            assert idx.find_vector(vec) == freq
+
+    def test_empty(self):
+        idx = LengthIndex(PLT.from_transactions([], 1))
+        assert idx.lengths() == []
+        assert idx.total_bytes() == 0

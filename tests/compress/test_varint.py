@@ -1,0 +1,97 @@
+"""Unit tests for the varint codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compress.varint import (
+    decode_uvarint,
+    decode_uvarints,
+    encode_uvarint,
+    encode_uvarints,
+    uvarint_len,
+)
+from repro.errors import CodecError
+
+
+class TestSingleValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (16384, b"\x80\x80\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert bytes(encode_uvarint(value)) == expected
+        decoded, offset = decode_uvarint(expected)
+        assert decoded == value
+        assert offset == len(expected)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_uvarint(-1)
+        with pytest.raises(CodecError):
+            uvarint_len(-5)
+
+    def test_append_to_buffer(self):
+        buf = bytearray(b"\xff")
+        encode_uvarint(5, buf)
+        assert bytes(buf) == b"\xff\x05"
+
+    def test_truncated_stream(self):
+        with pytest.raises(CodecError, match="truncated"):
+            decode_uvarint(b"\x80")
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(CodecError, match="64 bits"):
+            decode_uvarint(b"\xff" * 10 + b"\x01")
+
+    def test_offset_decoding(self):
+        data = b"\x05\xac\x02"
+        v1, off = decode_uvarint(data, 0)
+        v2, off = decode_uvarint(data, off)
+        assert (v1, v2) == (5, 300)
+        assert off == 3
+
+
+class TestSequences:
+    def test_roundtrip(self):
+        values = [0, 1, 127, 128, 99999, 7]
+        blob = encode_uvarints(values)
+        decoded, offset = decode_uvarints(blob, len(values))
+        assert decoded == values
+        assert offset == len(blob)
+
+    def test_count_mismatch_raises(self):
+        blob = encode_uvarints([1, 2])
+        with pytest.raises(CodecError):
+            decode_uvarints(blob, 3)
+
+    def test_empty(self):
+        assert encode_uvarints([]) == b""
+        assert decode_uvarints(b"", 0) == ([], 0)
+
+
+class TestUvarintLen:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 16383, 16384, 2**40])
+    def test_matches_encoding(self, value):
+        assert uvarint_len(value) == len(encode_uvarint(value))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**63 - 1), max_size=50))
+def test_roundtrip_property(values):
+    blob = encode_uvarints(values)
+    decoded, offset = decode_uvarints(blob, len(values))
+    assert decoded == values
+    assert offset == len(blob)
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_small_values_are_small(value):
+    length = uvarint_len(value)
+    assert length == max(1, -(-value.bit_length() // 7))

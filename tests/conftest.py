@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.plt import PLT
+from repro.data.datasets import PAPER_EXAMPLE, PAPER_EXAMPLE_MIN_SUPPORT, paper_example
+from repro.data.transaction_db import TransactionDatabase
+
+#: Every full miner the facade exposes (serial ones; parallel tested apart).
+ALL_METHODS = (
+    "plt",
+    "plt-topdown",
+    "apriori",
+    "aprioritid",
+    "apriori-cd",
+    "partition",
+    "dic",
+    "fpgrowth",
+    "eclat",
+    "declat",
+    "hmine",
+)
+
+
+@pytest.fixture
+def paper_db() -> TransactionDatabase:
+    """Table 1 of the paper."""
+    return paper_example()
+
+
+@pytest.fixture
+def paper_min_support() -> int:
+    return PAPER_EXAMPLE_MIN_SUPPORT
+
+
+@pytest.fixture
+def paper_plt(paper_db, paper_min_support) -> PLT:
+    """The PLT of the worked example (Figure 3)."""
+    return PLT.from_transactions(paper_db, paper_min_support)
+
+
+def random_database(
+    seed: int,
+    *,
+    max_items: int = 10,
+    max_transactions: int = 40,
+    min_transactions: int = 1,
+) -> list[frozenset]:
+    """Deterministic random database for cross-checks."""
+    rng = random.Random(seed)
+    n_items = rng.randint(2, max_items)
+    n_tx = rng.randint(min_transactions, max_transactions)
+    return [
+        frozenset(rng.sample(range(n_items), rng.randint(1, n_items)))
+        for _ in range(n_tx)
+    ]
+
+
+@pytest.fixture
+def small_random_db() -> list[frozenset]:
+    return random_database(12345)

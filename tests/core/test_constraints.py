@@ -1,0 +1,134 @@
+"""Unit tests for constraint-based mining."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.constraints import mine_constrained, verify_antimonotone
+from repro.errors import InvalidSupportError
+from tests.conftest import random_database
+
+
+def filtered_oracle(db, min_support, *, required=(), excluded=(), predicate=None, max_len=None):
+    required, excluded = frozenset(required), frozenset(excluded)
+    out = {}
+    for itemset, sup in mine_bruteforce(db, min_support).items():
+        if not required <= itemset:
+            continue
+        if itemset & excluded:
+            continue
+        if max_len is not None and len(itemset) > max_len:
+            continue
+        items = tuple(sorted(itemset))
+        if predicate is not None and not predicate(items):
+            continue
+        out[items] = sup
+    return out
+
+
+class TestRequired:
+    def test_paper_example_requires_d(self, paper_db):
+        got = dict(mine_constrained(paper_db, 2, required={"D"}))
+        assert got == filtered_oracle(list(paper_db), 2, required={"D"})
+        assert all("D" in items for items in got)
+
+    def test_multiple_required(self, paper_db):
+        got = dict(mine_constrained(paper_db, 2, required={"A", "B"}))
+        assert got == {
+            ("A", "B"): 4,
+            ("A", "B", "C"): 3,
+            ("A", "B", "D"): 2,
+        }
+
+    def test_infrequent_required_item_gives_empty(self, paper_db):
+        assert mine_constrained(paper_db, 2, required={"E"}) == []
+
+    def test_unknown_required_item_gives_empty(self, paper_db):
+        assert mine_constrained(paper_db, 2, required={"Z"}) == []
+
+    def test_supports_are_full_database_counts(self, paper_db):
+        got = dict(mine_constrained(paper_db, 2, required={"C"}))
+        # support of {C} is 5 over the whole database
+        assert got[("C",)] == 5
+
+
+class TestExcluded:
+    def test_excluded_items_absent(self, paper_db):
+        got = dict(mine_constrained(paper_db, 2, excluded={"B"}))
+        assert got == filtered_oracle(list(paper_db), 2, excluded={"B"})
+        assert all("B" not in items for items in got)
+
+    def test_exclusion_does_not_change_other_supports(self, paper_db):
+        got = dict(mine_constrained(paper_db, 2, excluded={"B"}))
+        assert got[("A", "C")] == 3  # same as unconstrained
+
+    def test_required_and_excluded_conflict(self, paper_db):
+        with pytest.raises(InvalidSupportError, match="required and excluded"):
+            mine_constrained(paper_db, 2, required={"A"}, excluded={"A"})
+
+
+class TestPredicate:
+    def test_length_cap_predicate(self, paper_db):
+        pred = lambda items: len(items) <= 2  # noqa: E731
+        got = dict(mine_constrained(paper_db, 2, predicate=pred))
+        assert got == filtered_oracle(list(paper_db), 2, predicate=pred)
+
+    def test_weight_budget_predicate(self, paper_db):
+        prices = {"A": 3, "B": 1, "C": 5, "D": 2}
+        pred = lambda items: sum(prices[i] for i in items) <= 6  # noqa: E731
+        got = dict(mine_constrained(paper_db, 2, predicate=pred))
+        assert got == filtered_oracle(list(paper_db), 2, predicate=pred)
+
+    def test_predicate_prunes_subtrees_not_just_output(self, paper_db):
+        calls = []
+
+        def pred(items):
+            calls.append(items)
+            return len(items) <= 1
+
+        mine_constrained(paper_db, 2, predicate=pred)
+        # no itemset of size 3 was ever evaluated: its size-2 ancestor failed
+        assert all(len(c) <= 2 for c in calls)
+
+
+class TestCombined:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_constraint_combinations(self, seed):
+        import random
+
+        rng = random.Random(seed + 3000)
+        db = random_database(seed + 3000, max_items=8, max_transactions=30)
+        items = sorted({i for t in db for i in t})
+        required = set(rng.sample(items, min(len(items), rng.randint(0, 2))))
+        excluded = set(rng.sample(items, min(len(items), rng.randint(0, 2)))) - required
+        max_len = rng.choice([None, 2, 3])
+        got = dict(
+            mine_constrained(
+                db, 2, required=required, excluded=excluded, max_len=max_len
+            )
+        )
+        assert got == filtered_oracle(
+            db, 2, required=required, excluded=excluded, max_len=max_len
+        )
+
+    def test_no_constraints_equals_plain_mining(self, paper_db):
+        got = dict(mine_constrained(paper_db, 2))
+        assert got == filtered_oracle(list(paper_db), 2)
+
+    def test_relative_support_resolves_against_full_db(self, paper_db):
+        # 1/3 of 6 transactions = 2, even when required shrinks the rows
+        got = dict(mine_constrained(paper_db, 1 / 3, required={"D"}))
+        assert got[("A", "D")] == 2
+
+    def test_empty_database(self):
+        assert mine_constrained([], 1) == []
+
+
+class TestVerifyAntimonotone:
+    def test_passes_for_length_cap(self):
+        sets = [(1,), (1, 2), (1, 2, 3), (2, 3)]
+        assert verify_antimonotone(lambda s: len(s) <= 2, sets) is None
+
+    def test_catches_violation(self):
+        sets = [(1,), (1, 2), (1, 2, 3)]
+        violation = verify_antimonotone(lambda s: len(s) != 2, sets)
+        assert violation == ((1, 2), (1, 2, 3))

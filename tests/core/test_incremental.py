@@ -1,0 +1,144 @@
+"""Unit tests for incremental PLT maintenance."""
+
+import pytest
+
+from repro.core.incremental import IncrementalPLT
+from repro.core.mining import mine_frequent_itemsets
+from repro.core.conditional import mine_conditional
+from repro.core.plt import PLT
+from repro.data.datasets import PAPER_EXAMPLE
+from repro.errors import ReproError
+from tests.conftest import random_database
+
+
+def mine_snapshot(inc: IncrementalPLT, min_support: int) -> dict:
+    plt = inc.snapshot(min_support)
+    return {
+        frozenset(plt.rank_table.decode_ranks(r)): s
+        for r, s in mine_conditional(plt, min_support)
+    }
+
+
+class TestInsertion:
+    def test_snapshot_equals_batch_build(self):
+        inc = IncrementalPLT(PAPER_EXAMPLE)
+        snap = inc.snapshot(2)
+        batch = PLT.from_transactions(PAPER_EXAMPLE, 2)
+        assert snap.partitions == batch.partitions
+        assert snap.rank_table == batch.rank_table
+        assert snap.n_transactions == batch.n_transactions
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_incremental_equals_batch_random(self, seed):
+        db = random_database(seed + 1000)
+        inc = IncrementalPLT()
+        for t in db:
+            inc.add_transaction(t)
+        for min_support in (1, 2, 3):
+            got = mine_snapshot(inc, min_support)
+            expected = mine_frequent_itemsets(db, min_support).as_dict()
+            assert got == expected, min_support
+
+    def test_counts_maintained(self):
+        inc = IncrementalPLT()
+        inc.add_transaction({"a", "b"})
+        inc.add_transaction({"a"})
+        assert inc.n_transactions == 2
+        assert inc.item_support("a") == 2
+        assert inc.item_support("b") == 1
+        assert inc.item_support("z") == 0
+
+    def test_duplicate_transactions_aggregate(self):
+        inc = IncrementalPLT()
+        for _ in range(5):
+            inc.add_transaction({"x", "y"})
+        assert inc.n_vectors() == 1
+        assert inc.n_transactions == 5
+
+    def test_add_transactions_bulk(self):
+        inc = IncrementalPLT()
+        inc.add_transactions([{"a"}, {"b"}])
+        assert inc.n_transactions == 2
+
+    def test_item_arrival_order_is_rank_order(self):
+        inc = IncrementalPLT()
+        inc.add_transaction({"z"})
+        inc.add_transaction({"a"})
+        assert inc.items_seen() == ("z", "a")
+
+    def test_snapshot_reorders_lexicographically(self):
+        # arrival order z then a; the snapshot must still rank a < z
+        inc = IncrementalPLT()
+        inc.add_transaction({"z", "a"})
+        plt = inc.snapshot(1)
+        assert plt.rank_table.items() == ("a", "z")
+
+
+class TestDeletion:
+    def test_add_then_remove_is_identity(self):
+        base = [{"a", "b"}, {"b", "c"}]
+        inc = IncrementalPLT(base)
+        inc.add_transaction({"a", "c"})
+        inc.remove_transaction({"a", "c"})
+        expected = mine_frequent_itemsets(base, 1).as_dict()
+        assert mine_snapshot(inc, 1) == expected
+
+    def test_remove_unknown_raises(self):
+        inc = IncrementalPLT([{"a"}])
+        with pytest.raises(ReproError, match="not present"):
+            inc.remove_transaction({"b"})
+        with pytest.raises(ReproError):
+            inc.remove_transaction({"a", "q"})
+
+    def test_remove_beyond_multiplicity_raises(self):
+        inc = IncrementalPLT([{"a"}])
+        inc.remove_transaction({"a"})
+        with pytest.raises(ReproError):
+            inc.remove_transaction({"a"})
+
+    def test_item_counts_drop_to_zero(self):
+        inc = IncrementalPLT([{"a", "b"}])
+        inc.remove_transaction({"a", "b"})
+        assert inc.item_support("a") == 0
+        assert inc.n_transactions == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_interleaved_stream_random(self, seed):
+        import random
+
+        rng = random.Random(seed + 77)
+        inc = IncrementalPLT()
+        shadow: list[frozenset] = []
+        for _ in range(60):
+            if shadow and rng.random() < 0.3:
+                victim = rng.choice(shadow)
+                shadow.remove(victim)
+                inc.remove_transaction(victim)
+            else:
+                t = frozenset(rng.sample(range(6), rng.randint(1, 6)))
+                shadow.append(t)
+                inc.add_transaction(t)
+        for min_support in (1, 2):
+            if shadow:
+                expected = mine_frequent_itemsets(shadow, min_support).as_dict()
+                assert mine_snapshot(inc, min_support) == expected
+
+
+class TestSnapshotThresholds:
+    def test_relative_threshold(self):
+        inc = IncrementalPLT(PAPER_EXAMPLE)
+        assert inc.snapshot(1 / 3).min_support == 2
+
+    def test_higher_threshold_fewer_items(self):
+        inc = IncrementalPLT(PAPER_EXAMPLE)
+        assert len(inc.snapshot(5).rank_table) == 2  # only B, C
+        assert len(inc.snapshot(2).rank_table) == 4
+
+    def test_empty_structure(self):
+        inc = IncrementalPLT()
+        plt = inc.snapshot(1)
+        assert plt.n_vectors() == 0
+
+    def test_repr(self):
+        inc = IncrementalPLT([{"a"}])
+        assert "IncrementalPLT" in repr(inc)

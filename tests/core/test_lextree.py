@@ -1,0 +1,126 @@
+"""Unit tests for the explicit lexicographic tree (Figures 1-3b)."""
+
+import pytest
+
+from repro.core.lextree import LexNode, full_lexicographic_tree, plt_path_tree
+from repro.core.plt import PLT
+from repro.core.rank import RankTable
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def abcd_table():
+    return RankTable(["A", "B", "C", "D"])
+
+
+class TestFullTree:
+    def test_root_is_null(self, abcd_table):
+        tree = full_lexicographic_tree(abcd_table)
+        assert tree.is_root()
+        assert tree.item is None
+
+    def test_children_follow_lexicographic_order(self, abcd_table):
+        tree = full_lexicographic_tree(abcd_table)
+        assert [c.item for c in tree.children] == ["A", "B", "C", "D"]
+        a = tree.children[0]
+        assert [c.item for c in a.children] == ["B", "C", "D"]
+
+    def test_pos_annotations_are_rank_deltas(self, abcd_table):
+        tree = full_lexicographic_tree(abcd_table)
+        b = tree.children[1]
+        assert b.pos == 2  # Rank(B) - Rank(null)
+        d_under_b = b.children[-1]
+        assert d_under_b.pos == 2  # Rank(D) - Rank(B)
+
+    def test_n_nodes_power_set(self, abcd_table):
+        assert full_lexicographic_tree(abcd_table).n_nodes() == 15
+
+    def test_depth(self, abcd_table):
+        assert full_lexicographic_tree(abcd_table).depth() == 4
+
+    def test_itemsets_enumerate_power_set(self, abcd_table):
+        tree = full_lexicographic_tree(abcd_table)
+        itemsets = tree.itemsets()
+        assert len(itemsets) == 15
+        assert ("A", "C", "D") in itemsets
+
+    def test_find_path(self, abcd_table):
+        tree = full_lexicographic_tree(abcd_table)
+        node = tree.find_path((1, 3))
+        assert node is not None and node.item == "C"
+        assert tree.find_path((3, 1)) is None  # not lexicographic
+
+    def test_position_vector_matches_lemma(self, abcd_table):
+        tree = full_lexicographic_tree(abcd_table)
+        from repro.core.position import encode
+
+        for path in ((1,), (1, 2), (2, 4), (1, 3, 4), (1, 2, 3, 4)):
+            assert tree.position_vector(path) == encode(path)
+
+    def test_position_vector_missing_path(self, abcd_table):
+        tree = full_lexicographic_tree(abcd_table)
+        with pytest.raises(ReproError):
+            tree.position_vector((4, 3))
+
+    def test_size_guard(self):
+        table = RankTable(list(range(25)))
+        with pytest.raises(ReproError, match="didactic"):
+            full_lexicographic_tree(table)
+
+    def test_empty_table(self):
+        tree = full_lexicographic_tree(RankTable([]))
+        assert tree.n_nodes() == 0
+
+
+class TestPathTree:
+    def test_paths_match_vectors(self, paper_plt):
+        tree = plt_path_tree(paper_plt)
+        # ABC path exists with freq 2 at its end
+        node = tree.find_path((1, 2, 3))
+        assert node is not None and node.freq == 2
+        # ABCD continues past it with freq 1
+        node4 = tree.find_path((1, 2, 3, 4))
+        assert node4 is not None and node4.freq == 1
+
+    def test_shared_prefixes_share_nodes(self, paper_plt):
+        tree = plt_path_tree(paper_plt)
+        a = tree.find_path((1,))
+        assert a is not None
+        # A has a single child B (all A-transactions continue with B)
+        assert [c.rank for c in a.children] == [2]
+
+    def test_interior_nodes_without_vector_have_no_freq(self, paper_plt):
+        tree = plt_path_tree(paper_plt)
+        assert tree.find_path((1,)).freq is None
+        assert tree.find_path((1, 2)).freq is None
+
+    def test_pos_annotations(self, paper_plt):
+        tree = plt_path_tree(paper_plt)
+        cd_c = tree.find_path((3,))
+        assert cd_c.pos == 3
+        cd_d = tree.find_path((3, 4))
+        assert cd_d.pos == 1
+
+    def test_total_frequency_equals_encoded_transactions(self, paper_plt):
+        tree = plt_path_tree(paper_plt)
+        total = 0
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            if node.freq:
+                total += node.freq
+            stack.extend(node.children)
+        assert total == 6
+
+    def test_empty_plt(self):
+        plt = PLT.from_transactions([], 1)
+        tree = plt_path_tree(plt)
+        assert tree.n_nodes() == 0
+
+
+class TestLexNode:
+    def test_defaults(self):
+        node = LexNode()
+        assert node.is_root()
+        assert node.children == []
+        assert node.depth() == 0

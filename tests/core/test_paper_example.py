@@ -1,0 +1,188 @@
+"""Golden tests reproducing the paper's worked example (Table 1, Figures 2-5).
+
+Every expected value below is taken directly from the paper's text and
+figures for the database of Table 1 with absolute minimum support 2.
+"""
+
+import pytest
+
+from repro.core.conditional import conditional_database, mine_conditional
+from repro.core.lextree import full_lexicographic_tree
+from repro.core.mining import mine_frequent_itemsets
+from repro.core.plt import PLT
+from repro.core.position import decode
+from repro.core.topdown import topdown_subset_frequencies
+
+
+class TestStepOne:
+    """Section 4.2: frequent items and the Rank function."""
+
+    def test_frequent_one_items(self, paper_db):
+        frequent = paper_db.frequent_items(2)
+        assert frequent == {"A": 4, "B": 5, "C": 5, "D": 4}
+
+    def test_rank_assignment(self, paper_plt):
+        # "Rank(A)=1, Rank(B)=2, Rank(C)=3, Rank(D)=4"
+        assert [paper_plt.rank_table.rank(i) for i in "ABCD"] == [1, 2, 3, 4]
+
+    def test_infrequent_items_filtered(self, paper_plt):
+        assert "E" not in paper_plt.rank_table
+        assert "F" not in paper_plt.rank_table
+
+
+class TestFigure2:
+    """The PLT annotations on the lexicographic tree of {A,B,C,D}."""
+
+    def test_structure_and_positions(self, paper_plt):
+        tree = full_lexicographic_tree(paper_plt.rank_table)
+        # root children: A,B,C,D with pos = their ranks
+        assert [(c.item, c.pos) for c in tree.children] == [
+            ("A", 1),
+            ("B", 2),
+            ("C", 3),
+            ("D", 4),
+        ]
+        # "node C is a child of node A at level 2 and pos(C) = 2"
+        a = tree.children[0]
+        c_under_a = next(ch for ch in a.children if ch.item == "C")
+        assert c_under_a.pos == 2
+
+    def test_node_count_is_power_set(self, paper_plt):
+        tree = full_lexicographic_tree(paper_plt.rank_table)
+        assert tree.n_nodes() == 2**4 - 1
+
+    def test_position_vector_along_path(self, paper_plt):
+        tree = full_lexicographic_tree(paper_plt.rank_table)
+        # V({A,C,D}) = [1,2,1]
+        assert tree.position_vector((1, 3, 4)) == (1, 2, 1)
+
+
+class TestFigure3:
+    """The encoded database: matrix partitions (a)."""
+
+    EXPECTED = {
+        2: {(3, 1): 1},  # CD
+        3: {(1, 1, 1): 2, (1, 1, 2): 1, (2, 1, 1): 1},  # ABC x2, ABD, BCD
+        4: {(1, 1, 1, 1): 1},  # ABCD
+    }
+
+    def test_partitions_match_figure(self, paper_plt):
+        assert dict(paper_plt.partitions) == self.EXPECTED
+
+    def test_sums_stored_per_vector(self, paper_plt):
+        # the paper stores V.sum with each vector; our sum index recovers it
+        idx = paper_plt.sum_index()
+        assert idx[3] == {(1, 1, 1): 2}
+        assert idx[4] == {(3, 1): 1, (1, 1, 2): 1, (2, 1, 1): 1, (1, 1, 1, 1): 1}
+
+
+class TestFigure4:
+    """All subset frequencies after the top-down pass."""
+
+    # hand-derived from Table 1 (supports of every subset of {A,B,C,D})
+    EXPECTED = {
+        ("A",): 4,
+        ("B",): 5,
+        ("C",): 5,
+        ("D",): 4,
+        ("A", "B"): 4,
+        ("A", "C"): 3,
+        ("A", "D"): 2,
+        ("B", "C"): 4,
+        ("B", "D"): 3,
+        ("C", "D"): 3,
+        ("A", "B", "C"): 3,
+        ("A", "B", "D"): 2,
+        ("A", "C", "D"): 1,
+        ("B", "C", "D"): 2,
+        ("A", "B", "C", "D"): 1,
+    }
+
+    def test_every_subset_frequency(self, paper_plt):
+        counts = topdown_subset_frequencies(paper_plt)
+        got = {}
+        for bucket in counts.values():
+            for vec, freq in bucket.items():
+                items = paper_plt.rank_table.decode_ranks(decode(vec))
+                got[items] = freq
+        assert got == self.EXPECTED
+
+    def test_supports_match_database_scans(self, paper_db, paper_plt):
+        counts = topdown_subset_frequencies(paper_plt)
+        for bucket in counts.values():
+            for vec, freq in bucket.items():
+                items = paper_plt.rank_table.decode_ranks(decode(vec))
+                assert freq == paper_db.support_of(items)
+
+
+class TestFigure5:
+    """D's conditional database and the PLT after extraction."""
+
+    def test_support_of_d(self, paper_plt):
+        cd, support, _ = conditional_database(paper_plt, 4)
+        assert support == 4
+
+    def test_conditional_database_contents(self, paper_plt):
+        cd, _, _ = conditional_database(paper_plt, 4)
+        # prefixes of CD, ABD, BCD, ABCD
+        assert cd == {(3,): 1, (1, 1): 1, (2, 1): 1, (1, 1, 1): 1}
+
+    def test_plt_after_extraction(self, paper_plt):
+        _, _, remaining = conditional_database(paper_plt, 4)
+        # original D3 vector [1,1,1] (ABC, freq 2) plus migrated prefixes:
+        # ABC (from ABCD), AB (from ABD), BC (from BCD), C (from CD)
+        assert remaining[3] == {(1, 1, 1): 3, (2, 1): 1, (3,): 1}
+        assert remaining[2] == {(1, 1): 1}
+
+    def test_lower_rank_sees_migrated_counts(self, paper_plt):
+        # after consuming rank 4 then 3, item C's support must be 5
+        cd, support, _ = conditional_database(paper_plt, 3)
+        assert support == 5
+
+
+class TestFinalResult:
+    """The 13 frequent itemsets of the worked example."""
+
+    EXPECTED = {
+        frozenset("A"): 4,
+        frozenset("B"): 5,
+        frozenset("C"): 5,
+        frozenset("D"): 4,
+        frozenset("AB"): 4,
+        frozenset("AC"): 3,
+        frozenset("AD"): 2,
+        frozenset("BC"): 4,
+        frozenset("BD"): 3,
+        frozenset("CD"): 3,
+        frozenset("ABC"): 3,
+        frozenset("ABD"): 2,
+        frozenset("BCD"): 2,
+    }
+
+    @pytest.mark.parametrize(
+        "method",
+        [
+            "plt",
+            "plt-topdown",
+            "plt-parallel",
+            "apriori",
+            "aprioritid",
+            "apriori-cd",
+            "partition",
+            "dic",
+            "fpgrowth",
+            "eclat",
+            "declat",
+            "hmine",
+            "bruteforce",
+        ],
+    )
+    def test_all_methods_reproduce(self, paper_db, method):
+        result = mine_frequent_itemsets(paper_db, 2, method=method)
+        assert result.as_dict() == self.EXPECTED
+
+    def test_conditional_rank_output(self, paper_plt):
+        pairs = dict(mine_conditional(paper_plt, 2))
+        assert pairs[(1, 2)] == 4  # AB
+        assert pairs[(2, 3, 4)] == 2  # BCD
+        assert (1, 3, 4) not in pairs  # ACD has support 1

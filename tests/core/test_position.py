@@ -1,0 +1,248 @@
+"""Unit tests for the position-vector algebra (Lemmas 4.1.1-4.1.3)."""
+
+import pytest
+
+from repro.core import position
+from repro.errors import InvalidVectorError
+
+
+class TestEncode:
+    def test_single_item(self):
+        assert position.encode((3,)) == (3,)
+
+    def test_consecutive_ranks(self):
+        assert position.encode((1, 2, 3, 4)) == (1, 1, 1, 1)
+
+    def test_paper_example_acd(self):
+        # itemset {A, C, D} with Rank A=1, C=3, D=4 -> [1, 2, 1]
+        assert position.encode((1, 3, 4)) == (1, 2, 1)
+
+    def test_first_rank_is_delta_from_zero(self):
+        # Rank(null) = 0, so the first position equals the first rank
+        assert position.encode((5,)) == (5,)
+        assert position.encode((5, 9)) == (5, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            position.encode(())
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            position.encode((2, 2))
+        with pytest.raises(InvalidVectorError):
+            position.encode((3, 1))
+
+    def test_nonpositive_rank_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            position.encode((0, 1))
+        with pytest.raises(InvalidVectorError):
+            position.encode((-1, 2))
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        ranks = (2, 5, 6, 10)
+        assert position.decode(position.encode(ranks)) == ranks
+
+    def test_decode_is_cumulative_sum(self):
+        # Lemma 4.1.1: Rank(x_i) = sum of the first i positions
+        assert position.decode((1, 2, 1)) == (1, 3, 4)
+
+    def test_invalid_vector_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            position.decode((1, 0))
+        with pytest.raises(InvalidVectorError):
+            position.decode(())
+
+
+class TestVectorSum:
+    def test_sum_is_last_rank(self):
+        vec = position.encode((1, 3, 4))
+        assert position.vector_sum(vec) == 4
+
+    def test_singleton(self):
+        assert position.vector_sum((7,)) == 7
+
+
+class TestValidate:
+    def test_valid(self):
+        position.validate((1, 2, 3))  # no raise
+
+    @pytest.mark.parametrize(
+        "bad", [(), (0,), (1, -1), (1.5,), ("a",), (True,), [1, 2], (1, 0, 2)]
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(InvalidVectorError):
+            position.validate(bad)
+
+    def test_is_valid_boolean(self):
+        assert position.is_valid((1, 1))
+        assert not position.is_valid((0,))
+        assert not position.is_valid("nope")
+
+
+class TestSubsetOperations:
+    def test_drop_last(self):
+        assert position.drop_last((1, 2, 1)) == (1, 2)
+        assert position.drop_last((5,)) == ()
+
+    def test_merge_at_keeps_remaining_ranks(self):
+        # removing C from {A, C, D}: [1,2,1] -> [3,1] which decodes to (3,4)? no:
+        # ranks (1,3,4); removing rank 3 (index 1) -> (1,4) -> deltas (1,3)
+        assert position.merge_at((1, 2, 1), 1) == (1, 3)
+        assert position.decode((1, 3)) == (1, 4)
+
+    def test_merge_at_first(self):
+        # removing A from {A, C, D}: -> {C, D} = ranks (3,4) = (3,1)
+        assert position.merge_at((1, 2, 1), 0) == (3, 1)
+
+    def test_merge_out_of_range(self):
+        with pytest.raises(InvalidVectorError):
+            position.merge_at((1, 2), 1)  # index 1 has no right neighbour
+        with pytest.raises(InvalidVectorError):
+            position.merge_at((1, 2), -1)
+
+    def test_remove_index_dispatch(self):
+        vec = (1, 2, 1)
+        assert position.remove_index(vec, 2) == (1, 2)  # drop last
+        assert position.remove_index(vec, 0) == (3, 1)  # merge
+        assert position.remove_index((4,), 0) == ()
+
+    def test_remove_index_out_of_range(self):
+        with pytest.raises(InvalidVectorError):
+            position.remove_index((1, 2), 2)
+
+    def test_remove_rank(self):
+        vec = position.encode((1, 3, 4))
+        assert position.remove_rank(vec, 3) == position.encode((1, 4))
+        assert position.remove_rank(vec, 4) == position.encode((1, 3))
+        assert position.remove_rank(vec, 1) == position.encode((3, 4))
+
+    def test_remove_rank_absent(self):
+        with pytest.raises(InvalidVectorError):
+            position.remove_rank((1, 2, 1), 2)  # rank 2 not on the path
+
+    def test_level_down_subsets_complete(self):
+        # Lemma 4.1.3: every (k-1)-subset, each exactly once
+        vec = position.encode((2, 3, 5, 9))
+        subsets = position.level_down_subsets(vec)
+        expected = {
+            position.encode((3, 5, 9)),
+            position.encode((2, 5, 9)),
+            position.encode((2, 3, 9)),
+            position.encode((2, 3, 5)),
+        }
+        assert set(subsets) == expected
+        assert len(subsets) == len(expected)
+
+    def test_level_down_of_singleton_is_empty(self):
+        assert position.level_down_subsets((3,)) == []
+
+    def test_level_down_matches_lemma_forms(self):
+        # form (a): prefix; forms (b): consecutive-sum replacements
+        vec = (2, 1, 3)
+        subs = position.level_down_subsets(vec)
+        assert (2, 1) in subs  # form (a)
+        assert (3, 3) in subs  # merge positions 0,1
+        assert (2, 4) in subs  # merge positions 1,2
+
+
+class TestAllSubsetVectors:
+    def test_counts_power_set(self):
+        vec = position.encode((1, 4, 6))
+        subsets = list(position.all_subset_vectors(vec))
+        assert len(subsets) == 2**3 - 1
+        assert len(set(subsets)) == len(subsets)
+
+    def test_all_are_subvectors(self):
+        vec = position.encode((2, 3, 7, 8))
+        for sub in position.all_subset_vectors(vec):
+            assert position.is_subvector(sub, vec)
+
+
+class TestContainsRank:
+    def test_present(self):
+        vec = position.encode((2, 5, 9))
+        for r in (2, 5, 9):
+            assert position.contains_rank(vec, r)
+
+    def test_absent(self):
+        vec = position.encode((2, 5, 9))
+        for r in (1, 3, 4, 6, 10):
+            assert not position.contains_rank(vec, r)
+
+    def test_rank_index(self):
+        vec = position.encode((2, 5, 9))
+        assert position.rank_index(vec, 2) == 0
+        assert position.rank_index(vec, 5) == 1
+        assert position.rank_index(vec, 9) == 2
+
+    def test_rank_index_absent(self):
+        with pytest.raises(InvalidVectorError):
+            position.rank_index(position.encode((2, 5)), 3)
+
+
+class TestIsSubvector:
+    def test_reflexive(self):
+        vec = position.encode((1, 3, 8))
+        assert position.is_subvector(vec, vec)
+
+    def test_true_subset(self):
+        sup = position.encode((1, 3, 4, 7))
+        assert position.is_subvector(position.encode((3, 7)), sup)
+        assert position.is_subvector(position.encode((1,)), sup)
+        assert position.is_subvector(position.encode((1, 4)), sup)
+
+    def test_not_subset(self):
+        sup = position.encode((1, 3, 4, 7))
+        assert not position.is_subvector(position.encode((2,)), sup)
+        assert not position.is_subvector(position.encode((3, 5)), sup)
+        assert not position.is_subvector(position.encode((1, 3, 4, 7, 9)), sup)
+
+    def test_longer_sub_rejected_fast(self):
+        assert not position.is_subvector((1, 1, 1), (1, 1))
+
+    def test_equal_sums_different_sets(self):
+        # {4} vs {1,3}: same total, not a subset
+        assert not position.is_subvector((4,), (1, 2))
+        assert position.is_subvector((3,), (1, 2))
+
+    def test_merge_variant_agrees(self):
+        import itertools
+
+        universe = [1, 2, 3, 4, 5]
+        sets = []
+        for r in range(1, 5):
+            sets.extend(itertools.combinations(universe, r))
+        for a in sets:
+            for b in sets:
+                va, vb = position.encode(a), position.encode(b)
+                expected = set(a) <= set(b)
+                assert position.is_subvector(va, vb) == expected
+                assert position.is_subvector_merge(va, vb) == expected
+
+
+class TestRestrictToRanks:
+    def test_keep_all(self):
+        vec = position.encode((2, 5, 9))
+        assert position.restrict_to_ranks(vec, {2, 5, 9}) == vec
+
+    def test_keep_none(self):
+        assert position.restrict_to_ranks((1, 2), {7}) == ()
+
+    def test_partial(self):
+        vec = position.encode((2, 5, 9))
+        assert position.restrict_to_ranks(vec, {5}) == (5,)
+        assert position.restrict_to_ranks(vec, {2, 9}) == position.encode((2, 9))
+
+    def test_extra_ranks_ignored(self):
+        vec = position.encode((2, 5))
+        assert position.restrict_to_ranks(vec, {1, 2, 3, 5, 6}) == vec
+
+    def test_equivalent_to_repeated_removal(self):
+        vec = position.encode((1, 4, 6, 7, 10))
+        keep = {4, 7}
+        expected = vec
+        for r in (10, 6, 1):  # remove high-to-low to keep indices stable
+            expected = position.remove_rank(expected, r)
+        assert position.restrict_to_ranks(vec, keep) == expected

@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the position-vector lemmas."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import position
+
+# strictly increasing positive rank tuples
+ranks_strategy = st.lists(
+    st.integers(min_value=1, max_value=200), min_size=1, max_size=12, unique=True
+).map(lambda xs: tuple(sorted(xs)))
+
+vectors_strategy = ranks_strategy.map(position.encode)
+
+
+@given(ranks_strategy)
+def test_encode_decode_roundtrip(ranks):
+    """Lemma 4.1.2: the encoding is a bijection."""
+    assert position.decode(position.encode(ranks)) == ranks
+
+
+@given(ranks_strategy, ranks_strategy)
+def test_encoding_injective(a, b):
+    """Distinct itemsets never share a vector (uniqueness, Lemma 4.1.2)."""
+    if a != b:
+        assert position.encode(a) != position.encode(b)
+    else:
+        assert position.encode(a) == position.encode(b)
+
+
+@given(vectors_strategy)
+def test_sum_is_max_rank(vec):
+    """Lemma 4.1.1: the vector sum is the rank of the maximal item."""
+    assert position.vector_sum(vec) == position.decode(vec)[-1]
+
+
+@given(vectors_strategy)
+def test_prefix_sums_are_ranks(vec):
+    """Lemma 4.1.1 for every i, not just the last."""
+    ranks = position.decode(vec)
+    for i in range(1, len(vec) + 1):
+        assert sum(vec[:i]) == ranks[i - 1]
+
+
+@given(vectors_strategy)
+def test_level_down_subsets_are_exactly_k_minus_1_subsets(vec):
+    """Lemma 4.1.3: the k generated vectors are precisely the (k-1)-subsets."""
+    ranks = position.decode(vec)
+    expected = {
+        position.encode(combo)
+        for combo in itertools.combinations(ranks, len(ranks) - 1)
+        if combo
+    }
+    got = set(position.level_down_subsets(vec))
+    assert got == expected
+
+
+@given(vectors_strategy, st.data())
+def test_merge_at_removes_exactly_one_item(vec, data):
+    if len(vec) < 2:
+        return
+    i = data.draw(st.integers(min_value=0, max_value=len(vec) - 2))
+    ranks = position.decode(vec)
+    merged = position.merge_at(vec, i)
+    assert position.decode(merged) == ranks[:i] + ranks[i + 1 :]
+
+
+@given(vectors_strategy, st.data())
+def test_remove_rank_then_ranks_match(vec, data):
+    ranks = position.decode(vec)
+    r = data.draw(st.sampled_from(ranks))
+    removed = position.remove_rank(vec, r)
+    if removed:
+        assert position.decode(removed) == tuple(x for x in ranks if x != r)
+    else:
+        assert len(ranks) == 1
+
+
+@given(ranks_strategy, ranks_strategy)
+def test_is_subvector_matches_set_semantics(a, b):
+    va, vb = position.encode(a), position.encode(b)
+    assert position.is_subvector(va, vb) == (set(a) <= set(b))
+
+
+@given(ranks_strategy, ranks_strategy)
+def test_merge_based_check_agrees_with_two_pointer(a, b):
+    va, vb = position.encode(a), position.encode(b)
+    assert position.is_subvector(va, vb) == position.is_subvector_merge(va, vb)
+
+
+@given(vectors_strategy, st.sets(st.integers(min_value=1, max_value=200)))
+def test_restrict_to_ranks_projects(vec, keep):
+    ranks = position.decode(vec)
+    kept_ranks = tuple(r for r in ranks if r in keep)
+    restricted = position.restrict_to_ranks(vec, keep)
+    if kept_ranks:
+        assert position.decode(restricted) == kept_ranks
+    else:
+        assert restricted == ()
+
+
+@given(vectors_strategy)
+def test_contains_rank_agrees_with_decode(vec):
+    ranks = set(position.decode(vec))
+    for r in range(1, position.vector_sum(vec) + 2):
+        assert position.contains_rank(vec, r) == (r in ranks)
+
+
+@settings(max_examples=40)
+@given(ranks_strategy)
+def test_all_subset_vectors_enumerates_power_set(ranks):
+    if len(ranks) > 8:
+        ranks = ranks[:8]
+    vec = position.encode(ranks)
+    subs = list(position.all_subset_vectors(vec))
+    assert len(subs) == 2 ** len(ranks) - 1
+    assert len(set(subs)) == len(subs)
+    for sub in subs:
+        assert set(position.decode(sub)) <= set(ranks)

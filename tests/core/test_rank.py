@@ -1,0 +1,150 @@
+"""Unit tests for the Rank function / RankTable."""
+
+import pytest
+
+from repro.core.rank import ORDER_POLICIES, RankTable, sort_key
+from repro.errors import UnknownItemError
+
+
+class TestConstruction:
+    def test_ranks_are_one_based_in_order(self):
+        table = RankTable(["A", "B", "C"])
+        assert table.rank("A") == 1
+        assert table.rank("B") == 2
+        assert table.rank("C") == 3
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError):
+            RankTable(["A", "A"])
+
+    def test_empty_table(self):
+        table = RankTable([])
+        assert len(table) == 0
+        assert list(table.ranks()) == []
+
+    def test_from_items_sorts_lexicographically(self):
+        table = RankTable.from_items(["C", "A", "B", "A"])
+        assert table.items() == ("A", "B", "C")
+
+    def test_from_items_rejects_other_policies(self):
+        with pytest.raises(ValueError):
+            RankTable.from_items(["A"], order="support_desc")
+
+
+class TestFromSupports:
+    SUPPORTS = {"A": 4, "B": 5, "C": 5, "D": 4, "E": 1, "F": 1}
+
+    def test_paper_example_filtering(self):
+        table = RankTable.from_supports(self.SUPPORTS, min_support=2)
+        assert table.items() == ("A", "B", "C", "D")
+        assert "E" not in table and "F" not in table
+
+    def test_lexicographic_order_is_default(self):
+        table = RankTable.from_supports(self.SUPPORTS, min_support=2)
+        assert [table.rank(i) for i in "ABCD"] == [1, 2, 3, 4]
+
+    def test_support_desc_order(self):
+        table = RankTable.from_supports(self.SUPPORTS, min_support=2, order="support_desc")
+        # B and C tie at 5 (lexicographic tiebreak), then A and D at 4
+        assert table.items() == ("B", "C", "A", "D")
+
+    def test_support_asc_order(self):
+        table = RankTable.from_supports(self.SUPPORTS, min_support=2, order="support_asc")
+        assert table.items() == ("A", "D", "B", "C")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RankTable.from_supports(self.SUPPORTS, order="random")
+
+    def test_policies_constant_is_complete(self):
+        assert set(ORDER_POLICIES) == {"lexicographic", "support_asc", "support_desc"}
+
+    def test_all_items_filtered(self):
+        table = RankTable.from_supports({"A": 1}, min_support=5)
+        assert len(table) == 0
+
+
+class TestLookups:
+    def test_item_inverse_of_rank(self):
+        table = RankTable(["x", "y", "z"])
+        for item in table.items():
+            assert table.item(table.rank(item)) == item
+
+    def test_unknown_item_raises(self):
+        table = RankTable(["x"])
+        with pytest.raises(UnknownItemError):
+            table.rank("missing")
+
+    def test_out_of_range_rank_raises(self):
+        table = RankTable(["x"])
+        with pytest.raises(UnknownItemError):
+            table.item(0)
+        with pytest.raises(UnknownItemError):
+            table.item(2)
+
+    def test_contains(self):
+        table = RankTable(["x", "y"])
+        assert "x" in table
+        assert "q" not in table
+
+    def test_ranks_range(self):
+        table = RankTable(list("ABCDE"))
+        assert list(table.ranks()) == [1, 2, 3, 4, 5]
+
+    def test_equality_and_hash(self):
+        a = RankTable(["A", "B"])
+        b = RankTable(["A", "B"], order="other")
+        c = RankTable(["B", "A"])
+        assert a == b  # order policy label is informational only
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_repr_truncates(self):
+        table = RankTable(list(range(10)))
+        assert "..." in repr(table)
+        assert "..." not in repr(RankTable([1, 2]))
+
+
+class TestEncodeDecode:
+    def test_encode_sorts_and_dedups(self):
+        table = RankTable(["A", "B", "C", "D"])
+        assert table.encode_itemset(["D", "A", "A"]) == (1, 4)
+
+    def test_encode_unknown_raises(self):
+        table = RankTable(["A"])
+        with pytest.raises(UnknownItemError):
+            table.encode_itemset(["A", "Z"])
+
+    def test_encode_skip_unknown(self):
+        table = RankTable(["A", "C"])
+        assert table.encode_itemset(["A", "B", "C"], skip_unknown=True) == (1, 2)
+        assert table.encode_itemset(["B"], skip_unknown=True) == ()
+
+    def test_decode_ranks(self):
+        table = RankTable(["A", "B", "C"])
+        assert table.decode_ranks((3, 1)) == ("C", "A")
+
+    def test_roundtrip(self):
+        table = RankTable(list("ABCDEFG"))
+        itemset = ("B", "E", "G")
+        assert table.decode_ranks(table.encode_itemset(itemset)) == itemset
+
+
+class TestSortKey:
+    def test_ints(self):
+        assert sorted([3, 1, 2], key=sort_key) == [1, 2, 3]
+
+    def test_strings(self):
+        assert sorted(["b", "a"], key=sort_key) == ["a", "b"]
+
+    def test_mixed_types_grouped_by_type(self):
+        out = sorted([2, "a", 1, "b"], key=sort_key)
+        assert out == [1, 2, "a", "b"]
+
+    def test_tuples(self):
+        assert sorted([(2, 1), (1, 9)], key=sort_key) == [(1, 9), (2, 1)]
+
+    def test_unorderable_objects_fall_back_to_repr(self):
+        a, b = object(), object()
+        out = sorted([a, b], key=sort_key)
+        assert set(out) == {a, b}  # just must not raise, order is by repr

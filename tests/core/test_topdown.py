@@ -1,0 +1,137 @@
+"""Unit tests for Algorithm 2 (top-down mining)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.bruteforce import support_counts_bruteforce
+from repro.core.plt import PLT
+from repro.core.position import decode
+from repro.core.topdown import (
+    DEFAULT_WORK_LIMIT,
+    estimate_topdown_work,
+    mine_topdown,
+    subset_frequencies_flat,
+    topdown_subset_frequencies,
+)
+from repro.errors import InvalidSupportError, TopDownExplosionError
+from tests.conftest import random_database
+
+
+def _subset_counts_via_topdown(db, min_support=1):
+    plt = PLT.from_transactions(db, min_support)
+    counts = topdown_subset_frequencies(plt)
+    table = plt.rank_table
+    return {
+        frozenset(table.decode_ranks(decode(vec))): freq
+        for bucket in counts.values()
+        for vec, freq in bucket.items()
+    }
+
+
+class TestNoDuplication:
+    """The paper's central top-down claim: every subset exactly once."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_bruteforce_subset_counts(self, seed):
+        db = random_database(seed, max_items=7, max_transactions=20)
+        truth = support_counts_bruteforce(db)
+        got = _subset_counts_via_topdown(db)
+        assert got == dict(truth)
+
+    def test_single_transaction_counts_power_set(self):
+        db = [("a", "b", "c", "d")]
+        got = _subset_counts_via_topdown(db)
+        assert len(got) == 2**4 - 1
+        assert all(f == 1 for f in got.values())
+
+    def test_duplicate_transactions_scale_counts(self):
+        db = [("a", "b", "c")] * 5
+        got = _subset_counts_via_topdown(db)
+        assert set(got.values()) == {5}
+
+    def test_overlapping_transactions_accumulate(self):
+        db = [("a", "b"), ("b", "c"), ("a", "b", "c")]
+        got = _subset_counts_via_topdown(db)
+        assert got[frozenset("b")] == 3
+        assert got[frozenset("ab")] == 2
+        assert got[frozenset("abc")] == 1
+
+
+class TestMineTopdown:
+    def test_filters_by_support(self, paper_plt):
+        pairs = dict(mine_topdown(paper_plt, 2))
+        assert (1, 3, 4) not in pairs  # ACD freq 1
+        assert pairs[(1, 2)] == 4
+
+    def test_default_support_from_plt(self, paper_plt):
+        assert dict(mine_topdown(paper_plt)) == dict(mine_topdown(paper_plt, 2))
+
+    def test_max_len(self, paper_plt):
+        pairs = mine_topdown(paper_plt, 2, max_len=1)
+        assert all(len(ranks) == 1 for ranks, _ in pairs)
+        assert len(pairs) == 4
+
+    def test_invalid_support(self, paper_plt):
+        with pytest.raises(InvalidSupportError):
+            mine_topdown(paper_plt, 0)
+
+    def test_results_sorted_rank_tuples(self, paper_plt):
+        for ranks, _ in mine_topdown(paper_plt, 2):
+            assert list(ranks) == sorted(ranks)
+
+
+class TestWorkLimit:
+    def test_estimate_grows_with_length(self):
+        db_short = [("a", "b")] * 3
+        db_long = [tuple("abcdefghij")] * 3
+        plt_s = PLT.from_transactions(db_short, 1)
+        plt_l = PLT.from_transactions(db_long, 1)
+        assert estimate_topdown_work(plt_l) > estimate_topdown_work(plt_s)
+
+    def test_explosion_guard_raises(self):
+        db = [tuple(range(30))]
+        plt = PLT.from_transactions(db, 1)
+        with pytest.raises(TopDownExplosionError):
+            topdown_subset_frequencies(plt, work_limit=1000)
+
+    def test_guard_disabled_with_none(self):
+        db = [tuple(range(12))]
+        plt = PLT.from_transactions(db, 1)
+        counts = topdown_subset_frequencies(plt, work_limit=None)
+        assert sum(len(b) for b in counts.values()) == 2**12 - 1
+
+    def test_default_limit_allows_small_inputs(self, paper_plt):
+        assert estimate_topdown_work(paper_plt) < DEFAULT_WORK_LIMIT
+
+
+class TestSubsetFrequenciesShape:
+    def test_keyed_by_length(self, paper_plt):
+        counts = topdown_subset_frequencies(paper_plt)
+        for length, bucket in counts.items():
+            for vec in bucket:
+                assert len(vec) == length
+
+    def test_flat_helper(self, paper_plt):
+        counts = topdown_subset_frequencies(paper_plt)
+        flat = subset_frequencies_flat(counts)
+        assert len(flat) == sum(len(b) for b in counts.values())
+        assert flat[(1, 1)] == 4  # AB
+
+    def test_empty_plt(self):
+        plt = PLT.from_transactions([], 1)
+        assert topdown_subset_frequencies(plt) == {}
+        assert mine_topdown(plt, 1) == []
+
+
+class TestAgainstConditional:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_frequent_sets(self, seed):
+        from repro.core.conditional import mine_conditional
+
+        db = random_database(seed + 100, max_items=8, max_transactions=30)
+        for min_support in (1, 2, 3):
+            plt = PLT.from_transactions(db, min_support)
+            a = sorted(mine_topdown(plt, min_support))
+            b = sorted(mine_conditional(plt, min_support))
+            assert a == b

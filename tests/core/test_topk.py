@@ -1,0 +1,98 @@
+"""Unit tests for top-k frequent-itemset mining."""
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.plt import PLT
+from repro.core.topk import mine_top_k
+from repro.errors import InvalidSupportError
+from tests.conftest import random_database
+
+
+def oracle_top_k(db, k, *, min_len=1, max_len=None):
+    """Ground truth: sort all itemsets, take everything >= k-th support."""
+    counts = mine_bruteforce(db, 1)
+    eligible = sorted(
+        (
+            (sup, itemset)
+            for itemset, sup in counts.items()
+            if len(itemset) >= min_len
+            and (max_len is None or len(itemset) <= max_len)
+        ),
+        key=lambda p: -p[0],
+    )
+    if not eligible:
+        return set()
+    cutoff = eligible[min(k, len(eligible)) - 1][0] if len(eligible) >= k else 1
+    return {(s, i) for s, i in eligible if s >= cutoff}
+
+
+def as_sets(plt, pairs):
+    return {
+        (s, frozenset(plt.rank_table.decode_ranks(r))) for r, s in pairs
+    }
+
+
+class TestTopK:
+    def test_paper_example_top_1(self, paper_db, paper_plt):
+        pairs = mine_top_k(paper_plt, 1)
+        # B and C tie at support 5
+        assert as_sets(paper_plt, pairs) == {(5, frozenset("B")), (5, frozenset("C"))}
+
+    def test_paper_example_top_5(self, paper_db, paper_plt):
+        pairs = mine_top_k(paper_plt, 5)
+        assert as_sets(paper_plt, pairs) == oracle_top_k(list(paper_db), 5)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", (1, 4, 20))
+    def test_random(self, seed, k):
+        db = random_database(seed + 2400, max_items=8, max_transactions=25)
+        plt = PLT.from_transactions(db, 1)
+        assert as_sets(plt, mine_top_k(plt, k)) == oracle_top_k(db, k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_min_len(self, seed):
+        db = random_database(seed + 2500, max_items=7, max_transactions=25)
+        plt = PLT.from_transactions(db, 1)
+        got = as_sets(plt, mine_top_k(plt, 5, min_len=2))
+        assert got == oracle_top_k(db, 5, min_len=2)
+        assert all(len(i) >= 2 for _, i in got)
+
+    def test_max_len(self, paper_plt, paper_db):
+        got = as_sets(paper_plt, mine_top_k(paper_plt, 3, max_len=1))
+        assert got == oracle_top_k(list(paper_db), 3, max_len=1)
+
+    def test_k_larger_than_universe(self, paper_db):
+        # build at min_support=1 so E and F survive into the structure
+        plt = PLT.from_transactions(paper_db, 1)
+        pairs = mine_top_k(plt, 10_000)
+        # everything that occurs is returned
+        assert len(pairs) == len(mine_bruteforce(list(paper_db), 1))
+
+    def test_sorted_by_support_desc(self, paper_plt):
+        pairs = mine_top_k(paper_plt, 8)
+        supports = [s for _, s in pairs]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_invalid_arguments(self, paper_plt):
+        with pytest.raises(InvalidSupportError):
+            mine_top_k(paper_plt, 0)
+        with pytest.raises(InvalidSupportError):
+            mine_top_k(paper_plt, 3, min_len=0)
+        with pytest.raises(InvalidSupportError):
+            mine_top_k(paper_plt, 3, min_len=3, max_len=2)
+
+    def test_empty_plt(self):
+        plt = PLT.from_transactions([], 1)
+        assert mine_top_k(plt, 5) == []
+
+    def test_result_matches_threshold_mining(self, paper_plt):
+        """Top-k equals mining at the discovered cutoff support."""
+        from repro.core.conditional import mine_conditional
+
+        pairs = mine_top_k(paper_plt, 6)
+        cutoff = min(s for _, s in pairs)
+        threshold_result = [
+            (r, s) for r, s in mine_conditional(paper_plt, cutoff)
+        ]
+        assert sorted(pairs) == sorted(threshold_result)

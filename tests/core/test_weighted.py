@@ -1,0 +1,64 @@
+"""Unit tests for weighted-transaction PLT construction."""
+
+import pytest
+
+from repro.core.conditional import mine_conditional
+from repro.core.plt import PLT
+from repro.errors import InvalidSupportError
+from tests.conftest import random_database
+
+
+class TestWeighted:
+    def test_equals_expanded_multiset(self):
+        pairs = [({"a", "b"}, 3), ({"a"}, 2), ({"b", "c"}, 1)]
+        weighted = PLT.from_weighted_transactions(pairs, 2)
+        expanded = PLT.from_transactions(
+            [t for t, w in pairs for _ in range(w)], 2
+        )
+        assert weighted == expanded
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_equivalence(self, seed):
+        import random
+
+        rng = random.Random(seed + 3100)
+        db = random_database(seed + 3100, max_items=7, max_transactions=15)
+        pairs = [(t, rng.randint(1, 8)) for t in db]
+        for min_support in (1, 3, 6):
+            weighted = PLT.from_weighted_transactions(pairs, min_support)
+            expanded = PLT.from_transactions(
+                [t for t, w in pairs for _ in range(w)], min_support
+            )
+            assert weighted == expanded
+            assert sorted(mine_conditional(weighted, min_support)) == sorted(
+                mine_conditional(expanded, min_support)
+            )
+
+    def test_n_transactions_is_total_weight(self):
+        plt = PLT.from_weighted_transactions([({"x"}, 10), ({"y"}, 5)], 1)
+        assert plt.n_transactions == 15
+
+    def test_relative_support_in_weight_units(self):
+        plt = PLT.from_weighted_transactions([({"x"}, 9), ({"y"}, 1)], 0.5)
+        assert plt.min_support == 5
+        assert "x" in plt.rank_table
+        assert "y" not in plt.rank_table  # weight 1 < 5
+
+    def test_huge_weights_stay_cheap(self):
+        plt = PLT.from_weighted_transactions([({"a", "b"}, 10**9)], 1)
+        assert plt.n_vectors() == 1
+        assert plt.item_support("a") == 10**9
+
+    def test_invalid_weight(self):
+        with pytest.raises(InvalidSupportError):
+            PLT.from_weighted_transactions([({"a"}, 0)], 1)
+        with pytest.raises(InvalidSupportError):
+            PLT.from_weighted_transactions([({"a"}, -3)], 1)
+
+    def test_empty_input(self):
+        plt = PLT.from_weighted_transactions([], 1)
+        assert plt.n_vectors() == 0
+
+    def test_duplicate_transactions_merge_weights(self):
+        plt = PLT.from_weighted_transactions([({"a"}, 2), ({"a"}, 3)], 1)
+        assert plt.partition(1) == {(1,): 5}

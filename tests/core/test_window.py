@@ -1,0 +1,81 @@
+"""Unit tests for sliding-window mining."""
+
+import pytest
+
+from repro.core.mining import mine_frequent_itemsets
+from repro.core.window import SlidingWindowPLT
+from repro.errors import InvalidSupportError
+from tests.conftest import random_database
+
+
+class TestWindowMechanics:
+    def test_eviction_order_fifo(self):
+        w = SlidingWindowPLT(2)
+        assert w.push({"a"}) is None
+        assert w.push({"b"}) is None
+        assert w.push({"c"}) == frozenset("a")
+        assert w.contents() == (frozenset("b"), frozenset("c"))
+
+    def test_len_and_full(self):
+        w = SlidingWindowPLT(3)
+        assert len(w) == 0 and not w.is_full()
+        w.extend([{"a"}, {"b"}, {"c"}])
+        assert len(w) == 3 and w.is_full()
+        w.push({"d"})
+        assert len(w) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidSupportError):
+            SlidingWindowPLT(0)
+
+    def test_constructor_preload(self):
+        w = SlidingWindowPLT(2, [{"a"}, {"b"}, {"c"}])
+        assert w.contents() == (frozenset("b"), frozenset("c"))
+
+    def test_repr(self):
+        assert "SlidingWindowPLT" in repr(SlidingWindowPLT(4))
+
+
+class TestWindowMining:
+    def test_reflects_only_current_window(self):
+        w = SlidingWindowPLT(2)
+        w.extend([{"a", "b"}, {"a", "b"}, {"c"}])
+        pairs = dict(w.mine(1))
+        assert pairs == {("a",): 1, ("b",): 1, ("a", "b"): 1, ("c",): 1}
+
+    def test_empty_window(self):
+        assert SlidingWindowPLT(3).mine(1) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_batch_mining_of_window(self, seed):
+        db = random_database(seed + 2600, max_items=7, max_transactions=40)
+        capacity = 10
+        w = SlidingWindowPLT(capacity)
+        for i, t in enumerate(db):
+            w.push(t)
+            if i % 7 == 0:
+                window = list(db[max(0, i + 1 - capacity) : i + 1])
+                expected = mine_frequent_itemsets(window, 2).as_dict()
+                got = {frozenset(items): s for items, s in w.mine(2)}
+                assert got == expected, i
+
+    def test_relative_support_uses_window_size(self):
+        w = SlidingWindowPLT(4)
+        w.extend([{"a"}, {"a"}, {"a"}, {"b"}])
+        pairs = dict(w.mine(0.75))  # 3 of 4
+        assert pairs == {("a",): 3}
+
+    def test_duplicate_transactions_in_window(self):
+        w = SlidingWindowPLT(5)
+        w.extend([{"x", "y"}] * 5)
+        pairs = dict(w.mine(5))
+        assert pairs == {("x",): 5, ("y",): 5, ("x", "y"): 5}
+        w.push({"z"})  # evicts one duplicate
+        pairs = dict(w.mine(4))
+        assert pairs[("x", "y")] == 4
+
+    def test_snapshot_is_plt(self):
+        from repro.core.plt import PLT
+
+        w = SlidingWindowPLT(2, [{"a", "b"}, {"a"}])
+        assert isinstance(w.snapshot(1), PLT)

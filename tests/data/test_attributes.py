@@ -1,0 +1,105 @@
+"""Unit tests for attribute-table transactionization."""
+
+import pytest
+
+from repro.data.attributes import (
+    discretize_numeric,
+    from_records,
+    generate_attribute_table,
+)
+from repro.errors import DatasetError
+
+
+class TestFromRecords:
+    def test_dict_records(self):
+        db = from_records([{"color": "red", "size": "L"}, {"color": "blue"}])
+        assert db[0] == frozenset({"color=red", "size=L"})
+        assert db[1] == frozenset({"color=blue"})
+
+    def test_positional_records(self):
+        db = from_records([("x", "y")], columns=("a", "b"))
+        assert db[0] == frozenset({"a=x", "b=y"})
+
+    def test_default_column_names(self):
+        db = from_records([("p", "q")])
+        assert db[0] == frozenset({"c0=p", "c1=q"})
+
+    def test_missing_values_skipped(self):
+        db = from_records([{"a": 1, "b": None}], missing=None)
+        assert db[0] == frozenset({"a=1"})
+
+    def test_custom_missing_marker(self):
+        db = from_records([("?", "v")], columns=("a", "b"), missing="?")
+        assert db[0] == frozenset({"b=v"})
+
+    def test_too_few_columns(self):
+        with pytest.raises(DatasetError):
+            from_records([(1, 2, 3)], columns=("a",))
+
+    def test_fixed_length_transactions(self):
+        records, _ = generate_attribute_table(50, 6, 3, seed=1)
+        db = from_records(records)
+        assert all(len(t) == 6 for t in db)
+
+
+class TestDiscretize:
+    def test_equal_width(self):
+        labels = discretize_numeric([0, 1, 2, 3, 4, 5, 6, 7, 8, 9], 2)
+        assert labels[:5] == ["b0"] * 5
+        assert labels[5:] == ["b1"] * 5
+
+    def test_quantile(self):
+        values = [1, 1, 1, 1, 100]
+        labels = discretize_numeric(values, 2, strategy="quantile")
+        assert labels[-1] != labels[0]
+
+    def test_single_bin(self):
+        assert discretize_numeric([1, 2, 3], 1) == ["b0"] * 3
+
+    def test_constant_values(self):
+        assert discretize_numeric([7, 7, 7], 4) == ["b0"] * 3
+
+    def test_empty(self):
+        assert discretize_numeric([], 3) == []
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            discretize_numeric([1], 0)
+        with pytest.raises(DatasetError):
+            discretize_numeric([1], 2, strategy="magic")
+
+    def test_bin_count_bounded(self):
+        labels = discretize_numeric(list(range(100)), 5)
+        assert set(labels) <= {f"b{i}" for i in range(5)}
+        assert len(set(labels)) == 5
+
+
+class TestGenerateAttributeTable:
+    def test_shapes(self):
+        records, labels = generate_attribute_table(40, 5, 3, seed=2)
+        assert len(records) == len(labels) == 40
+        assert all(len(r) == 5 for r in records)
+
+    def test_deterministic(self):
+        a = generate_attribute_table(20, 4, 2, seed=9)
+        b = generate_attribute_table(20, 4, 2, seed=9)
+        assert a == b
+
+    def test_class_correlation_creates_structure(self):
+        from repro.core.mining import mine_frequent_itemsets
+
+        correlated, _ = generate_attribute_table(
+            400, 8, 4, class_correlation=0.9, seed=3
+        )
+        uncorrelated, _ = generate_attribute_table(
+            400, 8, 4, class_correlation=0.0, seed=3
+        )
+        rich = mine_frequent_itemsets(from_records(correlated), 0.2)
+        poor = mine_frequent_itemsets(from_records(uncorrelated), 0.2)
+        assert len(rich) > len(poor)
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            generate_attribute_table(10, 0, 2)
+        with pytest.raises(DatasetError):
+            generate_attribute_table(10, 2, 2, class_correlation=2.0)

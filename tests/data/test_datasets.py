@@ -1,0 +1,51 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.data import datasets
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_paper_example_matches_table1(self):
+        db = datasets.paper_example()
+        assert len(db) == 6
+        assert db[2] == frozenset("ABCD")
+        assert datasets.PAPER_EXAMPLE_MIN_SUPPORT == 2
+
+    def test_available_contains_design_workloads(self):
+        names = datasets.available()
+        for required in ("paper-example", "T10.I4.D5K", "DENSE-50", "ZIPF-200"):
+            assert required in names
+
+    def test_load_unknown(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            datasets.load("nope")
+
+    def test_load_caches(self):
+        a = datasets.load("T10.I4.D1K")
+        b = datasets.load("T10.I4.D1K")
+        assert a is b
+
+    def test_load_no_cache_regenerates_equal(self):
+        a = datasets.load("T10.I4.D1K")
+        b = datasets.load("T10.I4.D1K", cache=False)
+        assert a is not b and a == b
+
+    def test_register_custom(self):
+        from repro.data.transaction_db import TransactionDatabase
+
+        datasets.register("test-tiny", lambda: TransactionDatabase([("a",)]))
+        try:
+            assert len(datasets.load("test-tiny")) == 1
+        finally:
+            datasets._FACTORIES.pop("test-tiny", None)
+            datasets._CACHE.pop("test-tiny", None)
+
+    def test_sizes_as_named(self):
+        assert len(datasets.load("T10.I4.D1K")) == 1000
+
+    def test_dense_datasets_are_denser_than_sparse(self):
+        dense = datasets.load("DENSE-50")
+        sparse = datasets.load("T10.I4.D5K")
+        assert dense.density() > 5 * sparse.density()

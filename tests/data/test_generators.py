@@ -1,0 +1,134 @@
+"""Unit tests for the dense/zipf/uniform/planted generators."""
+
+import pytest
+
+from repro.data.generators import (
+    PlantedRule,
+    generate_dense,
+    generate_planted,
+    generate_uniform,
+    generate_zipf,
+)
+from repro.errors import DatasetError
+
+
+class TestDense:
+    def test_fixed_length(self):
+        db = generate_dense(100, 30, 12, seed=1)
+        assert all(len(t) == 12 for t in db)
+
+    def test_density_high(self):
+        db = generate_dense(200, 30, 12, seed=1)
+        assert db.density() > 0.3
+
+    def test_deterministic(self):
+        assert generate_dense(50, 20, 8, seed=5) == generate_dense(50, 20, 8, seed=5)
+
+    def test_clustering_creates_correlation(self):
+        from repro.core.mining import mine_frequent_itemsets
+
+        clustered = generate_dense(500, 40, 10, n_clusters=4, cluster_affinity=0.9, seed=2)
+        flat = generate_dense(500, 40, 10, n_clusters=1, cluster_affinity=0.0, seed=2)
+        c_triples = len(mine_frequent_itemsets(clustered, 0.1, max_len=3).itemsets_of_size(3))
+        f_triples = len(mine_frequent_itemsets(flat, 0.1, max_len=3).itemsets_of_size(3))
+        assert c_triples > f_triples
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transaction_len": 50, "n_items": 40},
+            {"cluster_affinity": 1.5},
+            {"n_clusters": 0},
+            {"n_clusters": 100, "n_items": 40},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = dict(n_transactions=10, n_items=40, transaction_len=10)
+        base.update(kwargs)
+        with pytest.raises(DatasetError):
+            generate_dense(
+                base["n_transactions"], base["n_items"], base["transaction_len"],
+                n_clusters=base.get("n_clusters", 4),
+                cluster_affinity=base.get("cluster_affinity", 0.8),
+            )
+
+
+class TestZipf:
+    def test_sizes(self):
+        db = generate_zipf(300, 50, 5.0, seed=3)
+        assert len(db) == 300
+        assert all(len(t) >= 1 for t in db)
+
+    def test_skewed_popularity(self):
+        db = generate_zipf(3000, 100, 6.0, exponent=1.3, seed=4)
+        supports = db.supports()
+        top = supports[0]  # item 0 is the head of the Zipf distribution
+        median = sorted(supports.values())[len(supports) // 2]
+        assert top > 5 * median
+
+    def test_deterministic(self):
+        assert generate_zipf(100, 20, 4, seed=9) == generate_zipf(100, 20, 4, seed=9)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(DatasetError):
+            generate_zipf(10, 10, 3, exponent=0)
+
+
+class TestUniform:
+    def test_exact_length(self):
+        db = generate_uniform(50, 30, 7, seed=1)
+        assert all(len(t) == 7 for t in db)
+
+    def test_no_structure(self):
+        """Uniform data at reasonable support has (almost) no frequent pairs."""
+        from repro.core.mining import mine_frequent_itemsets
+
+        db = generate_uniform(2000, 100, 5, seed=2)
+        result = mine_frequent_itemsets(db, 0.02, max_len=2)
+        assert len(result.itemsets_of_size(2)) <= 2
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            generate_uniform(10, 5, 6)
+
+
+class TestPlanted:
+    RULES = [
+        PlantedRule(("x",), ("y",), support=0.2, confidence=0.9),
+        PlantedRule(("p", "q"), ("r",), support=0.1, confidence=0.8),
+    ]
+
+    def test_rule_validation(self):
+        with pytest.raises(DatasetError):
+            PlantedRule((), ("y",), 0.1, 0.5).validate()
+        with pytest.raises(DatasetError):
+            PlantedRule(("x",), ("x",), 0.1, 0.5).validate()
+        with pytest.raises(DatasetError):
+            PlantedRule(("x",), ("y",), 1.5, 0.5).validate()
+        with pytest.raises(DatasetError):
+            PlantedRule(("x",), ("y",), 0.5, 0.0).validate()
+
+    def test_supports_approximately_planted(self):
+        db = generate_planted(self.RULES, 2000, n_noise_items=20, seed=6)
+        sup_x = db.support_of(("x",)) / len(db)
+        assert sup_x == pytest.approx(0.2, abs=0.01)
+        sup_xy = db.support_of(("x", "y")) / len(db)
+        assert sup_xy == pytest.approx(0.2 * 0.9, abs=0.01)
+
+    def test_confidence_approximately_planted(self):
+        db = generate_planted(self.RULES, 2000, n_noise_items=20, seed=6)
+        conf = db.support_of(("p", "q", "r")) / db.support_of(("p", "q"))
+        assert conf == pytest.approx(0.8, abs=0.05)
+
+    def test_no_empty_transactions(self):
+        db = generate_planted(self.RULES, 500, n_noise_items=10, seed=7)
+        assert all(len(t) >= 1 for t in db)
+
+    def test_deterministic(self):
+        a = generate_planted(self.RULES, 200, seed=8)
+        b = generate_planted(self.RULES, 200, seed=8)
+        assert a == b
+
+    def test_invalid_rule_rejected_up_front(self):
+        with pytest.raises(DatasetError):
+            generate_planted([PlantedRule(("a",), ("a",), 0.1, 0.5)], 10)

@@ -1,0 +1,101 @@
+"""Unit tests for dataset I/O (FIMI .dat and basket CSV)."""
+
+import gzip
+
+import pytest
+
+from repro.data.io import (
+    iter_dat_lines,
+    read_basket_csv,
+    read_dat,
+    write_basket_csv,
+    write_dat,
+)
+from repro.data.transaction_db import TransactionDatabase
+from repro.errors import DatasetError
+
+
+class TestDat:
+    def test_roundtrip(self, tmp_path):
+        db = TransactionDatabase([(1, 2, 3), (2, 5), (7,)])
+        path = tmp_path / "t.dat"
+        write_dat(db, path)
+        assert read_dat(path) == db
+
+    def test_gzip_roundtrip(self, tmp_path):
+        db = TransactionDatabase([(1, 2), (3,)])
+        path = tmp_path / "t.dat.gz"
+        write_dat(db, path)
+        with gzip.open(path) as fh:
+            assert fh.read()  # actually gzip-compressed
+        assert read_dat(path) == db
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 2\n\n  \n3\n")
+        db = read_dat(path)
+        assert len(db) == 2
+
+    def test_string_items_preserved(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("apple 12 pear\n")
+        (t,) = list(read_dat(path))
+        assert t == frozenset({"apple", 12, "pear"})
+
+    def test_items_written_sorted(self, tmp_path):
+        path = tmp_path / "t.dat"
+        write_dat([(3, 1, 2)], path)
+        assert path.read_text() == "1 2 3\n"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_dat(tmp_path / "absent.dat")
+
+    def test_iter_streams(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1\n2 3\n")
+        rows = list(iter_dat_lines(path))
+        assert rows == [(1,), (2, 3)]
+
+
+class TestBasketCsv:
+    def test_roundtrip(self, tmp_path):
+        db = TransactionDatabase([("milk", "bread"), ("beer",)])
+        path = tmp_path / "b.csv"
+        write_basket_csv(db, path)
+        assert read_basket_csv(path) == db
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "b.csv"
+        write_basket_csv([("a",)], path)
+        assert path.read_text().splitlines()[0] == "tid,item"
+
+    def test_read_without_header(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("t1,a\nt1,b\nt2,a\n")
+        db = read_basket_csv(path, header=False)
+        assert len(db) == 2
+        assert db[0] == frozenset("ab")
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("tid,item\njustonefield\n")
+        with pytest.raises(DatasetError, match="expected"):
+            read_basket_csv(path)
+
+    def test_item_with_comma_preserved(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("tid,item\n1,a,b\n")
+        db = read_basket_csv(path)
+        assert db[0] == frozenset({"a,b"})
+
+    def test_int_items_parsed(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("tid,item\n1,42\n")
+        assert read_basket_csv(path)[0] == frozenset({42})
+
+    def test_gzip(self, tmp_path):
+        db = TransactionDatabase([("x",)])
+        path = tmp_path / "b.csv.gz"
+        write_basket_csv(db, path)
+        assert read_basket_csv(path) == db

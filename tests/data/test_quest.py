@@ -1,0 +1,111 @@
+"""Unit tests for the IBM Quest synthetic generator."""
+
+import pytest
+
+from repro.data.quest import QuestGenerator, QuestParameters, generate_quest, t_name
+from repro.errors import DatasetError
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        QuestParameters().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_transactions": -1},
+            {"n_items": 0},
+            {"n_patterns": 0},
+            {"avg_transaction_len": 0},
+            {"avg_pattern_len": -1},
+            {"correlation": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            QuestParameters(**kwargs).validate()
+
+
+class TestGeneration:
+    PARAMS = QuestParameters(
+        n_transactions=500, avg_transaction_len=8, avg_pattern_len=3,
+        n_patterns=50, n_items=100, seed=42,
+    )
+
+    def test_deterministic(self):
+        a = QuestGenerator(self.PARAMS).generate()
+        b = QuestGenerator(self.PARAMS).generate()
+        assert a == b
+
+    def test_seed_changes_output(self):
+        other = QuestParameters(
+            n_transactions=500, avg_transaction_len=8, avg_pattern_len=3,
+            n_patterns=50, n_items=100, seed=43,
+        )
+        assert QuestGenerator(self.PARAMS).generate() != QuestGenerator(other).generate()
+
+    def test_size(self):
+        db = QuestGenerator(self.PARAMS).generate()
+        assert len(db) == 500
+
+    def test_override_size(self):
+        db = QuestGenerator(self.PARAMS).generate(37)
+        assert len(db) == 37
+
+    def test_avg_length_near_target(self):
+        db = QuestGenerator(self.PARAMS).generate(2000)
+        assert 5 <= db.avg_transaction_length() <= 12
+
+    def test_items_within_universe(self):
+        db = QuestGenerator(self.PARAMS).generate()
+        assert all(0 <= i < 100 for t in db for i in t)
+
+    def test_no_empty_transactions(self):
+        db = QuestGenerator(self.PARAMS).generate()
+        assert all(len(t) >= 1 for t in db)
+
+    def test_correlation_creates_frequent_patterns(self):
+        """Pattern-based data has far more frequent pairs than independence
+        would predict — the structural property every miner study relies on."""
+        from repro.core.mining import mine_frequent_itemsets
+        from repro.data.generators import generate_uniform
+
+        quest = QuestGenerator(self.PARAMS).generate(2000)
+        uniform = generate_uniform(2000, 100, 8, seed=1)
+        q_pairs = len(mine_frequent_itemsets(quest, 0.02).itemsets_of_size(2))
+        u_pairs = len(mine_frequent_itemsets(uniform, 0.02).itemsets_of_size(2))
+        assert q_pairs > 3 * max(u_pairs, 1)
+
+    def test_patterns_table_shared_across_generates(self):
+        gen = QuestGenerator(self.PARAMS)
+        patterns_before = [p.items for p in gen.patterns]
+        gen.generate(50)
+        assert [p.items for p in gen.patterns] == patterns_before
+
+    def test_pattern_weights_normalised(self):
+        gen = QuestGenerator(self.PARAMS)
+        assert sum(p.weight for p in gen.patterns) == pytest.approx(1.0)
+
+    def test_corruption_levels_in_range(self):
+        gen = QuestGenerator(self.PARAMS)
+        assert all(0 <= p.corruption <= 1 for p in gen.patterns)
+
+
+class TestHelpers:
+    def test_generate_quest_wrapper(self):
+        db = generate_quest(n_transactions=20, n_items=50, n_patterns=10, seed=1)
+        assert len(db) == 20
+
+    def test_t_name(self):
+        params = QuestParameters(
+            n_transactions=100_000, avg_transaction_len=10, avg_pattern_len=4,
+            n_items=1000,
+        )
+        assert t_name(params) == "T10.I4.D100K.N1000"
+
+    def test_t_name_non_round(self):
+        params = QuestParameters(
+            n_transactions=1234, avg_transaction_len=7.5, avg_pattern_len=2,
+            n_items=10,
+        )
+        assert t_name(params) == "T7.5.I2.D1234.N10"

@@ -1,0 +1,151 @@
+"""Unit tests for the TransactionDatabase substrate."""
+
+import pytest
+
+from repro.data.transaction_db import (
+    TransactionDatabase,
+    item_supports,
+    resolve_min_support,
+)
+from repro.errors import InvalidSupportError
+
+
+class TestResolveMinSupport:
+    def test_absolute_passthrough(self):
+        assert resolve_min_support(3, 100) == 3
+
+    def test_absolute_must_be_positive(self):
+        with pytest.raises(InvalidSupportError):
+            resolve_min_support(0, 100)
+        with pytest.raises(InvalidSupportError):
+            resolve_min_support(-2, 100)
+
+    def test_relative_ceils(self):
+        assert resolve_min_support(0.5, 10) == 5
+        assert resolve_min_support(0.01, 1000) == 10
+        assert resolve_min_support(0.015, 1000) == 15
+
+    def test_relative_exact_boundary(self):
+        # 0.3 * 10 must be 3, not 4, despite float representation
+        assert resolve_min_support(0.3, 10) == 3
+
+    def test_relative_rounds_up_strict_fractions(self):
+        assert resolve_min_support(0.25, 10) == 3  # ceil(2.5)
+
+    def test_relative_at_least_one(self):
+        assert resolve_min_support(0.0001, 10) == 1
+
+    def test_relative_range(self):
+        with pytest.raises(InvalidSupportError):
+            resolve_min_support(0.0, 10)
+        with pytest.raises(InvalidSupportError):
+            resolve_min_support(1.5, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidSupportError):
+            resolve_min_support(True, 10)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(InvalidSupportError):
+            resolve_min_support("0.5", 10)
+
+
+class TestItemSupports:
+    def test_counts_transactions_not_occurrences(self):
+        counts = item_supports([("a", "a", "b"), ("a",)])
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+
+    def test_empty(self):
+        assert item_supports([]) == {}
+
+
+class TestDatabase:
+    @pytest.fixture
+    def db(self, paper_db):
+        return paper_db
+
+    def test_len_iter_getitem(self, db):
+        assert len(db) == 6
+        assert db[0] == frozenset("ABC")
+        assert sum(1 for _ in db) == 6
+
+    def test_equality_is_multiset(self):
+        a = TransactionDatabase([("a",), ("b",)])
+        b = TransactionDatabase([("b",), ("a",)])
+        c = TransactionDatabase([("a",), ("a",)])
+        assert a == b
+        assert a != c
+        assert a.__eq__(42) is NotImplemented
+
+    def test_supports_cached_and_correct(self, db):
+        assert db.supports()["B"] == 5
+        assert db.supports() is db.supports()
+
+    def test_items_sorted(self, db):
+        assert db.items() == ("A", "B", "C", "D", "E", "F")
+
+    def test_lengths(self, db):
+        # lengths 3+3+4+4+3+3 = 20
+        assert db.avg_transaction_length() == pytest.approx(20 / 6)
+        assert db.max_transaction_length() == 4
+
+    def test_empty_database_stats(self):
+        empty = TransactionDatabase([])
+        assert empty.avg_transaction_length() == 0.0
+        assert empty.max_transaction_length() == 0
+        assert empty.density() == 0.0
+
+    def test_density(self):
+        db = TransactionDatabase([("a", "b"), ("a", "b")])
+        assert db.density() == 1.0
+
+    def test_frequent_items(self, db):
+        assert db.frequent_items(2) == {"A": 4, "B": 5, "C": 5, "D": 4}
+        assert db.frequent_items(0.5) == {"A": 4, "B": 5, "C": 5, "D": 4}
+
+    def test_support_of(self, db):
+        assert db.support_of("AB") == 4
+        assert db.support_of([]) == 6
+        assert db.support_of("AZ") == 0
+
+    def test_aggregated(self, db):
+        agg = db.aggregated()
+        assert agg[frozenset("ABC")] == 2
+        assert sum(agg.values()) == 6
+
+    def test_vertical(self, db):
+        vert = db.vertical()
+        assert vert["D"] == frozenset({2, 3, 4, 5})
+
+    def test_filtered_keeps_length(self, db):
+        filtered = db.filtered(2)
+        assert len(filtered) == 6
+        assert "E" not in filtered.supports()
+        # transaction 6 (CDF) loses F only
+        assert filtered[5] == frozenset("CD")
+
+    def test_without_empty(self):
+        db = TransactionDatabase([(), ("a",), ()])
+        assert len(db.without_empty()) == 1
+
+    def test_relabelled(self, db):
+        renamed = db.relabelled({"A": "apple"})
+        assert renamed.supports()["apple"] == 4
+        assert "A" not in renamed.supports()
+
+    def test_sample_deterministic(self, db):
+        s1 = db.sample(3, seed=7)
+        s2 = db.sample(3, seed=7)
+        assert s1 == s2
+        assert len(s1) == 3
+
+    def test_sample_larger_than_db_returns_self(self, db):
+        assert db.sample(100) is db
+
+    def test_from_sequences(self):
+        db = TransactionDatabase.from_sequences([["a", "b"], ["b"]])
+        assert len(db) == 2
+
+    def test_repr(self, db):
+        assert "n_transactions=6" in repr(db)

@@ -1,0 +1,107 @@
+"""Integration tests: full pipelines across packages."""
+
+import pytest
+
+from repro import PLT, TransactionDatabase, mine_frequent_itemsets
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.compress import deserialize_plt, serialize_plt
+from repro.core.conditional import mine_conditional
+from repro.data.datasets import load
+from repro.data.io import read_dat, write_dat
+from repro.data.quest import QuestGenerator, QuestParameters
+from repro.rules import rules_from_result
+from tests.conftest import ALL_METHODS
+
+
+class TestGenerateMineRulePipeline:
+    """Quest generator -> PLT mining -> rules, validated end to end."""
+
+    def test_full_pipeline(self):
+        params = QuestParameters(
+            n_transactions=800, avg_transaction_len=8, avg_pattern_len=3,
+            n_patterns=40, n_items=80, seed=77,
+        )
+        db = QuestGenerator(params).generate()
+        result = mine_frequent_itemsets(db, 0.02, method="plt")
+        assert len(result) > 10
+        # spot-check supports against full scans
+        for fi in list(result)[:20]:
+            assert db.support_of(fi.items) == fi.support
+        rules = rules_from_result(result, 0.6)
+        for rule in rules[:20]:
+            sup_union = db.support_of(rule.antecedent + rule.consequent)
+            sup_ante = db.support_of(rule.antecedent)
+            assert rule.support_count == sup_union
+            assert rule.confidence == pytest.approx(sup_union / sup_ante)
+
+
+class TestDiskRoundtripPipeline:
+    """write .dat -> read -> build PLT -> serialize -> restore -> mine."""
+
+    def test_disk_pipeline(self, tmp_path):
+        db = load("T10.I4.D1K")
+        path = tmp_path / "workload.dat.gz"
+        write_dat(db, path)
+        restored_db = read_dat(path)
+        assert restored_db == db
+
+        plt = PLT.from_transactions(restored_db, 10)
+        blob = serialize_plt(plt, gzip=True)
+        restored_plt = deserialize_plt(blob)
+        a = sorted(mine_conditional(plt, 10))
+        b = sorted(mine_conditional(restored_plt, 10))
+        assert a == b
+
+
+class TestRegistryWorkloadsAgree:
+    """All miners agree on the real benchmark workloads (not just toys)."""
+
+    # top-down is only included on the dense workload: on sparse data its
+    # subset-lattice estimate trips the explosion guard, exactly as the
+    # paper's method guidance predicts
+    @pytest.mark.parametrize(
+        "dataset,support,methods",
+        [
+            ("T10.I4.D1K", 0.03, ("plt", "fpgrowth", "eclat", "hmine", "apriori")),
+            ("DENSE-30", 0.3, ("plt", "plt-topdown", "fpgrowth", "eclat", "hmine")),
+        ],
+    )
+    def test_methods_agree(self, dataset, support, methods):
+        db = load(dataset)
+        reference = None
+        for method in methods:
+            table = mine_frequent_itemsets(db, support, method=method).as_dict()
+            if reference is None:
+                reference = table
+            else:
+                assert table == reference, method
+
+    def test_oracle_on_a_subsample(self):
+        db = load("T10.I4.D1K").sample(60, seed=1)
+        small = TransactionDatabase(t for t in db if len(t) <= 12)
+        truth = mine_bruteforce(small, 3)
+        for method in ALL_METHODS:
+            got = mine_frequent_itemsets(small, 3, method=method).as_dict()
+            assert got == truth, method
+
+
+class TestStructureQueriesMatchMining:
+    def test_plt_support_queries_equal_mined_supports(self):
+        db = load("T10.I4.D1K")
+        result = mine_frequent_itemsets(db, 0.05)
+        plt = PLT.from_transactions(db, max(1, int(0.05 * len(db))))
+        for fi in result:
+            assert plt.support_of(fi.items) == fi.support
+
+
+class TestPublicApiSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

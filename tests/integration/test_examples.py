@@ -1,0 +1,101 @@
+"""Smoke tests: every example script runs cleanly as a subprocess.
+
+The heavy sweep driver (run_experiments.py) is exercised with a small
+subsample via REPRO_BENCH_SCALE to keep the suite fast.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, env_extra: dict | None = None, timeout: int = 420):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "frequent itemsets" in out
+    assert "{beer} -> {diapers}" in out
+
+
+def test_paper_walkthrough():
+    out = run_example("paper_walkthrough.py")
+    assert "Table 1" in out
+    assert "Rank(A) = 1" in out
+    assert "[1,1,1]" in out
+    assert "top-down approach agrees: 13 itemsets both ways" in out
+
+
+def test_market_basket_analysis():
+    out = run_example("market_basket_analysis.py")
+    assert "recovered" in out
+    assert "MISSED" not in out
+
+
+def test_web_clickstream():
+    out = run_example("web_clickstream.py")
+    assert "ad-hoc support queries" in out
+    assert "traffic skew" in out
+
+
+def test_medical_diagnosis():
+    out = run_example("medical_diagnosis.py")
+    assert "held-out accuracy" in out
+    assert "per-condition recall" in out
+
+
+def test_survey_analysis():
+    out = run_example("survey_analysis.py")
+    assert "closed" in out
+    assert "non-redundant basis" in out
+    assert "{age=b2} -> {senior=yes}" in out
+
+
+@pytest.mark.slow
+def test_condensed_patterns():
+    out = run_example("condensed_patterns.py")
+    assert "losslessness check" in out
+
+
+@pytest.mark.slow
+def test_incremental_stream():
+    out = run_example("incremental_stream.py")
+    assert "incremental result still exact" in out
+
+
+@pytest.mark.slow
+def test_parallel_mining():
+    out = run_example("parallel_mining.py")
+    assert "task decomposition" in out
+    assert "makespan model" in out
+
+
+@pytest.mark.slow
+def test_run_experiments_subset():
+    out = run_example(
+        "run_experiments.py",
+        "B5",
+        "B8",
+        "B9",
+        env_extra={"REPRO_BENCH_SCALE": "0.3"},
+    )
+    assert "B5: subset checking" in out
+    assert "B8: PLT codec" in out
+    assert "B9: construction time" in out

@@ -1,0 +1,142 @@
+"""Metamorphic properties of mining: transformations with known effects.
+
+These tests assert relationships between the outputs of *related* inputs,
+which catches bugs no per-input oracle can (wrong aggregation, hidden
+order dependence, label leakage between layers).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mining import mine_frequent_itemsets
+from repro.data.transaction_db import TransactionDatabase
+
+db_strategy = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=6), min_size=1, max_size=7),
+    min_size=1,
+    max_size=15,
+)
+
+support_strategy = st.integers(min_value=1, max_value=4)
+
+METHODS = ("plt", "plt-topdown", "fpgrowth")
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=db_strategy, min_support=support_strategy)
+def test_duplicating_database_doubles_supports(db, min_support):
+    base = mine_frequent_itemsets(db, min_support).as_dict()
+    doubled = mine_frequent_itemsets(db + db, 2 * min_support).as_dict()
+    assert doubled == {k: 2 * v for k, v in base.items()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=db_strategy, b=db_strategy)
+def test_concatenation_sums_supports(a, b):
+    """At min_support 1, supports over a+b are the sums of the parts."""
+    from collections import Counter
+
+    sup_a = Counter(mine_frequent_itemsets(a, 1).as_dict())
+    sup_b = Counter(mine_frequent_itemsets(b, 1).as_dict())
+    combined = mine_frequent_itemsets(a + b, 1).as_dict()
+    assert combined == dict(sup_a + sup_b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=db_strategy, min_support=support_strategy, offset=st.integers(100, 200))
+def test_item_renaming_is_isomorphic(db, min_support, offset):
+    renamed = [frozenset(i + offset for i in t) for t in db]
+    base = mine_frequent_itemsets(db, min_support).as_dict()
+    shifted = mine_frequent_itemsets(renamed, min_support).as_dict()
+    assert shifted == {
+        frozenset(i + offset for i in k): v for k, v in base.items()
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=db_strategy, min_support=support_strategy, seed=st.integers(0, 100))
+def test_transaction_order_invariance(db, min_support, seed):
+    import random
+
+    shuffled = list(db)
+    random.Random(seed).shuffle(shuffled)
+    for method in METHODS:
+        a = mine_frequent_itemsets(db, min_support, method=method).as_dict()
+        b = mine_frequent_itemsets(shuffled, min_support, method=method).as_dict()
+        assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=db_strategy, min_support=support_strategy)
+def test_empty_transactions_are_inert_for_absolute_support(db, min_support):
+    padded = db + [frozenset()] * 3
+    a = mine_frequent_itemsets(db, min_support).as_dict()
+    b = mine_frequent_itemsets(padded, min_support).as_dict()
+    assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=db_strategy, min_support=support_strategy)
+def test_prefiltering_infrequent_items_is_identity(db, min_support):
+    tdb = TransactionDatabase(db)
+    filtered = tdb.filtered(min_support)
+    a = mine_frequent_itemsets(tdb, min_support).as_dict()
+    b = mine_frequent_itemsets(filtered, min_support).as_dict()
+    assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=db_strategy, min_support=support_strategy)
+def test_superset_transaction_monotonicity(db, min_support):
+    """Adding an item to one transaction never lowers any support."""
+    grown = [db[0] | {99}] + list(db[1:])
+    base = mine_frequent_itemsets(db, min_support).as_dict()
+    bigger = mine_frequent_itemsets(grown, min_support).as_dict()
+    for itemset, support in base.items():
+        assert bigger.get(itemset, 0) >= support
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=db_strategy)
+def test_support_of_agrees_across_layers(db):
+    """PLT queries, database scans and mined supports must all agree."""
+    from repro.core.plt import PLT
+
+    tdb = TransactionDatabase(db)
+    result = mine_frequent_itemsets(tdb, 1)
+    plt = PLT.from_transactions(tdb, 1)
+    for fi in result:
+        assert tdb.support_of(fi.items) == fi.support
+        assert plt.support_of(fi.items) == fi.support
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=db_strategy, min_support=support_strategy)
+def test_incremental_replay_equals_batch(db, min_support):
+    from repro.core.incremental import IncrementalPLT
+    from repro.core.conditional import mine_conditional
+
+    inc = IncrementalPLT()
+    for t in db:
+        inc.add_transaction(t)
+    snap = inc.snapshot(min_support)
+    got = {
+        frozenset(snap.rank_table.decode_ranks(r)): s
+        for r, s in mine_conditional(snap, min_support)
+    }
+    assert got == mine_frequent_itemsets(db, min_support).as_dict()
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=db_strategy, min_support=support_strategy)
+def test_serialize_roundtrip_preserves_mining(db, min_support):
+    from repro.compress import deserialize_plt, serialize_plt
+    from repro.core.conditional import mine_conditional
+    from repro.core.plt import PLT
+
+    plt = PLT.from_transactions(db, min_support)
+    restored = deserialize_plt(serialize_plt(plt))
+    assert sorted(mine_conditional(restored, min_support)) == sorted(
+        mine_conditional(plt, min_support)
+    )

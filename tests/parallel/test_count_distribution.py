@@ -1,0 +1,67 @@
+"""Unit tests for count-distribution parallel Apriori."""
+
+import pytest
+
+from repro.baselines.apriori import mine_apriori
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.parallel.count_distribution import (
+    mine_count_distribution,
+    node_level_counts,
+)
+from tests.conftest import random_database
+
+
+class TestNodeCounts:
+    def test_counts_one_slice(self):
+        encoded = [(0, 1), (0, 1, 2), (1, 2)]
+        counts = node_level_counts(encoded, [(0, 1), (1, 2), (0, 2)])
+        assert counts == {(0, 1): 2, (1, 2): 2, (0, 2): 1}
+
+    def test_empty_candidates(self):
+        assert node_level_counts([(0, 1)], []) == {}
+
+
+class TestCountDistribution:
+    def test_paper_example(self, paper_db):
+        for n_nodes in (1, 2, 4):
+            got = mine_count_distribution(list(paper_db), 2, n_nodes=n_nodes)
+            assert got == mine_bruteforce(list(paper_db), 2), n_nodes
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_serial_apriori(self, seed):
+        db = random_database(seed + 1700)
+        for min_support in (1, 2, 4):
+            got = mine_count_distribution(db, min_support, n_nodes=3)
+            assert got == mine_apriori(db, min_support)
+
+    def test_node_count_does_not_change_result(self, small_random_db):
+        results = [
+            mine_count_distribution(small_random_db, 2, n_nodes=n)
+            for n in (1, 2, 5, 16)
+        ]
+        assert all(r == results[0] for r in results)
+
+    def test_real_processes(self, paper_db):
+        got = mine_count_distribution(
+            list(paper_db), 2, n_nodes=2, use_processes=True
+        )
+        assert got == mine_bruteforce(list(paper_db), 2)
+
+    def test_empty(self):
+        assert mine_count_distribution([], 1) == {}
+
+    def test_max_len(self):
+        db = [("a", "b", "c")] * 3
+        got = mine_count_distribution(db, 2, max_len=2)
+        assert max(len(k) for k in got) == 2
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            mine_count_distribution([("a",)], 1, n_nodes=0)
+
+    def test_facade_method(self, paper_db):
+        from repro.core.mining import mine_frequent_itemsets
+
+        a = mine_frequent_itemsets(paper_db, 2, method="apriori-cd", n_nodes=3)
+        b = mine_frequent_itemsets(paper_db, 2, method="apriori")
+        assert a == b

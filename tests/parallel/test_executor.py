@@ -1,0 +1,88 @@
+"""Tests for the multiprocessing executors (exactness, not speed)."""
+
+import pytest
+
+from repro.core.conditional import mine_conditional
+from repro.core.plt import PLT
+from repro.core.topdown import topdown_subset_frequencies
+from repro.errors import TopDownExplosionError
+from repro.parallel.executor import (
+    default_workers,
+    mine_parallel,
+    topdown_parallel,
+)
+from tests.conftest import random_database
+
+
+class TestMineParallel:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3])
+    def test_matches_serial(self, paper_plt, n_workers):
+        serial = sorted(mine_conditional(paper_plt, 2))
+        parallel = sorted(mine_parallel(paper_plt, 2, n_workers=n_workers))
+        assert parallel == serial
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_databases(self, seed):
+        db = random_database(seed + 700, max_items=9, max_transactions=40)
+        plt = PLT.from_transactions(db, 2)
+        serial = sorted(mine_conditional(plt, 2))
+        assert sorted(mine_parallel(plt, 2, n_workers=2)) == serial
+
+    def test_max_len_propagates(self, paper_plt):
+        pairs = mine_parallel(paper_plt, 2, n_workers=2, max_len=1)
+        assert all(len(r) == 1 for r, _ in pairs)
+
+    def test_empty_plt(self):
+        plt = PLT.from_transactions([], 1)
+        assert mine_parallel(plt, 1, n_workers=2) == []
+
+    def test_default_support_from_plt(self, paper_plt):
+        assert sorted(mine_parallel(paper_plt, n_workers=1)) == sorted(
+            mine_conditional(paper_plt, 2)
+        )
+
+    def test_single_worker_stays_in_process(self, paper_plt, monkeypatch):
+        # poisoning Pool proves the n_workers=1 path never spawns
+        import multiprocessing
+
+        def boom(*a, **k):  # pragma: no cover - must not be called
+            raise AssertionError("Pool must not be used for one worker")
+
+        monkeypatch.setattr(multiprocessing, "Pool", boom)
+        result = mine_parallel(paper_plt, 2, n_workers=1)
+        assert len(result) == 13
+
+    def test_facade_method(self, paper_db):
+        from repro.core.mining import mine_frequent_itemsets
+
+        a = mine_frequent_itemsets(paper_db, 2, method="plt-parallel", n_workers=2)
+        b = mine_frequent_itemsets(paper_db, 2, method="plt")
+        assert a == b
+
+
+class TestTopdownParallel:
+    def test_matches_serial(self, paper_plt):
+        serial = topdown_subset_frequencies(paper_plt)
+        parallel = topdown_parallel(paper_plt, n_workers=2)
+        assert parallel == serial
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random(self, seed):
+        db = random_database(seed + 800, max_items=8, max_transactions=30)
+        plt = PLT.from_transactions(db, 1)
+        assert topdown_parallel(plt, n_workers=3) == topdown_subset_frequencies(plt)
+
+    def test_work_limit_guard(self):
+        plt = PLT.from_transactions([tuple(range(30))], 1)
+        with pytest.raises(TopDownExplosionError):
+            topdown_parallel(plt, n_workers=2, work_limit=100)
+
+    def test_empty(self):
+        plt = PLT.from_transactions([], 1)
+        assert topdown_parallel(plt, n_workers=2) == {}
+
+
+class TestDefaults:
+    def test_default_workers_bounds(self):
+        w = default_workers()
+        assert 1 <= w <= 8

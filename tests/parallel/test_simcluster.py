@@ -1,0 +1,147 @@
+"""Unit tests for the message-passing cluster simulator."""
+
+import pytest
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.simcluster import HEADER_BYTES, NodeContext, SimCluster
+
+
+def test_broadcast_message_count():
+    def program(ctx, superstep, state):
+        if superstep == 0:
+            ctx.broadcast(b"x")
+            return state
+        return SimCluster.DONE
+
+    cluster = SimCluster(4)
+    cluster.run(program, [None] * 4)
+    assert cluster.stats.messages == 4 * 3
+    assert cluster.stats.bytes_sent == 12 * (1 + HEADER_BYTES)
+
+
+def test_messages_delivered_next_superstep():
+    received = {}
+
+    def program(ctx, superstep, state):
+        if superstep == 0:
+            if ctx.node_id == 0:
+                ctx.send(1, b"hello")
+            assert ctx.inbox() == []
+            return state
+        if superstep == 1:
+            received[ctx.node_id] = ctx.inbox()
+            return state
+        return SimCluster.DONE
+
+    SimCluster(2).run(program, [None, None])
+    assert received[1] == [(0, b"hello")]
+    assert received[0] == []
+
+
+def test_inbox_sorted_by_sender():
+    order = []
+
+    def program(ctx, superstep, state):
+        if superstep == 0:
+            if ctx.node_id != 3:
+                ctx.send(3, bytes([ctx.node_id]))
+            return state
+        if superstep == 1 and ctx.node_id == 3:
+            order.extend(sender for sender, _ in ctx.inbox())
+            return state
+        return SimCluster.DONE
+
+    SimCluster(4).run(program, [None] * 4)
+    assert order == [0, 1, 2]
+
+
+def test_final_states_returned():
+    def program(ctx, superstep, state):
+        if superstep == 0:
+            return state + ctx.node_id
+        return SimCluster.DONE
+
+    final = SimCluster(3).run(program, [10, 20, 30])
+    assert final == [10, 21, 32]
+
+
+def test_termination_requires_no_inflight_messages():
+    # node 0 votes DONE while sending: must run one more superstep so
+    # node 1 sees the message
+    seen = []
+
+    def program(ctx, superstep, state):
+        if superstep == 0:
+            if ctx.node_id == 0:
+                ctx.send(1, b"z")
+            return state
+        if ctx.inbox():
+            seen.append(ctx.node_id)
+            return state
+        return SimCluster.DONE
+
+    SimCluster(2).run(program, [None, None])
+    assert seen == [1]
+
+
+def test_send_validation():
+    def program(ctx, superstep, state):
+        ctx.send(99, b"x")
+
+    with pytest.raises(ParallelExecutionError, match="invalid node"):
+        SimCluster(2).run(program, [None, None])
+
+
+def test_payload_must_be_bytes():
+    def program(ctx, superstep, state):
+        ctx.send(0, {"not": "bytes"})
+
+    with pytest.raises(ParallelExecutionError, match="bytes"):
+        SimCluster(2).run(program, [None, None])
+
+
+def test_runaway_program_raises():
+    def program(ctx, superstep, state):
+        return state  # never votes DONE
+
+    with pytest.raises(ParallelExecutionError, match="did not terminate"):
+        SimCluster(1, max_supersteps=5).run(program, [None])
+
+
+def test_state_count_must_match():
+    with pytest.raises(ParallelExecutionError):
+        SimCluster(3).run(lambda c, s, st: SimCluster.DONE, [None])
+
+
+def test_invalid_node_count():
+    with pytest.raises(ParallelExecutionError):
+        SimCluster(0)
+
+
+def test_compute_time_accounting():
+    def program(ctx, superstep, state):
+        if superstep == 0:
+            sum(range(10000))
+            return state
+        return SimCluster.DONE
+
+    cluster = SimCluster(2)
+    cluster.run(program, [None, None])
+    stats = cluster.stats
+    assert stats.total_compute_seconds > 0
+    assert 0 < stats.modelled_parallel_seconds <= stats.total_compute_seconds
+    assert len(stats.compute_seconds_per_node) == 2
+
+
+def test_summary_keys():
+    cluster = SimCluster(2)
+    cluster.run(lambda c, s, st: SimCluster.DONE, [None, None])
+    summary = cluster.stats.summary()
+    assert set(summary) == {
+        "n_nodes",
+        "supersteps",
+        "messages",
+        "bytes_sent",
+        "total_compute_s",
+        "modelled_parallel_s",
+    }

@@ -1,0 +1,121 @@
+"""Unit tests for the non-redundant rule basis."""
+
+import pytest
+
+from repro.core.mining import mine_closed_itemsets, mine_frequent_itemsets
+from repro.errors import InvalidSupportError
+from repro.rules.basis import generator_basis, mine_rule_basis
+from repro.rules.generation import rules_from_result
+from tests.conftest import random_database
+
+DB = [
+    ("a", "b", "c"),
+    ("a", "b", "c"),
+    ("a", "b"),
+    ("a",),
+    ("b", "c"),
+]
+
+
+@pytest.fixture
+def closed_result():
+    return mine_closed_itemsets(DB, 1)
+
+
+class TestGeneratorBasis:
+    def test_generators_close_to_their_set(self, closed_result):
+        basis = generator_basis(closed_result)
+        closed_sets = set(basis)
+        for closed, generators in basis.items():
+            for g in generators:
+                assert g <= closed
+                # the smallest closed superset of g must be closed itself
+                candidates = [c for c in closed_sets if g <= c]
+                assert min(candidates, key=len) == closed
+
+    def test_generators_minimal(self, closed_result):
+        basis = generator_basis(closed_result)
+        for closed, generators in basis.items():
+            for g in generators:
+                for other in generators:
+                    assert not other < g
+
+    def test_singleton_closure(self):
+        # {a,b,c} always together: every single item generates the triple
+        db = [("a", "b", "c")] * 3
+        closed = mine_closed_itemsets(db, 1)
+        basis = generator_basis(closed)
+        triple = frozenset("abc")
+        assert set(basis[triple]) == {
+            frozenset("a"),
+            frozenset("b"),
+            frozenset("c"),
+        }
+
+    def test_closed_set_generates_itself_when_nothing_smaller(self):
+        db = [("a",), ("b",), ("a", "b")]
+        closed = mine_closed_itemsets(db, 1)
+        basis = generator_basis(closed)
+        assert basis[frozenset("ab")] == [frozenset("ab")]
+
+
+class TestRuleBasis:
+    def test_valid_metrics(self, closed_result):
+        full = mine_frequent_itemsets(DB, 1).as_dict()
+        for rule in mine_rule_basis(closed_result, 0.5):
+            union = frozenset(rule.antecedent) | frozenset(rule.consequent)
+            assert full[union] == rule.support_count
+            assert rule.confidence == pytest.approx(
+                rule.support_count / full[frozenset(rule.antecedent)]
+            )
+
+    def test_confidence_threshold(self, closed_result):
+        for rule in mine_rule_basis(closed_result, 0.8):
+            assert rule.confidence >= 0.8
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dominates_plain_rules(self, seed):
+        """Every ap-genrules rule is derivable from some basis rule."""
+        db = random_database(seed + 2300, max_items=6, max_transactions=20)
+        full = mine_frequent_itemsets(db, 1)
+        closed = mine_closed_itemsets(db, 1)
+        plain = rules_from_result(full, 0.6)
+        basis = mine_rule_basis(closed, 0.6)
+        for pr in plain:
+            x = frozenset(pr.antecedent)
+            union = x | frozenset(pr.consequent)
+            assert any(
+                frozenset(br.antecedent) <= x
+                and union <= frozenset(br.antecedent) | frozenset(br.consequent)
+                and br.support_count >= pr.support_count
+                and br.confidence >= pr.confidence - 1e-12
+                for br in basis
+            ), pr
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_smaller_than_plain_on_redundant_data(self, seed):
+        # perfectly correlated blocks produce maximal redundancy
+        db = [("a", "b", "c", "d")] * 5 + [("e", "f")] * 3
+        full = mine_frequent_itemsets(db, 2)
+        closed = mine_closed_itemsets(db, 2)
+        plain = rules_from_result(full, 0.5)
+        basis = mine_rule_basis(closed, 0.5)
+        assert len(basis) < len(plain)
+
+    def test_min_lift_filter(self, closed_result):
+        rules = mine_rule_basis(closed_result, 0.5, min_lift=1.01)
+        assert all(r.lift >= 1.01 for r in rules)
+
+    def test_invalid_confidence(self, closed_result):
+        with pytest.raises(InvalidSupportError):
+            mine_rule_basis(closed_result, 0.0)
+
+    def test_sorted_by_confidence(self, closed_result):
+        rules = mine_rule_basis(closed_result, 0.5)
+        confs = [r.confidence for r in rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_no_degenerate_rules(self, closed_result):
+        for rule in mine_rule_basis(closed_result, 0.5):
+            assert rule.antecedent and rule.consequent
+            assert not set(rule.antecedent) & set(rule.consequent)

@@ -1,0 +1,143 @@
+"""Unit tests for ap-genrules association-rule generation."""
+
+import itertools
+
+import pytest
+
+from repro.core.mining import mine_frequent_itemsets
+from repro.errors import InvalidSupportError, ReproError
+from repro.rules.generation import Rule, generate_rules, rules_from_result
+
+DB = [
+    ("bread", "milk"),
+    ("bread", "milk", "butter"),
+    ("bread", "butter"),
+    ("milk", "butter"),
+    ("bread", "milk", "butter"),
+]
+
+
+@pytest.fixture
+def result():
+    return mine_frequent_itemsets(DB, 2)
+
+
+def brute_force_rules(db, min_confidence):
+    """Oracle: enumerate every rule from every frequent itemset directly."""
+    table = mine_frequent_itemsets(db, 1).as_dict()
+    n = len(db)
+    out = {}
+    for itemset, sup in table.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset)
+        for r in range(1, len(items)):
+            for ante in itertools.combinations(items, r):
+                ante_set = frozenset(ante)
+                cons_set = itemset - ante_set
+                conf = sup / table[ante_set]
+                if conf >= min_confidence:
+                    out[(ante_set, cons_set)] = (sup, conf)
+    return out
+
+
+class TestGenerateRules:
+    def test_matches_bruteforce_enumeration(self):
+        # generate from the complete (min_support=1) itemset table
+        full = mine_frequent_itemsets(DB, 1)
+        rules = rules_from_result(full, 0.6)
+        got = {
+            (frozenset(r.antecedent), frozenset(r.consequent)): (
+                r.support_count,
+                r.confidence,
+            )
+            for r in rules
+        }
+        expected = brute_force_rules(DB, 0.6)
+        assert got.keys() == expected.keys()
+        for key in expected:
+            assert got[key][0] == expected[key][0]
+            assert got[key][1] == pytest.approx(expected[key][1])
+
+    def test_confidence_threshold_respected(self, result):
+        for conf in (0.5, 0.8, 1.0):
+            rules = rules_from_result(result, conf)
+            assert all(r.confidence >= conf for r in rules)
+
+    def test_min_lift_filter(self, result):
+        all_rules = rules_from_result(result, 0.5)
+        lifted = rules_from_result(result, 0.5, min_lift=1.05)
+        assert {r for r in lifted} <= {r for r in all_rules}
+        assert all(r.lift >= 1.05 for r in lifted)
+
+    def test_sides_disjoint_and_nonempty(self, result):
+        for r in rules_from_result(result, 0.5):
+            assert r.antecedent and r.consequent
+            assert not set(r.antecedent) & set(r.consequent)
+
+    def test_union_is_frequent(self, result):
+        table = result.as_dict()
+        for r in rules_from_result(result, 0.5):
+            assert r.items in table
+            assert table[r.items] == r.support_count
+
+    def test_sorted_by_confidence_desc(self, result):
+        rules = rules_from_result(result, 0.5)
+        confs = [r.confidence for r in rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_invalid_confidence(self, result):
+        with pytest.raises(InvalidSupportError):
+            rules_from_result(result, 0.0)
+        with pytest.raises(InvalidSupportError):
+            rules_from_result(result, 1.2)
+
+    def test_missing_subset_raises(self):
+        # a support table that is not downward closed
+        broken = {frozenset("ab"): 3}
+        with pytest.raises(ReproError, match="downward closed"):
+            generate_rules(broken, 10, 0.5)
+
+    def test_invalid_n_transactions(self):
+        with pytest.raises(InvalidSupportError):
+            generate_rules({}, 0, 0.5)
+
+    def test_no_rules_from_singletons_only(self):
+        table = {frozenset("a"): 3, frozenset("b"): 2}
+        assert generate_rules(table, 5, 0.1) == []
+
+    def test_antimonotone_consequent_pruning_is_lossless(self):
+        """Pruned generation equals unpruned enumeration on a 4-item set."""
+        db = [("a", "b", "c", "d")] * 3 + [("a", "b")] * 2 + [("c", "d"), ("a",)]
+        full = mine_frequent_itemsets(db, 1)
+        rules = rules_from_result(full, 0.4)
+        got = {(frozenset(r.antecedent), frozenset(r.consequent)) for r in rules}
+        expected = set(brute_force_rules(db, 0.4))
+        assert got == expected
+
+
+class TestRuleObject:
+    def test_str_format(self):
+        rule = Rule(("a",), ("b",), 3, 0.6, 0.75, 1.2, 0.1, 1.5)
+        text = str(rule)
+        assert "{a} -> {b}" in text and "conf=0.750" in text
+
+    def test_items_property(self):
+        rule = Rule(("a",), ("b", "c"), 3, 0.6, 0.75, 1.2, 0.1, 1.5)
+        assert rule.items == frozenset("abc")
+
+    def test_hashable_frozen(self):
+        rule = Rule(("a",), ("b",), 3, 0.6, 0.75, 1.2, 0.1, 1.5)
+        assert rule in {rule}
+
+
+class TestPlantedRecovery:
+    def test_planted_rules_are_recovered(self):
+        from repro.data.generators import PlantedRule, generate_planted
+
+        planted = [PlantedRule(("u", "v"), ("w",), support=0.3, confidence=0.9)]
+        db = generate_planted(planted, 1500, n_noise_items=15, seed=3)
+        result = mine_frequent_itemsets(db, 0.1)
+        rules = rules_from_result(result, 0.8)
+        keys = {(frozenset(r.antecedent), frozenset(r.consequent)) for r in rules}
+        assert (frozenset(("u", "v")), frozenset(("w",))) in keys

@@ -1,0 +1,84 @@
+"""Unit tests for rule interestingness measures (hand-computed values)."""
+
+import math
+
+import pytest
+
+from repro.rules.metrics import confidence, conviction, leverage, lift, rule_metrics
+
+# Scenario: n=100, sup(X)=40, sup(Y)=50, sup(X u Y)=30
+N, SX, SY, SXY = 100, 40, 50, 30
+
+
+class TestConfidence:
+    def test_value(self):
+        assert confidence(SXY, SX) == pytest.approx(0.75)
+
+    def test_perfect_rule(self):
+        assert confidence(40, 40) == 1.0
+
+    def test_zero_antecedent_rejected(self):
+        with pytest.raises(ValueError):
+            confidence(1, 0)
+
+    def test_union_cannot_exceed_antecedent(self):
+        with pytest.raises(ValueError):
+            confidence(41, 40)
+
+
+class TestLift:
+    def test_value(self):
+        # conf 0.75 / P(Y) 0.5 = 1.5
+        assert lift(SXY, SX, SY, N) == pytest.approx(1.5)
+
+    def test_independence_is_one(self):
+        # P(X)=0.5, P(Y)=0.5, P(XY)=0.25
+        assert lift(25, 50, 50, 100) == pytest.approx(1.0)
+
+    def test_negative_correlation_below_one(self):
+        assert lift(10, 50, 50, 100) < 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lift(1, 2, 0, 100)
+        with pytest.raises(ValueError):
+            lift(1, 2, 3, 0)
+
+
+class TestLeverage:
+    def test_value(self):
+        # 0.30 - 0.4*0.5 = 0.10
+        assert leverage(SXY, SX, SY, N) == pytest.approx(0.10)
+
+    def test_independence_is_zero(self):
+        assert leverage(25, 50, 50, 100) == pytest.approx(0.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            leverage(1, 2, 3, 0)
+
+
+class TestConviction:
+    def test_value(self):
+        # (1 - 0.5) / (1 - 0.75) = 2.0
+        assert conviction(SXY, SX, SY, N) == pytest.approx(2.0)
+
+    def test_perfect_rule_is_infinite(self):
+        assert conviction(40, 40, 50, 100) == math.inf
+
+    def test_independence_is_one(self):
+        assert conviction(25, 50, 50, 100) == pytest.approx(1.0)
+
+
+class TestRuleMetrics:
+    def test_all_keys(self):
+        m = rule_metrics(SXY, SX, SY, N)
+        assert set(m) == {"support", "confidence", "lift", "leverage", "conviction"}
+
+    def test_values_consistent_with_individual_functions(self):
+        m = rule_metrics(SXY, SX, SY, N)
+        assert m["support"] == pytest.approx(0.30)
+        assert m["confidence"] == confidence(SXY, SX)
+        assert m["lift"] == lift(SXY, SX, SY, N)
+        assert m["leverage"] == leverage(SXY, SX, SY, N)
+        assert m["conviction"] == conviction(SXY, SX, SY, N)

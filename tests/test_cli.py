@@ -1,0 +1,193 @@
+"""Tests for the command-line interface (in-process via main())."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import read_dat, write_dat
+
+
+@pytest.fixture
+def dat_file(tmp_path, paper_db):
+    path = tmp_path / "db.dat"
+    write_dat(paper_db, path)
+    return str(path)
+
+
+class TestMine:
+    def test_basic(self, dat_file, capsys):
+        assert main(["mine", "--input", dat_file, "--min-support", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# 13 itemsets" in out
+        assert "{A, B}" in out
+
+    def test_relative_support_argument(self, dat_file, capsys):
+        assert main(["mine", "--input", dat_file, "--min-support", "0.34"]) == 0
+        assert "min_support=3" in capsys.readouterr().out
+
+    def test_method_selection(self, dat_file, capsys):
+        assert (
+            main(
+                ["mine", "--input", dat_file, "--min-support", "2", "--method", "fpgrowth"]
+            )
+            == 0
+        )
+        assert "method=fpgrowth" in capsys.readouterr().out
+
+    def test_closed_kind(self, dat_file, capsys):
+        assert (
+            main(["mine", "--input", dat_file, "--min-support", "2", "--kind", "closed"])
+            == 0
+        )
+        assert "plt-closed" in capsys.readouterr().out
+
+    def test_maximal_kind(self, dat_file, capsys):
+        assert (
+            main(["mine", "--input", dat_file, "--min-support", "2", "--kind", "maximal"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "plt-maximal" in out
+
+    def test_output_file(self, dat_file, tmp_path, capsys):
+        out_path = tmp_path / "result.txt"
+        assert (
+            main(
+                [
+                    "mine",
+                    "--input",
+                    dat_file,
+                    "--min-support",
+                    "2",
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert "{A, B}" in out_path.read_text()
+        assert capsys.readouterr().out == ""
+
+    def test_missing_input_is_runtime_error(self, tmp_path, capsys):
+        code = main(["mine", "--input", str(tmp_path / "no.dat"), "--min-support", "2"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_method_is_runtime_error(self, dat_file, capsys):
+        code = main(
+            ["mine", "--input", dat_file, "--min-support", "2", "--method", "bogus"]
+        )
+        assert code == 1
+
+    def test_bad_support_is_argparse_error(self, dat_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["mine", "--input", dat_file, "--min-support", "abc"])
+        assert exc.value.code == 2
+
+
+class TestRules:
+    def test_basic(self, dat_file, capsys):
+        assert (
+            main(
+                [
+                    "rules",
+                    "--input",
+                    dat_file,
+                    "--min-support",
+                    "2",
+                    "--min-confidence",
+                    "0.8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rules from" in out
+        assert "->" in out
+
+    def test_top_limits_output(self, dat_file, capsys):
+        main(
+            [
+                "rules",
+                "--input",
+                dat_file,
+                "--min-support",
+                "2",
+                "--min-confidence",
+                "0.5",
+                "--top",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert len([l for l in out.splitlines() if "->" in l]) == 2
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["quest", "dense", "zipf", "uniform"])
+    def test_kinds(self, kind, tmp_path, capsys):
+        out_path = tmp_path / f"{kind}.dat"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--kind",
+                    kind,
+                    "--output",
+                    str(out_path),
+                    "--transactions",
+                    "50",
+                    "--items",
+                    "30",
+                    "--avg-len",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        db = read_dat(out_path)
+        assert len(db) == 50
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.dat", tmp_path / "b.dat"
+        for path in (a, b):
+            main(
+                [
+                    "generate", "--kind", "zipf", "--output", str(path),
+                    "--transactions", "30", "--items", "20", "--seed", "9",
+                ]
+            )
+        assert a.read_text() == b.read_text()
+
+
+class TestEncodeInfoDatasets:
+    def test_encode_roundtrip(self, dat_file, tmp_path, capsys):
+        out_path = tmp_path / "db.plt"
+        assert (
+            main(
+                [
+                    "encode", "--input", dat_file, "--min-support", "2",
+                    "--output", str(out_path), "--gzip",
+                ]
+            )
+            == 0
+        )
+        from repro.compress import deserialize_plt
+
+        plt = deserialize_plt(out_path.read_bytes())
+        assert plt.n_vectors() == 5
+
+    def test_info(self, dat_file, capsys):
+        assert main(["info", "--input", dat_file, "--min-support", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "transactions:       6" in out
+        assert "aggregated vectors: 5" in out
+
+    def test_info_without_support(self, dat_file, capsys):
+        assert main(["info", "--input", dat_file]) == 0
+        assert "PLT" not in capsys.readouterr().out
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-example" in out
+        assert "DENSE-50" in out

@@ -1,0 +1,34 @@
+"""Run the doctests embedded in library docstrings.
+
+Docstring examples are documentation that can rot; this keeps them
+executable.  Modules are imported explicitly (rather than pytest's
+``--doctest-modules``) so the list is deliberate and the suite stays
+import-error-proof.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.mining
+import repro.core.position
+import repro.core.incremental
+import repro.core.window
+import repro.data.datasets
+import repro.parallel.simcluster
+
+MODULES = [
+    repro.core.position,
+    repro.core.mining,
+    repro.core.incremental,
+    repro.core.window,
+    repro.data.datasets,
+    repro.parallel.simcluster,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

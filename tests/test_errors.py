@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.InvalidVectorError,
+    errors.UnknownItemError,
+    errors.InvalidSupportError,
+    errors.TopDownExplosionError,
+    errors.DatasetError,
+    errors.CodecError,
+    errors.ParallelExecutionError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_value_error_compatibility():
+    """Callers catching stdlib types still catch the dual-typed errors."""
+    assert issubclass(errors.InvalidVectorError, ValueError)
+    assert issubclass(errors.InvalidSupportError, ValueError)
+    assert issubclass(errors.DatasetError, ValueError)
+    assert issubclass(errors.CodecError, ValueError)
+    assert issubclass(errors.UnknownItemError, KeyError)
+    assert issubclass(errors.TopDownExplosionError, RuntimeError)
+    assert issubclass(errors.ParallelExecutionError, RuntimeError)
+
+
+def test_all_exports_complete():
+    for name in errors.__all__:
+        assert hasattr(errors, name)
+
+
+def test_catching_repro_error_covers_library_failures():
+    from repro.core import position
+
+    with pytest.raises(errors.ReproError):
+        position.encode(())
+    from repro.data.transaction_db import resolve_min_support
+
+    with pytest.raises(errors.ReproError):
+        resolve_min_support(0, 10)

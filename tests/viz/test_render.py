@@ -1,0 +1,83 @@
+"""Unit tests for the figure renderers."""
+
+from repro.core.lextree import full_lexicographic_tree, plt_path_tree
+from repro.core.mining import mine_frequent_itemsets
+from repro.core.topdown import topdown_subset_frequencies
+from repro.viz.render import (
+    render_itemsets,
+    render_matrix,
+    render_subset_table,
+    render_tree,
+)
+
+
+class TestRenderTree:
+    def test_full_tree_shows_positions(self, paper_plt):
+        text = render_tree(full_lexicographic_tree(paper_plt.rank_table))
+        assert text.startswith("(null)")
+        assert "A [1]" in text
+        assert "D [4]" in text  # top-level D has pos 4
+
+    def test_path_tree_shows_frequencies(self, paper_plt):
+        text = render_tree(plt_path_tree(paper_plt))
+        assert "(x2)" in text  # the ABC path frequency
+
+    def test_flags_disable_annotations(self, paper_plt):
+        text = render_tree(
+            plt_path_tree(paper_plt), show_pos=False, show_freq=False
+        )
+        assert "[" not in text and "(x" not in text
+
+    def test_empty_tree(self):
+        from repro.core.lextree import LexNode
+
+        assert render_tree(LexNode()) == "(null)"
+
+    def test_indentation_structure(self, paper_plt):
+        text = render_tree(full_lexicographic_tree(paper_plt.rank_table))
+        lines = text.splitlines()
+        # last root child (D) uses the corner connector at zero indent
+        assert any(line.startswith("`-- D") for line in lines)
+
+
+class TestRenderMatrix:
+    def test_sections_per_partition(self, paper_plt):
+        text = render_matrix(paper_plt)
+        for section in ("D2:", "D3:", "D4:"):
+            assert section in text
+
+    def test_vectors_and_sums(self, paper_plt):
+        text = render_matrix(paper_plt)
+        assert "[1,1,1]" in text
+        assert "ABC" in text
+
+    def test_decode_items_off(self, paper_plt):
+        text = render_matrix(paper_plt, decode_items=False)
+        assert "itemset" not in text
+        assert "[1,1,1]" in text
+
+
+class TestRenderSubsetTable:
+    def test_marks_infrequent(self, paper_plt):
+        counts = topdown_subset_frequencies(paper_plt)
+        text = render_subset_table(counts, paper_plt, min_support=2)
+        assert "1*" in text  # ACD and ABCD have frequency 1
+        assert "below min_support=2" in text
+
+    def test_no_marks_without_threshold(self, paper_plt):
+        counts = topdown_subset_frequencies(paper_plt)
+        text = render_subset_table(counts, paper_plt)
+        assert "*" not in text
+
+
+class TestRenderItemsets:
+    def test_absolute(self, paper_db):
+        result = mine_frequent_itemsets(paper_db, 2)
+        text = render_itemsets(result)
+        assert "{A, B}" in text
+        assert "support" in text
+
+    def test_relative(self, paper_db):
+        result = mine_frequent_itemsets(paper_db, 2)
+        text = render_itemsets(result, relative=True)
+        assert "0.667" in text  # AB: 4/6

@@ -70,7 +70,7 @@ def _encode_label(label, buf: bytearray) -> None:
 
 
 def _decode_label(data: bytes, pos: int):
-    if pos >= len(data):
+    if not 0 <= pos < len(data):
         raise CodecError("truncated item label")
     kind = data[pos]
     pos += 1

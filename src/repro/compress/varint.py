@@ -43,6 +43,8 @@ def encode_uvarint(value: int, out: bytearray | None = None) -> bytearray:
 
 def decode_uvarint(data: bytes | bytearray | memoryview, offset: int = 0) -> tuple[int, int]:
     """Decode one varint at ``offset``; returns ``(value, next_offset)``."""
+    if offset < 0:
+        raise CodecError(f"invalid negative offset {offset}")
     value = 0
     shift = 0
     pos = offset
@@ -70,6 +72,8 @@ def encode_uvarints(values: Iterable[int]) -> bytes:
 
 def decode_uvarints(data: bytes, count: int, offset: int = 0) -> tuple[list[int], int]:
     """Decode exactly ``count`` varints; returns ``(values, next_offset)``."""
+    if count < 0:
+        raise CodecError(f"invalid negative count {count}")
     values = []
     pos = offset
     for _ in range(count):

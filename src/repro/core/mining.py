@@ -262,8 +262,15 @@ def _mine_plt_parallel(transactions, abs_support, order, max_len, **kwargs):
     from repro.parallel.executor import mine_parallel
 
     plt = PLT.from_transactions(transactions, abs_support, order=order)
+    parallel_kwargs = {
+        key: kwargs[key] for key in ("timeout", "retry") if key in kwargs
+    }
     pairs = mine_parallel(
-        plt, abs_support, max_len=max_len, n_workers=kwargs.get("n_workers")
+        plt,
+        abs_support,
+        max_len=max_len,
+        n_workers=kwargs.get("n_workers"),
+        **parallel_kwargs,
     )
     table = plt.rank_table
     return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}

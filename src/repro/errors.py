@@ -17,6 +17,9 @@ __all__ = [
     "DatasetError",
     "CodecError",
     "ParallelExecutionError",
+    "CrashedNodeError",
+    "CheckpointError",
+    "DegradedExecutionWarning",
 ]
 
 
@@ -65,4 +68,37 @@ class CodecError(ReproError, ValueError):
 
 
 class ParallelExecutionError(ReproError, RuntimeError):
-    """A parallel mining worker failed; the original traceback is chained."""
+    """A parallel mining worker failed; the original traceback is chained.
+
+    When the failure happened inside a simulated node program, ``node_id``
+    and ``superstep`` identify where (``None`` otherwise).
+    """
+
+    def __init__(self, message: str, *, node_id: int | None = None, superstep: int | None = None):
+        super().__init__(message)
+        self.node_id = node_id
+        self.superstep = superstep
+
+
+class CrashedNodeError(ParallelExecutionError):
+    """A simulated node crashed (fault injection) and the run cannot proceed.
+
+    Raised when a crash is unrecoverable: the coordinator (node 0) died, or
+    every node in the cluster crashed.  Recoverable crashes — a worker that
+    owns conditional databases — are instead handled by the failover
+    protocol in :mod:`repro.parallel.distributed` and never surface as an
+    exception.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A required checkpoint is missing or malformed in stable storage."""
+
+
+class DegradedExecutionWarning(RuntimeWarning):
+    """A parallel executor fell back to in-process sequential execution.
+
+    Results are still exact — only the parallel speedup is lost.  Emitted
+    by :func:`repro.parallel.executor.mine_parallel` and friends when pool
+    workers repeatedly time out, die, or cannot be spawned.
+    """

@@ -6,6 +6,7 @@ from repro.parallel.count_distribution import (
 )
 from repro.parallel.distributed import mine_distributed, owner_of_rank
 from repro.parallel.executor import default_workers, mine_parallel, topdown_parallel
+from repro.parallel.faults import FaultPlan
 from repro.parallel.simcluster import ClusterStats, NodeContext, SimCluster
 from repro.parallel.partitioner import (
     ConditionalTask,
@@ -22,6 +23,7 @@ __all__ = [
     "node_level_counts",
     "mine_distributed",
     "owner_of_rank",
+    "FaultPlan",
     "SimCluster",
     "NodeContext",
     "ClusterStats",

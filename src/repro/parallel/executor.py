@@ -1,4 +1,4 @@
-"""Multiprocessing executors for PLT mining.
+"""Multiprocessing executors for PLT mining — hardened against bad pools.
 
 Two exact (not approximate) parallel schemes, following the task
 decompositions in :mod:`repro.parallel.partitioner`:
@@ -16,26 +16,56 @@ Both fall back to in-process execution for one worker (or tiny inputs),
 so results and code paths stay testable without process overhead.  The
 pool uses the default start method; tasks and results are plain
 picklable dicts/tuples.
+
+Failure handling (see ``docs/FAULT_TOLERANCE.md``): every batch result is
+collected with a per-batch **timeout** instead of a blocking ``pool.map``
+— a wedged or killed worker can no longer hang the caller forever.
+Failed or timed-out batches are retried on a *fresh* pool per the
+:class:`~repro.robustness.retry.RetryPolicy`; leaving the ``with pool:``
+block terminates the old pool, reaping any stuck workers.  Batches that
+still fail after the retry budget run in-process sequentially — degraded
+but correct — with a :class:`~repro.errors.DegradedExecutionWarning`.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Sequence
+import time
+import warnings
+from collections.abc import Callable, Sequence
 
 from repro.core.conditional import _mine, build_conditional_buckets
 from repro.core.plt import PLT
 from repro.core.position import PositionVector
 from repro.core.topdown import DEFAULT_WORK_LIMIT, estimate_topdown_work
-from repro.errors import ParallelExecutionError, TopDownExplosionError
+from repro.errors import (
+    DegradedExecutionWarning,
+    ParallelExecutionError,
+    TopDownExplosionError,
+)
 from repro.parallel.partitioner import (
     ConditionalTask,
     conditional_tasks,
     lpt_partition,
     split_vectors,
 )
+from repro.robustness.retry import RetryPolicy
 
-__all__ = ["mine_parallel", "topdown_parallel", "default_workers"]
+__all__ = [
+    "mine_parallel",
+    "topdown_parallel",
+    "default_workers",
+    "DEFAULT_BATCH_TIMEOUT",
+    "DEFAULT_EXECUTOR_RETRY",
+]
+
+#: Per-batch result deadline in seconds.  Generous — it exists to turn
+#: "hangs forever on a wedged worker" into "degrades after a bound", not
+#: to police slow batches.  Pass ``timeout=None`` to wait indefinitely.
+DEFAULT_BATCH_TIMEOUT = 300.0
+
+#: One immediate retry on a fresh pool, then in-process fallback.
+DEFAULT_EXECUTOR_RETRY = RetryPolicy(max_retries=1, base_delay=0.0, max_delay=0.0)
 
 
 def default_workers() -> int:
@@ -85,6 +115,84 @@ def _shell_plt(vectors: dict[PositionVector, int]) -> PLT:
 
 
 # ---------------------------------------------------------------------------
+# the hardened batch runner
+# ---------------------------------------------------------------------------
+def _run_batches(
+    worker: Callable,
+    batches: Sequence,
+    *,
+    timeout: float | None,
+    retry: RetryPolicy | None,
+    what: str,
+) -> list:
+    """Run ``worker(batch)`` for every batch on worker processes, reliably.
+
+    Results are collected with a per-batch deadline via ``AsyncResult.get``
+    (``pool.map`` would block forever on a wedged worker).  Batches that
+    fail or time out are retried — each attempt on a **fresh** pool, since
+    the old one may hold stuck or dead processes; ``with pool:`` terminates
+    it on exit, reaping them.  Whatever survives the retry budget runs
+    in-process sequentially under a :class:`DegradedExecutionWarning`; an
+    error even then is a genuine bug in the batch and is re-raised as
+    :class:`ParallelExecutionError`.
+
+    Returns results in batch order.
+    """
+    import multiprocessing as mp
+
+    if retry is None:
+        retry = DEFAULT_EXECUTOR_RETRY
+    results: list = [None] * len(batches)
+    remaining = list(range(len(batches)))
+    last_error: BaseException | None = None
+    for attempt in range(retry.max_retries + 1):
+        if not remaining:
+            return results
+        if attempt:
+            pause = retry.delay(attempt, key=what)
+            if pause:
+                time.sleep(pause)
+        failed: list[int] = []
+        try:
+            pool = mp.Pool(processes=len(remaining))
+        except Exception as exc:  # pragma: no cover - resource exhaustion
+            last_error = exc
+            continue
+        with pool:
+            handles = [(i, pool.apply_async(worker, (batches[i],))) for i in remaining]
+            deadline = None if timeout is None else time.monotonic() + timeout
+            for i, handle in handles:
+                budget = None if deadline is None else max(0.0, deadline - time.monotonic())
+                try:
+                    results[i] = handle.get(budget)
+                except mp.TimeoutError:
+                    failed.append(i)
+                    last_error = ParallelExecutionError(
+                        f"{what}: batch {i} exceeded the {timeout}s deadline"
+                    )
+                except Exception as exc:
+                    failed.append(i)
+                    last_error = exc
+        remaining = failed
+    if remaining:
+        warnings.warn(
+            f"{what}: {len(remaining)} of {len(batches)} batches failed on "
+            f"worker processes after {retry.max_retries + 1} attempts "
+            f"(last error: {last_error}); degrading to in-process execution",
+            DegradedExecutionWarning,
+            stacklevel=3,
+        )
+        for i in remaining:
+            try:
+                results[i] = worker(batches[i])
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"{what}: batch {i} failed even in-process: {exc}"
+                ) from exc
+    return results
+
+
+# ---------------------------------------------------------------------------
 # drivers
 # ---------------------------------------------------------------------------
 def mine_parallel(
@@ -93,8 +201,15 @@ def mine_parallel(
     *,
     n_workers: int | None = None,
     max_len: int | None = None,
+    timeout: float | None = DEFAULT_BATCH_TIMEOUT,
+    retry: RetryPolicy | None = None,
 ) -> list[tuple[tuple[int, ...], int]]:
-    """Parallel conditional mining; same output as ``mine_conditional``."""
+    """Parallel conditional mining; same output as ``mine_conditional``.
+
+    ``timeout`` bounds each batch attempt (seconds; ``None`` disables) and
+    ``retry`` sets how many fresh-pool retries failed batches get before
+    the in-process fallback.
+    """
     if min_support is None:
         min_support = plt.min_support
     if n_workers is None:
@@ -114,14 +229,10 @@ def mine_parallel(
         if bin_tasks
     ]
     results: list[tuple[tuple[int, ...], int]] = []
-    import multiprocessing as mp
-
-    try:
-        with mp.Pool(processes=len(batches)) as pool:
-            for part in pool.map(_mine_task_batch, batches):
-                results.extend(part)
-    except Exception as exc:  # pragma: no cover - depends on platform failures
-        raise ParallelExecutionError(f"parallel conditional mining failed: {exc}") from exc
+    for part in _run_batches(
+        _mine_task_batch, batches, timeout=timeout, retry=retry, what="mine_parallel"
+    ):
+        results.extend(part)
     return results
 
 
@@ -130,8 +241,13 @@ def topdown_parallel(
     *,
     n_workers: int | None = None,
     work_limit: int | None = DEFAULT_WORK_LIMIT,
+    timeout: float | None = DEFAULT_BATCH_TIMEOUT,
+    retry: RetryPolicy | None = None,
 ) -> dict[int, dict[PositionVector, int]]:
-    """Parallel top-down pass; same output as ``topdown_subset_frequencies``."""
+    """Parallel top-down pass; same output as ``topdown_subset_frequencies``.
+
+    ``timeout``/``retry`` behave as in :func:`mine_parallel`.
+    """
     if n_workers is None:
         n_workers = default_workers()
     if work_limit is not None:
@@ -146,16 +262,16 @@ def topdown_parallel(
         from repro.core.topdown import topdown_subset_frequencies
 
         return topdown_subset_frequencies(plt, work_limit=None)
-    import multiprocessing as mp
-
     merged: dict[int, dict[PositionVector, int]] = {}
-    try:
-        with mp.Pool(processes=len(slices)) as pool:
-            for partial in pool.map(_topdown_slice, [(s, 0) for s in slices]):
-                for length, bucket in partial.items():
-                    target = merged.setdefault(length, {})
-                    for vec, freq in bucket.items():
-                        target[vec] = target.get(vec, 0) + freq
-    except Exception as exc:  # pragma: no cover
-        raise ParallelExecutionError(f"parallel top-down failed: {exc}") from exc
+    for partial in _run_batches(
+        _topdown_slice,
+        [(s, 0) for s in slices],
+        timeout=timeout,
+        retry=retry,
+        what="topdown_parallel",
+    ):
+        for length, bucket in partial.items():
+            target = merged.setdefault(length, {})
+            for vec, freq in bucket.items():
+                target[vec] = target.get(vec, 0) + freq
     return merged

@@ -1,0 +1,138 @@
+"""Seeded, deterministic fault injection for the cluster simulator.
+
+A :class:`FaultPlan` tells :class:`~repro.parallel.simcluster.SimCluster`
+which failures to inject and where.  Faults address messages by their
+**global send index** — the ``i``-th ``ctx.send`` the whole cluster
+performs during the run (nodes execute in id order within a superstep, so
+the numbering is deterministic) — and nodes by id:
+
+* ``drop`` / ``corrupt`` / ``duplicate`` — explicit message indices;
+* ``delay`` — ``{message index: extra supersteps}``;
+* ``*_rate`` — per-message Bernoulli faults drawn from ``seed`` (each
+  fault type uses an independent, reproducible stream);
+* ``crashes`` — ``{node id: superstep}``: the node is killed at the
+  *start* of that superstep — it never executes again, its volatile state
+  is gone, and anything later addressed to it vanishes;
+* ``slow_nodes`` — ``{node id: factor}``: scales the node's accounted
+  compute time (a straggler model for the BSP makespan).
+
+Decisions are pure functions of ``(seed, index)`` / ``(seed, node)``;
+running the same plan twice yields identical fault schedules, identical
+:class:`ClusterStats` fault counters, and — because the recovery protocol
+is deterministic too — identical mining output.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import ParallelExecutionError
+
+__all__ = ["FaultPlan"]
+
+
+def _frozen(indices) -> frozenset[int]:
+    out = frozenset(int(i) for i in indices)
+    if any(i < 0 for i in out):
+        raise ParallelExecutionError("message indices must be >= 0")
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of every fault to inject into one run."""
+
+    seed: int = 0
+    drop: frozenset[int] = frozenset()
+    corrupt: frozenset[int] = frozenset()
+    duplicate: frozenset[int] = frozenset()
+    delay: Mapping[int, int] = field(default_factory=dict)
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_random_delay: int = 3
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    slow_nodes: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "drop", _frozen(self.drop))
+        object.__setattr__(self, "corrupt", _frozen(self.corrupt))
+        object.__setattr__(self, "duplicate", _frozen(self.duplicate))
+        object.__setattr__(self, "delay", dict(self.delay))
+        object.__setattr__(self, "crashes", dict(self.crashes))
+        object.__setattr__(self, "slow_nodes", dict(self.slow_nodes))
+        for name in ("drop_rate", "corrupt_rate", "duplicate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ParallelExecutionError(f"{name} must be in [0, 1], got {rate}")
+        if any(d < 0 for d in self.delay.values()):
+            raise ParallelExecutionError("delays must be >= 0 supersteps")
+        if self.max_random_delay < 0:
+            raise ParallelExecutionError("max_random_delay must be >= 0")
+        if any(s < 0 for s in self.crashes.values()):
+            raise ParallelExecutionError("crash supersteps must be >= 0")
+        if any(f < 1.0 for f in self.slow_nodes.values()):
+            raise ParallelExecutionError("slow factors must be >= 1")
+
+    # -- per-message decisions (pure in (seed, kind, index)) ---------------
+    def _hit(self, kind: str, index: int, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return random.Random(f"{self.seed}:{kind}:{index}").random() < rate
+
+    def drops(self, index: int) -> bool:
+        return index in self.drop or self._hit("drop", index, self.drop_rate)
+
+    def corrupts(self, index: int) -> bool:
+        return index in self.corrupt or self._hit("corrupt", index, self.corrupt_rate)
+
+    def duplicates(self, index: int) -> bool:
+        return index in self.duplicate or self._hit("dup", index, self.duplicate_rate)
+
+    def delay_of(self, index: int) -> int:
+        if index in self.delay:
+            return self.delay[index]
+        if self._hit("delay", index, self.delay_rate) and self.max_random_delay:
+            return random.Random(f"{self.seed}:delaylen:{index}").randint(
+                1, self.max_random_delay
+            )
+        return 0
+
+    def corrupt_payload(self, index: int, payload: bytes) -> bytes:
+        """Flip one deterministic bit of ``payload`` (identity on empty)."""
+        if not payload:
+            return payload
+        rng = random.Random(f"{self.seed}:corruptbyte:{index}")
+        data = bytearray(payload)
+        data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+        return bytes(data)
+
+    # -- per-node decisions ------------------------------------------------
+    def crash_superstep(self, node_id: int) -> int | None:
+        return self.crashes.get(node_id)
+
+    def slow_factor(self, node_id: int) -> float:
+        return self.slow_nodes.get(node_id, 1.0)
+
+    def describe(self) -> dict:
+        """Compact summary (for logs and the ``chaos`` CLI)."""
+        return {
+            "seed": self.seed,
+            "scripted": {
+                "drop": sorted(self.drop),
+                "corrupt": sorted(self.corrupt),
+                "duplicate": sorted(self.duplicate),
+                "delay": dict(sorted(self.delay.items())),
+            },
+            "rates": {
+                "drop": self.drop_rate,
+                "corrupt": self.corrupt_rate,
+                "duplicate": self.duplicate_rate,
+                "delay": self.delay_rate,
+            },
+            "crashes": dict(sorted(self.crashes.items())),
+            "slow_nodes": dict(sorted(self.slow_nodes.items())),
+        }

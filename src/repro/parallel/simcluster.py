@@ -28,6 +28,18 @@ Model
 * Per-node compute time is measured with a wall clock while the node's
   step function runs; since nodes run sequentially in the simulator, the
   *modelled* parallel runtime of a superstep is the max over nodes.
+
+Fault injection
+---------------
+A :class:`~repro.parallel.faults.FaultPlan` makes the network and the
+nodes unreliable, deterministically: individual messages can be dropped,
+duplicated, corrupted (one bit flipped) or delayed extra supersteps, a
+node can be slowed by a straggler factor, and a node can be **crashed**
+at a chosen superstep boundary — it stops executing, its volatile state
+is lost, and messages addressed to it disappear.  Every injected fault is
+tallied in :class:`ClusterStats`, and the recovery work done by resilient
+node programs (retransmits, rejected frames, failovers) is tallied next
+to it, so a chaos run is as measurable as a clean one.
 """
 
 from __future__ import annotations
@@ -36,7 +48,8 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import ParallelExecutionError
+from repro.errors import CrashedNodeError, ParallelExecutionError
+from repro.parallel.faults import FaultPlan
 
 __all__ = ["SimCluster", "NodeContext", "ClusterStats", "HEADER_BYTES"]
 
@@ -46,13 +59,32 @@ HEADER_BYTES = 16
 
 @dataclass
 class ClusterStats:
-    """Aggregate accounting for one simulated run."""
+    """Aggregate accounting for one simulated run.
+
+    The first group of fields measures useful work, the second the faults
+    the :class:`~repro.parallel.faults.FaultPlan` injected, and the third
+    the recovery activity of the node programs (incremented through
+    :attr:`NodeContext.stats` by the reliable channel / failover layer).
+    """
 
     n_nodes: int
     supersteps: int = 0
     messages: int = 0
     bytes_sent: int = 0
     compute_seconds_per_node: list[float] = field(default_factory=list)
+    _modelled: float = 0.0
+    # injected faults
+    dropped: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    crashed_nodes: list[int] = field(default_factory=list)
+    # recovery activity (owned by the protocol layer, not the simulator)
+    retransmits: int = 0
+    rejected_frames: int = 0
+    failovers: int = 0
+    checkpoint_writes: int = 0
+    checkpoint_reads: int = 0
 
     @property
     def total_compute_seconds(self) -> float:
@@ -67,17 +99,35 @@ class ClusterStats:
         """
         return self._modelled
 
-    _modelled: float = 0.0
+    def deterministic_summary(self) -> dict:
+        """Everything in :meth:`summary` except the wall-clock timings.
 
-    def summary(self) -> dict:
+        Two runs of the same program under the same
+        :class:`~repro.parallel.faults.FaultPlan` seed produce *identical*
+        deterministic summaries (the chaos suite asserts this).
+        """
         return {
             "n_nodes": self.n_nodes,
             "supersteps": self.supersteps,
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
-            "total_compute_s": round(self.total_compute_seconds, 4),
-            "modelled_parallel_s": round(self.modelled_parallel_seconds, 4),
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "crashed_nodes": list(self.crashed_nodes),
+            "retransmits": self.retransmits,
+            "rejected_frames": self.rejected_frames,
+            "failovers": self.failovers,
+            "checkpoint_writes": self.checkpoint_writes,
+            "checkpoint_reads": self.checkpoint_reads,
         }
+
+    def summary(self) -> dict:
+        out = self.deterministic_summary()
+        out["total_compute_s"] = round(self.total_compute_seconds, 4)
+        out["modelled_parallel_s"] = round(self.modelled_parallel_seconds, 4)
+        return out
 
 
 class NodeContext:
@@ -91,6 +141,11 @@ class NodeContext:
         self._inbox: list[tuple[int, bytes]] = []
         self._outbox: list[tuple[int, bytes]] = []
         self._stats = stats
+
+    @property
+    def stats(self) -> ClusterStats:
+        """The run's shared accounting object (counters only, no control)."""
+        return self._stats
 
     def inbox(self) -> list[tuple[int, bytes]]:
         """Messages delivered this superstep, as ``(sender, payload)``."""
@@ -141,38 +196,122 @@ class SimCluster:
     #: Sentinel a node returns to vote for termination.
     DONE = object()
 
-    def __init__(self, n_nodes: int, *, max_supersteps: int = 10_000):
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        max_supersteps: int = 10_000,
+        fault_plan: FaultPlan | None = None,
+    ):
         if n_nodes < 1:
             raise ParallelExecutionError("n_nodes must be >= 1")
         self.n_nodes = n_nodes
         self.max_supersteps = max_supersteps
+        self.fault_plan = fault_plan
         self.stats = ClusterStats(n_nodes=n_nodes)
         self.stats.compute_seconds_per_node = [0.0] * n_nodes
+        self._msg_counter = 0
+        #: messages on the wire: superstep -> [(order, src, dest, payload)]
+        self._in_flight: dict[int, list[tuple[int, int, int, bytes]]] = {}
 
+    # -- wire -------------------------------------------------------------
+    def _post_outboxes(self, contexts: list[NodeContext], superstep: int) -> None:
+        """Apply the fault plan to every send and schedule deliveries."""
+        plan = self.fault_plan
+        for ctx in contexts:
+            for dest, payload in ctx._outbox:
+                index = self._msg_counter
+                self._msg_counter += 1
+                arrival = superstep + 1
+                copies = 1
+                if plan is not None:
+                    if plan.drops(index):
+                        self.stats.dropped += 1
+                        continue
+                    if plan.corrupts(index):
+                        payload = plan.corrupt_payload(index, payload)
+                        self.stats.corrupted += 1
+                    if plan.duplicates(index):
+                        copies = 2
+                        self.stats.duplicated += 1
+                    extra = plan.delay_of(index)
+                    if extra:
+                        arrival += extra
+                        self.stats.delayed += 1
+                for copy in range(copies):
+                    self._in_flight.setdefault(arrival, []).append(
+                        (index * 2 + copy, ctx.node_id, dest, payload)
+                    )
+            ctx._outbox = []
+
+    def _deliver(self, contexts: list[NodeContext], superstep: int, crashed: set[int]) -> None:
+        due = self._in_flight.pop(superstep, [])
+        due.sort(key=lambda m: (m[1], m[0]))  # sender id, then send order
+        for _, src, dest, payload in due:
+            if dest in crashed:
+                self.stats.dropped += 1
+                continue
+            contexts[dest]._inbox.append((src, payload))
+
+    # -- execution --------------------------------------------------------
     def run(self, program: NodeProgram, states: Sequence) -> list:
         """Execute supersteps until every node returned ``DONE``.
 
         ``states`` holds each node's private initial state (e.g. its data
         partition); the final states are returned.  A node that has voted
         DONE is still woken while others run (it may receive messages),
-        matching BSP semantics; termination requires *all* nodes voting
-        DONE in the same superstep with no messages in flight.
+        matching BSP semantics; termination requires *all* live nodes
+        voting DONE in the same superstep with nothing left on the wire.
+
+        A crashed node (fault injection) counts as permanently DONE; its
+        entry in the returned list is its last state before the crash.
+        Exceptions a node program raises are wrapped in
+        :class:`ParallelExecutionError` carrying the node id and superstep
+        (library errors that already are ``ParallelExecutionError``
+        propagate unchanged).
         """
         if len(states) != self.n_nodes:
             raise ParallelExecutionError(
                 f"expected {self.n_nodes} initial states, got {len(states)}"
             )
+        plan = self.fault_plan
         contexts = [NodeContext(i, self.n_nodes, self.stats) for i in range(self.n_nodes)]
         states = list(states)
         done = [False] * self.n_nodes
+        crashed: set[int] = set()
         for superstep in range(self.max_supersteps):
+            if plan is not None:
+                for i in range(self.n_nodes):
+                    if i not in crashed and plan.crash_superstep(i) == superstep:
+                        crashed.add(i)
+                        self.stats.crashed_nodes.append(i)
+                        done[i] = True
+                if len(crashed) == self.n_nodes:
+                    raise CrashedNodeError(
+                        f"all {self.n_nodes} nodes crashed by superstep {superstep}",
+                        superstep=superstep,
+                    )
             self.stats.supersteps += 1
+            self._deliver(contexts, superstep, crashed)
             slowest = 0.0
-            any_messages = False
             for i, ctx in enumerate(contexts):
+                if i in crashed:
+                    ctx._inbox = []
+                    continue
                 start = time.perf_counter()
-                result = program(ctx, superstep, states[i])
+                try:
+                    result = program(ctx, superstep, states[i])
+                except ParallelExecutionError:
+                    raise
+                except Exception as exc:
+                    raise ParallelExecutionError(
+                        f"node {i} failed at superstep {superstep}: {exc!r}",
+                        node_id=i,
+                        superstep=superstep,
+                    ) from exc
                 elapsed = time.perf_counter() - start
+                if plan is not None:
+                    elapsed *= plan.slow_factor(i)
                 self.stats.compute_seconds_per_node[i] += elapsed
                 slowest = max(slowest, elapsed)
                 if result is SimCluster.DONE:
@@ -180,19 +319,10 @@ class SimCluster:
                 else:
                     done[i] = False
                     states[i] = result
-                if ctx._outbox:
-                    any_messages = True
-            self.stats._modelled += slowest
-            # deliver
-            for ctx in contexts:
                 ctx._inbox = []
-            for ctx in contexts:
-                for dest, payload in ctx._outbox:
-                    contexts[dest]._inbox.append((ctx.node_id, payload))
-                ctx._outbox = []
-            for ctx in contexts:
-                ctx._inbox.sort(key=lambda m: m[0])  # deterministic order
-            if all(done) and not any_messages:
+            self.stats._modelled += slowest
+            self._post_outboxes(contexts, superstep)
+            if all(done) and not self._in_flight:
                 return states
         raise ParallelExecutionError(
             f"cluster did not terminate within {self.max_supersteps} supersteps"

@@ -1,0 +1,48 @@
+"""Fault-tolerance building blocks shared by the parallel mining layers.
+
+The paper's partitioning claim (§1, §5) is only useful in practice if the
+partitioned mining survives the failures real clusters exhibit: lost and
+corrupted messages, wedged workers, crashed nodes.  This package holds the
+generic machinery — none of it knows anything about PLTs:
+
+* :mod:`~repro.robustness.retry` — :class:`RetryPolicy`, deterministic
+  exponential backoff with seeded jitter, shared by the wire protocol
+  (delays in supersteps) and the multiprocessing executors (delays in
+  seconds).
+* :mod:`~repro.robustness.framing` — CRC-checksummed message frames with
+  sequence numbers, so corruption is *detected* rather than decoded.
+* :mod:`~repro.robustness.channel` — :class:`ReliableChannel`, an
+  ack/retransmit exactly-once delivery layer over the lossy simulated
+  network, with bounded retries and peer-death detection.
+* :mod:`~repro.robustness.checkpoint` — :class:`CheckpointStore`, a model
+  of stable storage that survives node crashes (the input partitions and
+  per-phase node state live here, enabling failover replay).
+
+The consumers are :mod:`repro.parallel.distributed` (resilient distributed
+mining) and :mod:`repro.parallel.executor` (hardened process pools); the
+failure model itself is injected by :mod:`repro.parallel.faults`.
+"""
+
+from repro.robustness.channel import ReliableChannel
+from repro.robustness.checkpoint import CheckpointStore
+from repro.robustness.framing import (
+    ACK,
+    DATA,
+    Frame,
+    decode_frame,
+    encode_ack,
+    encode_data,
+)
+from repro.robustness.retry import RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "Frame",
+    "DATA",
+    "ACK",
+    "encode_data",
+    "encode_ack",
+    "decode_frame",
+    "ReliableChannel",
+    "CheckpointStore",
+]

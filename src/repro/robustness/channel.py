@@ -1,0 +1,179 @@
+"""Reliable, exactly-once message delivery over the lossy simulated wire.
+
+The :class:`~repro.parallel.simcluster.SimCluster` network (under a
+:class:`~repro.parallel.faults.FaultPlan`) may drop, duplicate, corrupt or
+delay any frame.  :class:`ReliableChannel` restores the abstraction node
+programs want — every payload handed to :meth:`send` is delivered to the
+application layer of the destination exactly once, in bounded time, or the
+destination is declared dead:
+
+* every payload travels as a CRC-framed DATA frame carrying a
+  sender-scoped sequence number (:mod:`repro.robustness.framing`);
+* receivers ack every structurally valid DATA frame (including
+  retransmits, whose acks may themselves have been lost) and deduplicate
+  by ``(sender, seq)`` before delivering upward;
+* undecodable frames are dropped silently — to the sender they look lost;
+* senders retransmit unacked frames on the :class:`RetryPolicy` schedule
+  (in supersteps; the minimum ack round-trip of 2 supersteps is added on
+  top) and declare the peer **dead** after ``max_retries`` retransmits go
+  unanswered.
+
+Death detection is *eventually accurate*, not perfect: pathological loss
+can declare a live peer dead.  The mining protocol layered on top is
+idempotent per data-origin, so a false positive costs duplicated work,
+never wrong results (see ``docs/FAULT_TOLERANCE.md``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CodecError
+from repro.robustness.framing import ACK, DATA, decode_frame, encode_ack, encode_data
+from repro.robustness.retry import RetryPolicy
+
+__all__ = ["ReliableChannel", "DEFAULT_CHANNEL_RETRY", "ACK_RTT_SUPERSTEPS"]
+
+#: Minimum supersteps before an ack can possibly arrive (deliver + reply).
+ACK_RTT_SUPERSTEPS = 2
+
+#: Default retransmit schedule: retries after 1, 2, 4 extra supersteps.
+DEFAULT_CHANNEL_RETRY = RetryPolicy(max_retries=3, base_delay=1.0, multiplier=2.0, max_delay=4.0)
+
+
+class _Pending:
+    __slots__ = ("dest", "frame", "attempts", "due")
+
+    def __init__(self, dest: int, frame: bytes, due: int):
+        self.dest = dest
+        self.frame = frame
+        self.attempts = 0
+        self.due = due
+
+
+class ReliableChannel:
+    """Ack/retransmit endpoint for one simulated node.
+
+    Drive it once per superstep::
+
+        delivered = channel.poll(ctx, superstep)   # acks + dedups inbox
+        ... application logic, may call channel.send(ctx, superstep, ...)
+        channel.flush(ctx, superstep)              # due retransmits
+        for peer in channel.take_dead_peers(): ...
+    """
+
+    def __init__(self, node_id: int, *, retry: RetryPolicy | None = None):
+        self.node_id = node_id
+        self.retry = retry if retry is not None else DEFAULT_CHANNEL_RETRY
+        self._next_seq = 0
+        self._pending: dict[int, _Pending] = {}
+        self._seen: dict[int, set[int]] = {}
+        self._dead: set[int] = set()
+        self._newly_dead: list[int] = []
+
+    # -- sending ----------------------------------------------------------
+    def send(self, ctx, superstep: int, dest: int, payload: bytes) -> None:
+        """Queue ``payload`` for reliable delivery to ``dest``.
+
+        Sends to peers already declared dead are discarded — the caller is
+        expected to have rerouted their work.
+        """
+        if dest in self._dead:
+            return
+        seq = self._next_seq
+        self._next_seq += 1
+        frame = encode_data(seq, payload)
+        ctx.send(dest, frame)
+        due = superstep + ACK_RTT_SUPERSTEPS + self._backoff(seq, 1)
+        self._pending[seq] = _Pending(dest, frame, due)
+
+    def send_unreliable(self, ctx, dest: int, payload: bytes) -> None:
+        """Fire-and-forget framed send (no ack tracking, works on dead peers).
+
+        Used for best-effort hints, e.g. re-offering FIN to a peer that was
+        (possibly falsely) declared dead.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        ctx.send(dest, encode_data(seq, payload))
+
+    def _backoff(self, seq: int, attempt: int) -> int:
+        return max(0, math.ceil(self.retry.delay(attempt, key=str(seq))))
+
+    # -- receiving --------------------------------------------------------
+    def poll(self, ctx, superstep: int) -> list[tuple[int, bytes]]:
+        """Process this superstep's inbox; returns newly delivered payloads.
+
+        Acks valid DATA frames (retransmits included), strips duplicates,
+        and silently discards frames the framing layer rejects.
+        """
+        delivered: list[tuple[int, bytes]] = []
+        for src, raw in ctx.inbox():
+            try:
+                frame = decode_frame(raw)
+            except CodecError:
+                ctx.stats.rejected_frames += 1
+                continue
+            if frame.kind == ACK:
+                pending = self._pending.get(frame.seq)
+                if pending is not None and pending.dest == src:
+                    del self._pending[frame.seq]
+                continue
+            assert frame.kind == DATA
+            ctx.send(src, encode_ack(frame.seq))
+            seen = self._seen.setdefault(src, set())
+            if frame.seq in seen:
+                continue
+            seen.add(frame.seq)
+            delivered.append((src, frame.payload))
+        return delivered
+
+    # -- retransmission & failure detection -------------------------------
+    def flush(self, ctx, superstep: int) -> None:
+        """Retransmit overdue frames; exhausting retries marks peers dead."""
+        for seq in sorted(self._pending):
+            pending = self._pending.get(seq)
+            if pending is None:  # removed by mark_dead earlier in this sweep
+                continue
+            if pending.dest in self._dead:
+                del self._pending[seq]
+                continue
+            if superstep < pending.due:
+                continue
+            if pending.attempts >= self.retry.max_retries:
+                self.mark_dead(pending.dest)
+                continue
+            pending.attempts += 1
+            ctx.send(pending.dest, pending.frame)
+            ctx.stats.retransmits += 1
+            pending.due = superstep + ACK_RTT_SUPERSTEPS + self._backoff(seq, pending.attempts + 1)
+
+    def mark_dead(self, peer: int, *, quiet: bool = False) -> None:
+        """Stop talking to ``peer``; drop everything queued for it.
+
+        ``quiet`` suppresses the death *event* (the peer will not show up
+        in :meth:`take_dead_peers`) — used when the caller learned of the
+        death from the failover protocol rather than detecting it here.
+        """
+        if peer not in self._dead:
+            self._dead.add(peer)
+            if not quiet:
+                self._newly_dead.append(peer)
+        for seq in [s for s, p in self._pending.items() if p.dest == peer]:
+            del self._pending[seq]
+
+    def take_dead_peers(self) -> list[int]:
+        """Peers newly declared dead since the last call (drains the list)."""
+        out, self._newly_dead = self._newly_dead, []
+        return out
+
+    @property
+    def dead_peers(self) -> frozenset[int]:
+        return frozenset(self._dead)
+
+    def idle(self) -> bool:
+        """True when every sent frame has been acknowledged (or abandoned)."""
+        return not self._pending
+
+    def has_unacked(self, dest: int) -> bool:
+        return any(p.dest == dest for p in self._pending.values())

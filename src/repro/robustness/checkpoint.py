@@ -1,0 +1,62 @@
+"""A model of stable storage that survives simulated node crashes.
+
+Real distributed miners keep their input splits and per-phase state on a
+distributed filesystem or local disk; when a node dies its successor
+re-reads that state and replays the lost work.  The simulator models node
+memory as the per-node ``state`` object (destroyed by a crash) and stable
+storage as this :class:`CheckpointStore` — a blob store keyed by
+``(node_id, key)`` that fault injection never touches.
+
+Blobs are required to be ``bytes``: checkpointing is serialization, and
+keeping the wire/storage representations identical means the same codecs
+(and the same fuzz tests) cover both.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Durable ``(node_id, key) -> bytes`` storage with access counters."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[tuple[int, str], bytes] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def save(self, node_id: int, key: str, blob: bytes) -> None:
+        """Overwrite the checkpoint ``key`` for ``node_id``."""
+        if not isinstance(blob, (bytes, bytearray)):
+            raise CheckpointError(
+                f"checkpoints must be serialized to bytes, got {type(blob).__name__}"
+            )
+        self._blobs[(node_id, key)] = bytes(blob)
+        self.writes += 1
+
+    def load(self, node_id: int, key: str) -> bytes:
+        """Read a checkpoint; raises :class:`CheckpointError` if absent."""
+        try:
+            blob = self._blobs[(node_id, key)]
+        except KeyError:
+            raise CheckpointError(f"no checkpoint {key!r} for node {node_id}") from None
+        self.reads += 1
+        return blob
+
+    def get(self, node_id: int, key: str) -> bytes | None:
+        """Read a checkpoint, or ``None`` if it was never written."""
+        blob = self._blobs.get((node_id, key))
+        if blob is not None:
+            self.reads += 1
+        return blob
+
+    def has(self, node_id: int, key: str) -> bool:
+        return (node_id, key) in self._blobs
+
+    def keys(self) -> list[tuple[int, str]]:
+        return sorted(self._blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)

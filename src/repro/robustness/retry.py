@@ -1,0 +1,67 @@
+"""Deterministic retry policies (exponential backoff + seeded jitter).
+
+One policy object serves two clocks: the reliable channel schedules
+retransmits in whole *supersteps* (it ceils the float delay), while the
+multiprocessing executors sleep real *seconds* between pool retries.
+Jitter is derived from ``random.Random`` seeded with a string key, so two
+runs with the same seed produce byte-identical schedules — a requirement
+for the reproducible chaos tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParallelExecutionError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    ``delay(attempt)`` for attempt 1, 2, ... is
+    ``min(base_delay * multiplier**(attempt-1), max_delay)`` plus a
+    deterministic jitter term in ``[0, jitter * delay)``.
+
+    >>> p = RetryPolicy(max_retries=3, base_delay=1.0, multiplier=2.0, max_delay=8.0)
+    >>> [p.delay(a) for a in (1, 2, 3, 4, 5)]
+    [1.0, 2.0, 4.0, 8.0, 8.0]
+    """
+
+    max_retries: int = 3
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ParallelExecutionError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ParallelExecutionError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ParallelExecutionError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ParallelExecutionError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``key`` names the thing being retried (a frame seq, a batch id) so
+        distinct retries draw independent — but reproducible — jitter.
+        """
+        if attempt < 1:
+            raise ParallelExecutionError("attempt is 1-based")
+        base = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter and base:
+            rng = random.Random(f"{self.seed}:{key}:{attempt}")
+            base += base * self.jitter * rng.random()
+        return base
+
+    def delays(self, key: str = "") -> list[float]:
+        """The full schedule: one delay per permitted retry."""
+        return [self.delay(a, key) for a in range(1, self.max_retries + 1)]

@@ -1,0 +1,195 @@
+"""Adversarial-input tests for the low-level codecs.
+
+Contract: a malformed, truncated, or bit-flipped stream either raises
+:class:`CodecError` or decodes to a structurally valid value — never an
+``IndexError``/negative-index read, never a hang.  Truncation is checked
+*exhaustively* (every proper prefix), bit flips over every byte.
+"""
+
+import pytest
+
+from repro.compress.plt_codec import decode_label, encode_label
+from repro.compress.varint import (
+    decode_uvarint,
+    decode_uvarints,
+    encode_uvarint,
+    encode_uvarints,
+)
+from repro.errors import CodecError
+
+
+class TestVarintAdversarial:
+    def test_negative_offset_raises(self):
+        data = bytes(encode_uvarint(300))
+        with pytest.raises(CodecError, match="negative offset"):
+            decode_uvarint(data, -1)
+        with pytest.raises(CodecError, match="negative offset"):
+            decode_uvarint(data, -len(data))  # would silently wrap via data[-n]
+
+    def test_offset_past_end_raises(self):
+        with pytest.raises(CodecError, match="truncated"):
+            decode_uvarint(b"\x01", 1)
+        with pytest.raises(CodecError, match="truncated"):
+            decode_uvarint(b"", 0)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(CodecError, match="negative count"):
+            decode_uvarints(encode_uvarints([1, 2]), -1)
+
+    def test_every_truncation_raises(self):
+        stream = encode_uvarints([0, 1, 127, 128, 2**32, 5])
+        values, end = decode_uvarints(stream, 6)
+        assert end == len(stream)
+        for cut in range(len(stream)):
+            with pytest.raises(CodecError):
+                decode_uvarints(stream[:cut], 6)
+
+    def test_every_bit_flip_is_loud_or_valid(self):
+        stream = bytes(encode_uvarint(2**40 + 12345))
+        for i in range(len(stream)):
+            for bit in range(8):
+                damaged = bytearray(stream)
+                damaged[i] ^= 1 << bit
+                try:
+                    value, pos = decode_uvarint(bytes(damaged))
+                except CodecError:
+                    continue
+                assert value >= 0 and 0 < pos <= len(damaged)
+
+    def test_unterminated_run_is_bounded(self):
+        # all-continuation bytes: must terminate with an error, not loop
+        with pytest.raises(CodecError):
+            decode_uvarint(b"\x80" * 64)
+
+
+def _label_stream(labels):
+    buf = bytearray()
+    for label in labels:
+        encode_label(label, buf)
+    return bytes(buf)
+
+
+class TestLabelAdversarial:
+    LABELS = [0, 7, 2**40, "a", "milk", "könig", ""]
+
+    def test_roundtrip(self):
+        data = _label_stream(self.LABELS)
+        pos, out = 0, []
+        while pos < len(data):
+            label, pos = decode_label(data, pos)
+            out.append(label)
+        assert out == self.LABELS
+
+    def test_negative_position_raises(self):
+        data = _label_stream(["x"])
+        with pytest.raises(CodecError):
+            decode_label(data, -1)
+        with pytest.raises(CodecError):
+            decode_label(data, -len(data))
+
+    def test_position_at_or_past_end_raises(self):
+        data = _label_stream([3])
+        with pytest.raises(CodecError):
+            decode_label(data, len(data))
+        with pytest.raises(CodecError):
+            decode_label(b"", 0)
+
+    def test_every_truncation_raises(self):
+        data = _label_stream(self.LABELS)
+        # decode as many whole labels as the prefix holds; the tail must
+        # raise CodecError, not IndexError
+        for cut in range(len(data)):
+            prefix = data[:cut]
+            pos = 0
+            with pytest.raises(CodecError):
+                while True:
+                    _, pos = decode_label(prefix, pos)
+                    if pos >= len(prefix):
+                        raise CodecError("clean end")  # consumed everything
+
+    def test_every_bit_flip_is_loud_or_valid(self):
+        data = _label_stream(["bread", 42])
+        for i in range(len(data)):
+            for bit in range(8):
+                damaged = bytearray(data)
+                damaged[i] ^= 1 << bit
+                try:
+                    label, pos = decode_label(bytes(damaged), 0)
+                except (CodecError, UnicodeDecodeError):
+                    continue  # loud failure: fine
+                assert 0 < pos <= len(damaged)
+                assert isinstance(label, (int, str))
+
+
+class TestProtocolMessageAdversarial:
+    """The distributed-mining envelope shares the same contract."""
+
+    def messages(self):
+        from repro.parallel.distributed import (
+            _msg_counts,
+            _msg_dead,
+            _msg_ranks,
+            _msg_reassign,
+            _msg_results,
+            _msg_slices,
+        )
+
+        return [
+            _msg_counts(1, {"a": 3, 9: 1}),
+            _msg_ranks(["a", "b", 4]),
+            _msg_slices(0, 2, {3: (5, {(1, 2): 2})}),
+            _msg_results(1, [((1, 3), 2)]),
+            _msg_dead(2),
+            _msg_reassign([0, 2, 2], {1}, ["a", "b"]),
+            _msg_reassign([0, 1], set(), None),
+        ]
+
+    def test_roundtrip_types(self):
+        from repro.parallel.distributed import _decode_msg
+
+        for msg in self.messages():
+            decoded = _decode_msg(msg)
+            assert decoded[0] == msg[0]
+
+    def test_empty_and_unknown_type_raise(self):
+        from repro.parallel.distributed import _decode_msg
+
+        with pytest.raises(CodecError):
+            _decode_msg(b"")
+        with pytest.raises(CodecError):
+            _decode_msg(bytes([250]))
+
+    def test_every_truncation_raises(self):
+        from repro.parallel.distributed import _decode_msg
+
+        for msg in self.messages():
+            for cut in range(len(msg)):
+                with pytest.raises(CodecError):
+                    _decode_msg(msg[:cut])
+
+    def test_every_bit_flip_is_loud_or_decodes(self):
+        from repro.parallel.distributed import _decode_msg
+
+        for msg in self.messages():
+            for i in range(len(msg)):
+                for bit in range(8):
+                    damaged = bytearray(msg)
+                    damaged[i] ^= 1 << bit
+                    try:
+                        decoded = _decode_msg(bytes(damaged))
+                    except (CodecError, UnicodeDecodeError):
+                        continue
+                    assert isinstance(decoded, tuple)  # plausible message;
+                    # the CRC frame layer is what rejects in-flight damage
+
+    def test_absurd_length_headers_rejected_fast(self):
+        """A flipped count must not allocate/loop for 2**40 entries."""
+        from repro.compress.varint import encode_uvarint
+        from repro.parallel.distributed import _decode_msg
+
+        evil = bytearray([3])  # SLICES
+        encode_uvarint(0, evil)  # origin
+        encode_uvarint(0, evil)  # slot
+        encode_uvarint(2**40, evil)  # claimed slice count
+        with pytest.raises(CodecError, match="exceeds remaining"):
+            _decode_msg(bytes(evil))

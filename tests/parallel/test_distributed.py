@@ -116,13 +116,18 @@ class TestCommunicationAccounting:
         assert volumes[0] < volumes[1] <= volumes[2] * 1.5
         assert volumes[1] > 0
 
-    def test_single_node_minimal_traffic(self, paper_db):
+    def test_single_node_no_traffic(self, paper_db):
         _, stats, _ = mine_distributed(list(paper_db), 2, n_nodes=1)
-        # only the self-contained protocol messages (counts to node 0 is
-        # a self-send? node 0 sends to itself in superstep 0)
-        assert stats.messages <= 2
+        # every protocol step is handled locally: nothing crosses the wire
+        assert stats.messages == 0
+        assert stats.supersteps == 1
 
-    def test_fixed_superstep_count(self, paper_db):
+    def test_fault_free_superstep_count(self, paper_db):
+        """Without faults the protocol settles in a small constant number
+        of supersteps (counts -> ranks -> slices -> results -> fin, plus
+        the ack round-trips), independent of node count."""
         for n_nodes in (2, 5):
             _, stats, _ = mine_distributed(list(paper_db), 2, n_nodes=n_nodes)
-            assert stats.supersteps == 6  # 0..4 plus the all-DONE round
+            assert stats.supersteps <= 8
+            assert stats.retransmits == 0
+            assert stats.failovers == 0

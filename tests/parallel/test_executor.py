@@ -1,17 +1,60 @@
 """Tests for the multiprocessing executors (exactness, not speed)."""
 
+import os
+import time
+
 import pytest
 
 from repro.core.conditional import mine_conditional
 from repro.core.plt import PLT
 from repro.core.topdown import topdown_subset_frequencies
-from repro.errors import TopDownExplosionError
+from repro.errors import (
+    DegradedExecutionWarning,
+    ParallelExecutionError,
+    TopDownExplosionError,
+)
 from repro.parallel.executor import (
+    _run_batches,
     default_workers,
     mine_parallel,
     topdown_parallel,
 )
+from repro.robustness.retry import RetryPolicy
 from tests.conftest import random_database
+
+NO_WAIT = RetryPolicy(max_retries=1, base_delay=0.0, max_delay=0.0)
+
+
+# -- module-level workers: picklable, and (via the parent-pid guard) able to
+# -- misbehave only inside pool processes, so the in-process fallback works
+def _double(batch):
+    parent_pid, value = batch
+    return value * 2
+
+
+def _wedge_in_child(batch):
+    parent_pid, value = batch
+    if os.getpid() != parent_pid:
+        time.sleep(60)  # wedged worker: never returns within the deadline
+    return value * 2
+
+
+def _die_in_child(batch):
+    parent_pid, value = batch
+    if os.getpid() != parent_pid:
+        os._exit(13)  # killed worker: the pool never gets a result back
+    return value * 2
+
+
+def _raise_in_child(batch):
+    parent_pid, value = batch
+    if os.getpid() != parent_pid:
+        raise ValueError("flaky worker")
+    return value * 2
+
+
+def _always_raise(batch):
+    raise ValueError("broken batch")
 
 
 class TestMineParallel:
@@ -80,6 +123,65 @@ class TestTopdownParallel:
     def test_empty(self):
         plt = PLT.from_transactions([], 1)
         assert topdown_parallel(plt, n_workers=2) == {}
+
+
+class TestHardening:
+    """Wedged, killed, or crashing workers must not hang or corrupt runs."""
+
+    def batches(self, n=2):
+        return [(os.getpid(), v) for v in range(1, n + 1)]
+
+    def test_healthy_batches_run_in_pool(self):
+        assert _run_batches(
+            _double, self.batches(3), timeout=30.0, retry=NO_WAIT, what="t"
+        ) == [2, 4, 6]
+
+    def test_wedged_worker_times_out_then_degrades(self):
+        with pytest.warns(DegradedExecutionWarning, match="degrading"):
+            results = _run_batches(
+                _wedge_in_child,
+                self.batches(),
+                timeout=0.75,
+                retry=RetryPolicy(max_retries=0, base_delay=0.0, max_delay=0.0),
+                what="wedge-test",
+            )
+        assert results == [2, 4]
+
+    def test_killed_worker_times_out_then_degrades(self):
+        with pytest.warns(DegradedExecutionWarning):
+            results = _run_batches(
+                _die_in_child, self.batches(), timeout=0.75,
+                retry=RetryPolicy(max_retries=0, base_delay=0.0, max_delay=0.0),
+                what="kill-test",
+            )
+        assert results == [2, 4]
+
+    def test_worker_exception_retried_then_degrades(self):
+        with pytest.warns(DegradedExecutionWarning, match="flaky worker"):
+            results = _run_batches(
+                _raise_in_child, self.batches(), timeout=30.0, retry=NO_WAIT,
+                what="raise-test",
+            )
+        assert results == [2, 4]
+
+    def test_genuinely_broken_batch_raises_after_fallback(self):
+        with pytest.warns(DegradedExecutionWarning):
+            with pytest.raises(ParallelExecutionError, match="even in-process"):
+                _run_batches(
+                    _always_raise, self.batches(), timeout=30.0, retry=NO_WAIT,
+                    what="broken-test",
+                )
+
+    def test_mine_parallel_accepts_timeout_and_retry(self, paper_plt):
+        pairs = mine_parallel(
+            paper_plt, 2, n_workers=2, timeout=60.0, retry=NO_WAIT
+        )
+        assert sorted(pairs) == sorted(mine_conditional(paper_plt, 2))
+
+    def test_topdown_parallel_accepts_timeout_and_retry(self, paper_plt):
+        assert topdown_parallel(
+            paper_plt, n_workers=2, timeout=60.0, retry=NO_WAIT
+        ) == topdown_subset_frequencies(paper_plt)
 
 
 class TestDefaults:

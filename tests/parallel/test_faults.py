@@ -1,0 +1,172 @@
+"""Tests for deterministic fault injection in the cluster simulator."""
+
+import pytest
+
+from repro.errors import CrashedNodeError, ParallelExecutionError
+from repro.parallel.faults import FaultPlan
+from repro.parallel.simcluster import SimCluster
+
+
+class TestFaultPlanDecisions:
+    def test_scripted_indices(self):
+        plan = FaultPlan(drop={1, 5}, corrupt={2}, duplicate={3}, delay={4: 2})
+        assert plan.drops(1) and plan.drops(5) and not plan.drops(0)
+        assert plan.corrupts(2) and not plan.corrupts(1)
+        assert plan.duplicates(3)
+        assert plan.delay_of(4) == 2 and plan.delay_of(3) == 0
+
+    def test_rate_decisions_are_deterministic(self):
+        a = FaultPlan(seed=9, drop_rate=0.3)
+        b = FaultPlan(seed=9, drop_rate=0.3)
+        decisions = [a.drops(i) for i in range(200)]
+        assert decisions == [b.drops(i) for i in range(200)]
+        assert any(decisions) and not all(decisions)
+
+    def test_different_seeds_differ(self):
+        a = [FaultPlan(seed=1, drop_rate=0.5).drops(i) for i in range(100)]
+        b = [FaultPlan(seed=2, drop_rate=0.5).drops(i) for i in range(100)]
+        assert a != b
+
+    def test_corrupt_payload_flips_exactly_one_bit(self):
+        plan = FaultPlan(seed=3)
+        payload = bytes(range(32))
+        damaged = plan.corrupt_payload(7, payload)
+        assert damaged != payload
+        diff = [a ^ b for a, b in zip(payload, damaged)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        assert plan.corrupt_payload(7, payload) == damaged  # deterministic
+        assert plan.corrupt_payload(7, b"") == b""
+
+    def test_describe_is_json_like(self):
+        plan = FaultPlan(seed=5, drop={1}, crashes={2: 3}, slow_nodes={1: 2.0})
+        desc = plan.describe()
+        assert desc["seed"] == 5
+        assert desc["scripted"]["drop"] == [1]
+        assert desc["crashes"] == {2: 3}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop": {-1}},
+            {"drop_rate": 1.5},
+            {"corrupt_rate": -0.1},
+            {"delay": {0: -1}},
+            {"max_random_delay": -1},
+            {"crashes": {0: -2}},
+            {"slow_nodes": {0: 0.5}},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParallelExecutionError):
+            FaultPlan(**kwargs)
+
+
+def _broadcast_once(ctx, superstep, state):
+    if superstep == 0:
+        ctx.broadcast(b"msg")
+        return state
+    if superstep < 4:  # linger so delayed copies can still arrive
+        return state
+    return SimCluster.DONE
+
+
+class TestInjection:
+    def run(self, plan, n=3, program=_broadcast_once):
+        cluster = SimCluster(n, fault_plan=plan)
+        received = []
+
+        def wrapper(ctx, superstep, state):
+            received.extend((superstep, src, ctx.node_id) for src, _ in ctx.inbox())
+            return program(ctx, superstep, state)
+
+        cluster.run(wrapper, [None] * n)
+        return cluster.stats, received
+
+    def test_drop_removes_message(self):
+        clean, delivered_clean = self.run(None)
+        stats, delivered = self.run(FaultPlan(drop={0}))
+        assert stats.dropped == 1
+        assert len(delivered) == len(delivered_clean) - 1
+
+    def test_duplicate_doubles_message(self):
+        stats, delivered = self.run(FaultPlan(duplicate={0}))
+        assert stats.duplicated == 1
+        assert len(delivered) == 7  # 6 sends + 1 extra copy
+
+    def test_delay_defers_delivery(self):
+        stats, delivered = self.run(FaultPlan(delay={0: 2}))
+        assert stats.delayed == 1
+        assert sorted(s for s, _, _ in delivered) == [1, 1, 1, 1, 1, 3]
+
+    def test_corruption_changes_payload(self):
+        damaged = []
+
+        def program(ctx, superstep, state):
+            damaged.extend(p for _, p in ctx.inbox() if p != b"msg")
+            return _broadcast_once(ctx, superstep, state)
+
+        stats, _ = self.run(FaultPlan(corrupt={2}), program=program)
+        assert stats.corrupted == 1
+        assert len(damaged) == 1 and damaged[0] != b"msg"
+
+    def test_crashed_node_stops_and_is_recorded(self):
+        executed = []
+
+        def program(ctx, superstep, state):
+            executed.append((superstep, ctx.node_id))
+            return _broadcast_once(ctx, superstep, state)
+
+        stats, _ = self.run(FaultPlan(crashes={1: 2}), program=program)
+        assert stats.crashed_nodes == [1]
+        assert (1, 1) in executed and all(
+            node != 1 for superstep, node in executed if superstep >= 2
+        )
+
+    def test_messages_to_crashed_node_vanish(self):
+        stats, delivered = self.run(FaultPlan(crashes={2: 0}))
+        assert all(dest != 2 for _, _, dest in delivered)
+        assert stats.dropped > 0
+
+    def test_all_crashed_raises(self):
+        with pytest.raises(CrashedNodeError, match="all 2 nodes crashed"):
+            SimCluster(2, fault_plan=FaultPlan(crashes={0: 1, 1: 1})).run(
+                _broadcast_once, [None, None]
+            )
+
+    def test_slow_node_scales_accounted_time(self):
+        def spin(ctx, superstep, state):
+            if superstep == 0:
+                sum(range(20000))
+                return state
+            return SimCluster.DONE
+
+        slowed = SimCluster(2, fault_plan=FaultPlan(slow_nodes={1: 50.0}))
+        slowed.run(spin, [None, None])
+        per_node = slowed.stats.compute_seconds_per_node
+        assert per_node[1] > per_node[0]
+
+
+class TestExceptionWrapping:
+    """Regression: node-program exceptions used to escape raw."""
+
+    def test_wraps_with_node_and_superstep(self):
+        def program(ctx, superstep, state):
+            if superstep == 1 and ctx.node_id == 2:
+                raise ValueError("kaboom")
+            return state if superstep < 3 else SimCluster.DONE
+
+        with pytest.raises(ParallelExecutionError, match="node 2.*superstep 1") as info:
+            SimCluster(4).run(program, [None] * 4)
+        assert info.value.node_id == 2
+        assert info.value.superstep == 1
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_library_errors_pass_through_unchanged(self):
+        marker = ParallelExecutionError("already wrapped", node_id=9)
+
+        def program(ctx, superstep, state):
+            raise marker
+
+        with pytest.raises(ParallelExecutionError) as info:
+            SimCluster(2).run(program, [None, None])
+        assert info.value is marker

@@ -142,6 +142,28 @@ def test_summary_keys():
         "supersteps",
         "messages",
         "bytes_sent",
+        # fault injection
+        "dropped",
+        "corrupted",
+        "duplicated",
+        "delayed",
+        "crashed_nodes",
+        # recovery activity
+        "retransmits",
+        "rejected_frames",
+        "failovers",
+        "checkpoint_writes",
+        "checkpoint_reads",
+        # wall-clock (excluded from deterministic_summary)
         "total_compute_s",
         "modelled_parallel_s",
     }
+
+
+def test_deterministic_summary_excludes_wall_clock():
+    cluster = SimCluster(2)
+    cluster.run(lambda c, s, st: SimCluster.DONE, [None, None])
+    deterministic = cluster.stats.deterministic_summary()
+    assert "total_compute_s" not in deterministic
+    assert "modelled_parallel_s" not in deterministic
+    assert set(deterministic) < set(cluster.stats.summary())

@@ -1,0 +1,131 @@
+"""Tests for the ack/retransmit reliable channel.
+
+The channel is exercised standalone: two endpoints whose outboxes are
+shuttled by hand, so loss and corruption can be injected per-frame without
+running a whole cluster.
+"""
+
+from repro.parallel.simcluster import ClusterStats, NodeContext
+from repro.robustness.channel import ACK_RTT_SUPERSTEPS, ReliableChannel
+from repro.robustness.retry import RetryPolicy
+
+FAST = RetryPolicy(max_retries=2, base_delay=1.0, multiplier=1.0, max_delay=1.0)
+
+
+class Harness:
+    """Two nodes, a hand-cranked wire, per-frame loss/corruption control."""
+
+    def __init__(self, retry=None):
+        self.stats = ClusterStats(n_nodes=2)
+        self.ctx = [NodeContext(i, 2, self.stats) for i in range(2)]
+        self.chan = [ReliableChannel(i, retry=retry) for i in range(2)]
+
+    def shuttle(self, *, drop=(), corrupt=()):
+        """Move all outboxed frames into inboxes; returns frames moved."""
+        moved = 0
+        for ctx in self.ctx:
+            for dest, payload in ctx._outbox:
+                if moved in drop:
+                    moved += 1
+                    continue
+                if moved in corrupt:
+                    payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
+                self.ctx[dest]._inbox.append((ctx.node_id, payload))
+                moved += 1
+            ctx._outbox = []
+        return moved
+
+    def poll(self, node, superstep):
+        out = self.chan[node].poll(self.ctx[node], superstep)
+        self.ctx[node]._inbox = []
+        return out
+
+
+def test_reliable_delivery_and_ack():
+    h = Harness()
+    h.chan[0].send(h.ctx[0], 0, 1, b"hello")
+    assert not h.chan[0].idle() and h.chan[0].has_unacked(1)
+    h.shuttle()
+    assert h.poll(1, 1) == [(0, b"hello")]
+    h.shuttle()  # the ack travels back
+    assert h.poll(0, 2) == []
+    assert h.chan[0].idle() and not h.chan[0].has_unacked(1)
+
+
+def test_duplicate_frames_delivered_once_but_acked_again():
+    h = Harness()
+    h.chan[0].send(h.ctx[0], 0, 1, b"x")
+    frame = h.ctx[0]._outbox[0][1]
+    h.ctx[1]._inbox = [(0, frame), (0, frame)]
+    assert h.poll(1, 1) == [(0, b"x")]  # deduplicated
+    assert len(h.ctx[1]._outbox) == 2  # both copies acked
+
+
+def test_corrupted_frame_rejected_and_counted():
+    h = Harness()
+    h.chan[0].send(h.ctx[0], 0, 1, b"payload")
+    h.shuttle(corrupt={0})
+    assert h.poll(1, 1) == []
+    assert h.stats.rejected_frames == 1
+    assert h.ctx[1]._outbox == []  # no ack for garbage
+
+
+def test_lost_frame_is_retransmitted():
+    h = Harness(retry=FAST)
+    h.chan[0].send(h.ctx[0], 0, 1, b"m")
+    h.shuttle(drop={0})
+    due = ACK_RTT_SUPERSTEPS + 1
+    for s in range(1, due):
+        h.chan[0].flush(h.ctx[0], s)
+        assert h.ctx[0]._outbox == []  # not due yet
+    h.chan[0].flush(h.ctx[0], due)
+    assert h.stats.retransmits == 1
+    h.shuttle()
+    assert h.poll(1, due + 1) == [(0, b"m")]
+
+
+def test_lost_ack_causes_duplicate_that_is_filtered():
+    h = Harness(retry=FAST)
+    h.chan[0].send(h.ctx[0], 0, 1, b"m")
+    h.shuttle()
+    assert h.poll(1, 1) == [(0, b"m")]
+    h.shuttle(drop={0})  # ack lost
+    h.chan[0].flush(h.ctx[0], 3)  # retransmit
+    h.shuttle()
+    assert h.poll(1, 4) == []  # duplicate filtered
+    h.shuttle()  # second ack arrives
+    h.poll(0, 5)
+    assert h.chan[0].idle()
+
+
+def test_retry_exhaustion_declares_peer_dead():
+    h = Harness(retry=FAST)
+    h.chan[0].send(h.ctx[0], 0, 1, b"void")
+    for s in range(0, 20):
+        h.chan[0].flush(h.ctx[0], s)
+        h.ctx[0]._outbox = []  # the wire eats everything
+        if h.chan[0].dead_peers:
+            break
+    assert h.chan[0].take_dead_peers() == [1]
+    assert h.chan[0].take_dead_peers() == []  # drained
+    assert h.chan[0].idle()  # pending frames for the corpse were dropped
+    # sends to a dead peer are suppressed
+    h.chan[0].send(h.ctx[0], 21, 1, b"more")
+    assert h.ctx[0]._outbox == [] and h.chan[0].idle()
+
+
+def test_mark_dead_quiet_suppresses_event():
+    h = Harness()
+    h.chan[0].mark_dead(1, quiet=True)
+    assert h.chan[0].take_dead_peers() == []
+    assert 1 in h.chan[0].dead_peers
+
+
+def test_send_unreliable_tracks_nothing():
+    h = Harness()
+    h.chan[0].mark_dead(1, quiet=True)
+    h.chan[0].send_unreliable(h.ctx[0], 1, b"hint")
+    assert len(h.ctx[0]._outbox) == 1  # dead peers still get the hint
+    assert h.chan[0].idle()
+    h.shuttle()
+    assert h.poll(1, 1) == [(0, b"hint")]

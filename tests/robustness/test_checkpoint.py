@@ -1,0 +1,57 @@
+"""Tests for the stable-storage model."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.robustness.checkpoint import CheckpointStore
+
+
+class TestBasics:
+    def test_save_load_roundtrip(self):
+        store = CheckpointStore()
+        store.save(2, "slices", b"blob")
+        assert store.load(2, "slices") == b"blob"
+
+    def test_overwrite(self):
+        store = CheckpointStore()
+        store.save(0, "k", b"v1")
+        store.save(0, "k", b"v2")
+        assert store.load(0, "k") == b"v2"
+        assert len(store) == 1
+
+    def test_get_returns_none_when_absent(self):
+        assert CheckpointStore().get(0, "nope") is None
+
+    def test_load_raises_when_absent(self):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            CheckpointStore().load(3, "results")
+
+    def test_has_and_keys(self):
+        store = CheckpointStore()
+        store.save(1, "b", b"")
+        store.save(0, "a", b"")
+        assert store.has(1, "b") and not store.has(1, "a")
+        assert store.keys() == [(0, "a"), (1, "b")]
+
+    def test_bytes_required(self):
+        with pytest.raises(CheckpointError, match="bytes"):
+            CheckpointStore().save(0, "k", {"not": "bytes"})
+
+    def test_bytearray_accepted_and_frozen(self):
+        store = CheckpointStore()
+        raw = bytearray(b"mut")
+        store.save(0, "k", raw)
+        raw[0] = 0
+        assert store.load(0, "k") == b"mut"
+
+
+class TestCounters:
+    def test_reads_and_writes_counted(self):
+        store = CheckpointStore()
+        store.save(0, "k", b"x")
+        store.save(1, "k", b"y")
+        store.load(0, "k")
+        store.get(1, "k")
+        store.get(1, "missing")  # miss: not counted as a read
+        assert store.writes == 2
+        assert store.reads == 2

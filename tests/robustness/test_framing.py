@@ -1,0 +1,80 @@
+"""Tests for the CRC-checksummed frame codec."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.robustness.framing import (
+    ACK,
+    DATA,
+    MAGIC,
+    decode_frame,
+    encode_ack,
+    encode_data,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("payload", [b"", b"x", b"hello world", bytes(range(256))])
+    def test_data_roundtrip(self, payload):
+        frame = decode_frame(encode_data(17, payload))
+        assert frame.kind == DATA
+        assert frame.seq == 17
+        assert frame.payload == payload
+
+    def test_ack_roundtrip(self):
+        frame = decode_frame(encode_ack(300))
+        assert frame.kind == ACK
+        assert frame.seq == 300
+        assert frame.payload == b""
+
+    def test_large_seq(self):
+        assert decode_frame(encode_data(2**40, b"p")).seq == 2**40
+
+    def test_payload_must_be_bytes(self):
+        with pytest.raises(CodecError):
+            encode_data(0, "not bytes")
+
+
+class TestDamageDetection:
+    def test_every_single_bit_flip_is_detected(self):
+        """The FaultPlan corruption model is a single flipped bit; no such
+        flip may decode to a different valid frame."""
+        original = encode_data(5, b"payload")
+        reference = decode_frame(original)
+        for byte_index in range(len(original)):
+            for bit in range(8):
+                damaged = bytearray(original)
+                damaged[byte_index] ^= 1 << bit
+                try:
+                    frame = decode_frame(bytes(damaged))
+                except CodecError:
+                    continue
+                pytest.fail(
+                    f"bit {bit} of byte {byte_index} flipped silently: {frame}"
+                )
+                assert frame == reference  # pragma: no cover
+
+    @pytest.mark.parametrize("cut", range(0, 14))
+    def test_truncation_raises(self, cut):
+        data = encode_data(1, b"abcdef")
+        assert cut < len(data)
+        with pytest.raises(CodecError):
+            decode_frame(data[:cut])
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(CodecError, match="length mismatch"):
+            decode_frame(encode_data(1, b"abc") + b"zz")
+
+    def test_bad_magic(self):
+        data = bytearray(encode_data(1, b"x"))
+        data[0] = MAGIC ^ 0xFF
+        with pytest.raises(CodecError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_unknown_kind(self):
+        with pytest.raises(CodecError):
+            decode_frame(bytes([MAGIC, 9, 0, 0, 0, 0, 0, 0]))
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode_frame(b"")

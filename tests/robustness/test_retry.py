@@ -1,0 +1,62 @@
+"""Tests for the deterministic retry policy."""
+
+import pytest
+
+from repro.errors import ParallelExecutionError
+from repro.robustness.retry import RetryPolicy
+
+
+class TestSchedule:
+    def test_exponential_backoff_capped(self):
+        p = RetryPolicy(max_retries=5, base_delay=1.0, multiplier=2.0, max_delay=8.0)
+        assert [p.delay(a) for a in range(1, 7)] == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_delays_matches_max_retries(self):
+        p = RetryPolicy(max_retries=3, base_delay=0.5, multiplier=3.0, max_delay=100.0)
+        assert p.delays() == [0.5, 1.5, 4.5]
+
+    def test_zero_base_delay_is_legal(self):
+        p = RetryPolicy(max_retries=2, base_delay=0.0, max_delay=0.0)
+        assert p.delays() == [0.0, 0.0]
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ParallelExecutionError):
+            RetryPolicy().delay(0)
+
+
+class TestJitter:
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(jitter=0.5, seed=42)
+        b = RetryPolicy(jitter=0.5, seed=42)
+        assert a.delays("frame-7") == b.delays("frame-7")
+
+    def test_jitter_varies_with_key_and_seed(self):
+        p = RetryPolicy(jitter=0.5, seed=42)
+        assert p.delays("frame-7") != p.delays("frame-8")
+        assert p.delays("k") != RetryPolicy(jitter=0.5, seed=43).delays("k")
+
+    def test_jitter_bounded(self):
+        p = RetryPolicy(max_retries=4, base_delay=2.0, multiplier=1.0, max_delay=2.0, jitter=0.25)
+        for d in p.delays("x"):
+            assert 2.0 <= d < 2.0 * 1.25
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParallelExecutionError):
+            RetryPolicy(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RetryPolicy().max_retries = 10

@@ -16,6 +16,7 @@ import repro.core.incremental
 import repro.core.window
 import repro.data.datasets
 import repro.parallel.simcluster
+import repro.robustness.retry
 
 MODULES = [
     repro.core.position,
@@ -24,6 +25,7 @@ MODULES = [
     repro.core.window,
     repro.data.datasets,
     repro.parallel.simcluster,
+    repro.robustness.retry,
 ]
 
 

@@ -13,6 +13,8 @@ ALL_ERRORS = [
     errors.DatasetError,
     errors.CodecError,
     errors.ParallelExecutionError,
+    errors.CrashedNodeError,
+    errors.CheckpointError,
 ]
 
 
@@ -30,6 +32,15 @@ def test_value_error_compatibility():
     assert issubclass(errors.UnknownItemError, KeyError)
     assert issubclass(errors.TopDownExplosionError, RuntimeError)
     assert issubclass(errors.ParallelExecutionError, RuntimeError)
+    assert issubclass(errors.CrashedNodeError, errors.ParallelExecutionError)
+    assert issubclass(errors.CheckpointError, RuntimeError)
+    assert issubclass(errors.DegradedExecutionWarning, RuntimeWarning)
+
+
+def test_parallel_error_carries_location():
+    exc = errors.ParallelExecutionError("boom", node_id=3, superstep=7)
+    assert exc.node_id == 3 and exc.superstep == 7
+    assert errors.ParallelExecutionError("plain").node_id is None
 
 
 def test_all_exports_complete():

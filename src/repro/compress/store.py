@@ -29,7 +29,7 @@ from pathlib import Path
 
 from repro.compress.plt_codec import decode_label, encode_label
 from repro.compress.varint import decode_uvarint, encode_uvarint
-from repro.core.conditional import _mine, build_conditional_buckets, _consume_bucket
+from repro.core.conditional import _consume_bucket, mine_conditional_block
 from repro.core.plt import PLT
 from repro.core.position import PositionVector
 from repro.core.rank import RankTable
@@ -232,8 +232,9 @@ class PLTStore:
             )
         results: list[tuple[tuple[int, ...], int]] = []
 
+        # the path engine emits itemsets already sorted ascending — append raw
         def emit(itemset: tuple[int, ...], support: int) -> None:
-            results.append((tuple(sorted(itemset)), support))
+            results.append((itemset, support))
 
         migrated: dict[int, dict[PositionVector, int]] = {}
         top = max(self._directory, default=0)
@@ -252,9 +253,7 @@ class PLTStore:
                 continue
             emit((j,), support)
             if cd and (max_len is None or max_len > 1):
-                sub = build_conditional_buckets(cd, min_support)
-                if sub:
-                    _mine(sub, (j,), min_support, emit, max_len)
+                mine_conditional_block(cd, j, min_support, emit, max_len)
         return results
 
     # ------------------------------------------------------------------

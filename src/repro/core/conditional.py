@@ -19,49 +19,93 @@ order.  For item ``j``:
 
 4. If the extension is frequent, a *conditional PLT* is built from
    ``CD_j`` by removing locally-infrequent items from every vector
-   (position merging, Lemma 4.1.3b / :func:`~repro.core.position.restrict_to_ranks`)
-   and the procedure recurses.
+   and the procedure descends.
 
-The recursion depth is bounded by the longest frequent itemset, so we use
-plain recursion with a raised limit guard.
+Rank-path hot path
+------------------
+The mining engine works on **rank paths** — each vector's cumulative-sum
+tuple (Lemma 4.1.1), precomputed once at PLT construction and carried
+through every conditional level (see :meth:`~repro.core.plt.PLT.rank_path_index`).
+On this representation every per-vector quantity Algorithm 3 needs is
+O(1) instead of O(k):
 
-Anti-monotone pruning is fully exploited: a conditional PLT only ever
-contains items that are frequent *together with* the current suffix.
+* the sum-index bucket key is ``path[-1]`` (no ``sum(vec)``),
+* a prefix's destination bucket is ``path[-2]`` (no re-summing after the
+  drop-last step), and
+* removing locally-infrequent items is a plain membership filter over the
+  path (no consecutive-position merging arithmetic).
+
+The engine itself is an explicit work-stack (:func:`_mine_paths`) rather
+than recursion, so arbitrarily long frequent itemsets need no
+``sys.setrecursionlimit`` games and frame overhead stays off the hot loop.
+
+The delta-vector kernels (:func:`rank_supports_of_vectors`,
+:func:`build_conditional_buckets`, :func:`_consume_bucket`, :func:`_mine`)
+remain as the compatibility surface for callers that hold position vectors
+— the task partitioner, the on-disk store, closed/top-k/constraint miners
+and the tests; ``_mine`` converts to rank paths once at entry and runs the
+same engine.
+
+Anti-monotone pruning is fully exploited: a conditional structure only
+ever contains items that are frequent *together with* the current suffix.
 """
 
 from __future__ import annotations
 
-import sys
+from collections import defaultdict
 from collections.abc import Callable, Iterator
+from itertools import accumulate, combinations as _combinations, compress as _compress
+
+try:  # optional acceleration for the top-level pass; see _mine_top_matrix
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 from repro.core.plt import PLT
-from repro.core.position import PositionVector, restrict_to_ranks
+from repro.core.position import PositionVector, RankPath, restrict_to_ranks
 from repro.errors import InvalidSupportError
+from repro.perf.counters import COUNTERS as _COUNTERS
 
 __all__ = [
     "mine_conditional",
+    "mine_conditional_block",
     "conditional_database",
     "build_conditional_buckets",
+    "build_conditional_path_buckets",
     "rank_supports_of_vectors",
+    "rank_supports_of_paths",
 ]
 
 Buckets = dict[int, dict[PositionVector, int]]
+PathBuckets = dict[int, dict[RankPath, int]]
 Emit = Callable[[tuple[int, ...], int], None]
 
 
+# ---------------------------------------------------------------------------
+# delta-vector kernels (compatibility surface; see module docstring)
+# ---------------------------------------------------------------------------
 def rank_supports_of_vectors(vectors: dict[PositionVector, int]) -> dict[int, int]:
     """Support of every rank appearing in an aggregated vector table.
 
     Decodes each vector's cumulative sums once; the frequency of the vector
     contributes to every rank on its path (Lemma 4.1.1).
     """
-    supports: dict[int, int] = {}
+    supports: dict[int, int] = defaultdict(int)
     for vec, freq in vectors.items():
         total = 0
         for p in vec:
             total += p
-            supports[total] = supports.get(total, 0) + freq
-    return supports
+            supports[total] += freq
+    return dict(supports)
+
+
+def rank_supports_of_paths(paths: dict[RankPath, int]) -> dict[int, int]:
+    """Rank-path form of :func:`rank_supports_of_vectors` — no decoding."""
+    supports: dict[int, int] = defaultdict(int)
+    for path, freq in paths.items():
+        for r in path:
+            supports[r] += freq
+    return dict(supports)
 
 
 def build_conditional_buckets(
@@ -77,20 +121,68 @@ def build_conditional_buckets(
     frequent = {r for r, s in supports.items() if s >= min_support}
     if not frequent:
         return {}
-    buckets: Buckets = {}
+    buckets: Buckets = defaultdict(dict)
     if len(frequent) == len(supports):
-        # nothing to filter: bucket the prefixes as-is
+        # nothing to filter: bucket the prefixes as-is (keys stay distinct)
         for vec, freq in prefixes.items():
-            bucket = buckets.setdefault(sum(vec), {})
-            bucket[vec] = bucket.get(vec, 0) + freq
-        return buckets
+            buckets[sum(vec)][vec] = freq
+        return dict(buckets)
     for vec, freq in prefixes.items():
         kept = restrict_to_ranks(vec, frequent)
         if not kept:
             continue
-        bucket = buckets.setdefault(sum(kept), {})
+        bucket = buckets[sum(kept)]
         bucket[kept] = bucket.get(kept, 0) + freq
-    return buckets
+    return dict(buckets)
+
+
+def _build_path_buckets(
+    prefixes: dict[RankPath, int], min_support: int
+) -> tuple[PathBuckets, list[int]]:
+    """Build a conditional structure; also return its bucket *schedule*.
+
+    The schedule is the locally-frequent ranks in descending order.  It is
+    exact: every frequent rank's bucket exists by the time the mining loop
+    reaches it (paths containing the rank survive the projection, and
+    prefix migration deposits them at that key), and migration can never
+    create a key outside the frequent set.  Iterating the schedule instead
+    of counting down through every integer rank removes the dominant waste
+    of the counter formulation — one dict probe per *possible* rank per
+    structure — which profiling showed outnumbered real buckets ~6:1 on
+    sparse data.
+    """
+    supports: dict[int, int] = defaultdict(int)
+    for path, freq in prefixes.items():
+        for r in path:
+            supports[r] += freq
+    min_s = min_support
+    frequent = {r for r, s in supports.items() if s >= min_s}
+    if not frequent:
+        return {}, []
+    buckets: PathBuckets = defaultdict(dict)
+    if len(frequent) == len(supports):
+        # nothing to filter: re-bucket the distinct paths as-is
+        for path, freq in prefixes.items():
+            buckets[path[-1]][path] = freq
+    else:
+        for path, freq in prefixes.items():
+            kept = tuple([r for r in path if r in frequent])
+            if kept:
+                bucket = buckets[kept[-1]]
+                bucket[kept] = bucket.get(kept, 0) + freq
+    return dict(buckets), sorted(frequent, reverse=True)
+
+
+def build_conditional_path_buckets(
+    prefixes: dict[RankPath, int], min_support: int
+) -> PathBuckets:
+    """Rank-path form of :func:`build_conditional_buckets`.
+
+    The projection that removes locally-infrequent items degenerates to a
+    membership filter over each path, and the destination bucket key is the
+    filtered path's last element — no delta re-encoding, no re-summing.
+    """
+    return _build_path_buckets(prefixes, min_support)[0]
 
 
 def conditional_database(
@@ -134,6 +226,253 @@ def _consume_bucket(
     return cd, support
 
 
+def _consume_path_bucket(
+    bucket: dict[RankPath, int], buckets: PathBuckets
+) -> tuple[dict[RankPath, int], int]:
+    """Rank-path form of :func:`_consume_bucket` (prefix key is ``path[-2]``)."""
+    support = 0
+    cd: dict[RankPath, int] = {}
+    cd_get = cd.get
+    buckets_get = buckets.get
+    for path, freq in bucket.items():
+        support += freq
+        prefix = path[:-1]
+        if prefix:
+            key = prefix[-1]
+            parent = buckets_get(key)
+            if parent is None:
+                buckets[key] = {prefix: freq}
+            else:
+                parent[prefix] = parent.get(prefix, 0) + freq
+            cd[prefix] = cd_get(prefix, 0) + freq
+    return cd, support
+
+
+# ---------------------------------------------------------------------------
+# the iterative rank-path mining engine
+# ---------------------------------------------------------------------------
+def _mine_paths(
+    buckets: PathBuckets,
+    order: "range | list[int]",
+    suffix: tuple[int, ...],
+    min_support: int,
+    emit: Emit,
+    max_len: int | None,
+    row: list[float] | None = None,
+) -> None:
+    """Depth-first conditional mining over rank-path buckets, no recursion.
+
+    When ``row`` is given, the structure's *first* level is
+    support-complete in ``row`` — ``row[j]`` is the exact support of
+    ``(j,) + suffix`` and those itemsets were already emitted — so the
+    buckets omit length-1 paths (they carry no information beyond
+    first-level support), the loop neither sums nor emits at that level,
+    and prefix migration skips singletons too.  This is self-propagating:
+    the local supports ``sup`` computed before every descent *are* the
+    child's first-level row, so the child's singletons are emitted here
+    with their exact supports and every conditional structure at every
+    depth stays singleton-free.  ``row`` is ``None`` only for structures
+    built externally with their singletons intact (the no-NumPy top level,
+    the rank-partition mode, the delta-vector wrapper).
+
+    Algorithm 3's ``for j = Max down to 1`` loop, driven by an explicit
+    descending *schedule* of candidate ranks rather than an integer
+    countdown: migration only ever inserts buckets at keys strictly below
+    the one being consumed and never outside the schedule, so walking the
+    schedule visits every bucket exactly once, including freshly created
+    ones.  The top level passes a ``range``; conditional structures pass
+    the exact frequent-rank list from :func:`_build_path_buckets`.
+
+    Descents into conditional structures are handled by an explicit frame
+    stack — each frame is ``(buckets, order, resume_index, suffix)`` and
+    resumes the enclosing loop exactly where recursion would have.  The
+    emission order is identical to the recursive formulation.
+
+    The loop body fuses Algorithm 3's three per-bucket steps — consume,
+    migrate, build ``CD_j``'s structure — into at most two passes over the
+    bucket, with no intermediate conditional-database dict:
+
+    * support is ``sum(bucket.values())`` (C level);
+    * when descending, one pass accumulates local rank supports into a
+      flat list indexed by rank (every rank on a bucket path is ``<= j``,
+      so the array is dense and bounds-free), and a second pass migrates
+      each prefix *and* inserts its projection into the child structure;
+    * otherwise a migrate-only pass runs (no projection work).
+
+    Two special cases carry most of real datasets: a **single-item
+    bucket** is the FP-growth chain case — every subset of the lone
+    prefix is frequent with the path's frequency (or none is), so
+    subsets are enumerated directly with no descent; and an
+    **all-frequent** bucket (no rank filtered out) re-buckets prefixes
+    by plain assignment, since two distinct paths sharing the terminal
+    ``j`` cannot share a prefix.
+    """
+    counters = _COUNTERS
+    stack: list[
+        tuple[
+            PathBuckets,
+            "range | list[int]",
+            int,
+            tuple[int, ...],
+            "list[float] | None",
+        ]
+    ] = []
+    push_frame = stack.append
+    idx = 0
+    n = len(order)
+    while True:
+        bucket_pop = buckets.pop
+        buckets_get = buckets.get
+        min_plen = 1 if row is None else 2
+        while idx < n:
+            j = order[idx]
+            idx += 1
+            bucket = bucket_pop(j, None)
+            if bucket is None:
+                continue
+            if counters.enabled:
+                counters.add("cond_buckets_touched")
+                counters.add("cond_work_items_merged", len(bucket))
+            if len(bucket) == 1:
+                # chain case: one path means every prefix rank's local
+                # support equals the path frequency, so either nothing
+                # below is frequent or *every* subset of the prefix is —
+                # enumerate directly instead of descending
+                ((path, freq),) = bucket.items()
+                prefix = path[:-1]
+                if len(prefix) >= min_plen:
+                    key = prefix[-1]
+                    parent = buckets_get(key)
+                    if parent is None:
+                        buckets[key] = {prefix: freq}
+                    else:
+                        parent[prefix] = parent.get(prefix, 0) + freq
+                if freq >= min_support:
+                    itemset = (j,) + suffix
+                    if row is None:
+                        emit(itemset, freq)
+                    if prefix and (max_len is None or len(itemset) < max_len):
+                        if counters.enabled:
+                            counters.add("cond_single_path_shortcuts")
+                        room = (
+                            len(prefix)
+                            if max_len is None
+                            else min(len(prefix), max_len - len(itemset))
+                        )
+                        for size in range(1, room + 1):
+                            for combo in _combinations(prefix, size):
+                                emit(combo + itemset, freq)
+                continue
+            sub_order: list[int] = []
+            if row is None:
+                support = sum(bucket.values())
+                frequent_j = support >= min_support
+                if frequent_j:
+                    emit((j,) + suffix, support)
+            else:
+                # support-complete first level: row[j] >= min_support by
+                # schedule construction and the itemset is already emitted
+                frequent_j = True
+            if frequent_j:
+                itemset = (j,) + suffix
+                if max_len is None or len(itemset) < max_len:
+                    # local rank supports, array-indexed (ranks are <= j)
+                    sup = [0] * (j + 1)
+                    touched: list[int] = []
+                    t_append = touched.append
+                    for path, freq in bucket.items():
+                        for r in path:
+                            s = sup[r]
+                            if not s:
+                                t_append(r)
+                            sup[r] = s + freq
+                    sub_order = [
+                        r for r in touched if r != j and sup[r] >= min_support
+                    ]
+            if sub_order:
+                # sup IS the child's first level (Lemma 4.1.1 locally):
+                # emit the extensions here with their exact supports, so
+                # the child structure can omit every singleton projection
+                sub_order.sort(reverse=True)
+                for r in sub_order:
+                    emit((r,) + itemset, sup[r])
+            if sub_order and (max_len is None or len(itemset) + 1 < max_len):
+                # fused pass: migrate every prefix into this structure AND
+                # project it (when longer than one rank) into the child
+                sub: PathBuckets = {}
+                sub_get = sub.get
+                if len(sub_order) == len(touched) - 1:
+                    # no rank filtered out: prefixes of distinct paths
+                    # sharing the terminal j are themselves distinct, so
+                    # child insertion needs no collision handling
+                    for path, freq in bucket.items():
+                        prefix = path[:-1]
+                        plen = len(prefix)
+                        if plen >= min_plen:
+                            key = prefix[-1]
+                            parent = buckets_get(key)
+                            if parent is None:
+                                buckets[key] = {prefix: freq}
+                            else:
+                                parent[prefix] = parent.get(prefix, 0) + freq
+                            if plen > 1:
+                                sb = sub_get(key)
+                                if sb is None:
+                                    sub[key] = {prefix: freq}
+                                else:
+                                    sb[prefix] = freq
+                else:
+                    keep = bytearray(j)
+                    for r in sub_order:
+                        keep[r] = 1
+                    for path, freq in bucket.items():
+                        prefix = path[:-1]
+                        plen = len(prefix)
+                        if plen >= min_plen:
+                            key = prefix[-1]
+                            parent = buckets_get(key)
+                            if parent is None:
+                                buckets[key] = {prefix: freq}
+                            else:
+                                parent[prefix] = parent.get(prefix, 0) + freq
+                            if plen > 1:
+                                kept = [r for r in prefix if keep[r]]
+                                if len(kept) > 1:
+                                    kt = tuple(kept)
+                                    k2 = kept[-1]
+                                    sb = sub_get(k2)
+                                    if sb is None:
+                                        sub[k2] = {kt: freq}
+                                    else:
+                                        sb[kt] = sb.get(kt, 0) + freq
+                if sub:
+                    if counters.enabled:
+                        counters.add("cond_structures_built")
+                    # descend: save the resume point, enter the child
+                    push_frame((buckets, order, idx, suffix, row))
+                    buckets, order, suffix, row = sub, sub_order, itemset, sup
+                    idx, n = 0, len(sub_order)
+                    bucket_pop = buckets.pop
+                    buckets_get = buckets.get
+                    min_plen = 2
+            else:
+                # infrequent rank, max_len boundary, or nothing locally
+                # frequent below: migration is still owed
+                for path, freq in bucket.items():
+                    prefix = path[:-1]
+                    if len(prefix) >= min_plen:
+                        key = prefix[-1]
+                        parent = buckets_get(key)
+                        if parent is None:
+                            buckets[key] = {prefix: freq}
+                        else:
+                            parent[prefix] = parent.get(prefix, 0) + freq
+        if not stack:
+            return
+        buckets, order, idx, suffix, row = stack.pop()
+        n = len(order)
+
+
 def _mine(
     buckets: Buckets,
     suffix: tuple[int, ...],
@@ -141,22 +480,194 @@ def _mine(
     emit: Emit,
     max_len: int | None,
 ) -> None:
-    # Algorithm 3: "For j = Max down to 1".  Migration inserts buckets at
-    # sums strictly below the one being consumed, so a descending counter
-    # visits every bucket exactly once, including freshly created ones.
-    for j in range(max(buckets, default=0), 0, -1):
-        bucket = buckets.pop(j, None)
-        if bucket is None:
+    """Delta-vector entry point: convert to rank paths once, then mine.
+
+    Kept for callers that aggregate position vectors themselves (the
+    parallel partitioner's task bundles, the on-disk store's streamed
+    buckets).  The conversion is a single ``accumulate`` pass per distinct
+    vector; everything after runs on the rank-path engine.
+    """
+    ranks: set[int] = set()
+    path_buckets: PathBuckets = {}
+    for s, bucket in buckets.items():
+        pb: dict[RankPath, int] = {}
+        for vec, freq in bucket.items():
+            path = tuple(accumulate(vec))
+            pb[path] = freq
+            ranks.update(path)
+        path_buckets[s] = pb
+    # the schedule must cover every rank migration can surface as a bucket
+    # key — the union of ranks on all paths, NOT just the initial keys
+    _mine_paths(
+        path_buckets, sorted(ranks, reverse=True), suffix, min_support, emit, max_len
+    )
+
+
+def mine_conditional_block(
+    prefixes: dict[PositionVector, int],
+    rank: int,
+    min_support: int,
+    emit: Emit,
+    max_len: int | None = None,
+) -> None:
+    """Mine one top-level rank's conditional database on the path engine.
+
+    ``prefixes`` is the delta-keyed conditional database of ``rank`` — the
+    shape the parallel partitioner bundles into tasks and the distributed
+    slice exchange ships between nodes.  Each distinct vector is converted
+    to its rank path with a single ``accumulate`` pass, the projection
+    that drops locally-infrequent ranks runs in path space, and the
+    descent uses the exact frequent-rank schedule instead of counting down
+    through every integer rank.  Itemsets reach ``emit`` already sorted
+    ascending (the engine prepends strictly smaller ranks), so callers
+    need no per-emit re-sort.
+
+    Does *not* emit ``(rank,)`` itself — top-level supports are known to
+    the caller before the conditional database exists.
+    """
+    path_prefixes: dict[RankPath, int] = {}
+    for vec, freq in prefixes.items():
+        # accumulate() is injective on delta vectors: plain assignment
+        path_prefixes[tuple(accumulate(vec))] = freq
+    buckets, schedule = _build_path_buckets(path_prefixes, min_support)
+    if buckets:
+        _mine_paths(buckets, schedule, (rank,), min_support, emit, max_len)
+
+
+#: Rank-space ceiling for the pairwise co-occurrence matrix: the dense
+#: ``(R+1)^2`` float array must stay small (~15 MB at the cap) or the
+#: vectorised top level would cost more memory than it saves time.
+_PAIR_MATRIX_MAX_CELLS = 2_000_000
+
+
+def _mine_top_matrix(
+    plt: PLT,
+    min_support: int,
+    emit: Emit,
+    max_len: int | None,
+) -> bool:
+    """Vectorised top level of Algorithm 3; returns False when inapplicable.
+
+    The local rank supports the top-level loop needs are, by Lemma 4.1.1,
+    exactly the pairwise co-occurrence counts: when bucket ``j`` is
+    consumed it holds every stored path truncated at ``j``, so the local
+    support of rank ``k`` in ``CD_j`` is ``support({j, k})``.  That whole
+    matrix is computable in a handful of NumPy ``bincount`` passes
+    (stored paths grouped by length, lower-triangle index pairs), which
+    replaces both the top-level migration cascade and the per-bucket
+    Python supports scan — the two quadratic costs of sparse mining.
+    Conditional structures for each frequent ``j`` are then built directly
+    from an inverted occurrence index and descended with
+    :func:`_mine_paths`; nothing below the top level changes.
+
+    Falls back (returns False) when NumPy is unavailable or the rank space
+    is too large for a dense matrix.
+    """
+    if _np is None:
+        return False
+    by_len: dict[int, list[tuple[RankPath, int]]] = defaultdict(list)
+    max_rank = 0
+    for path, freq in plt.iter_rank_paths():
+        by_len[len(path)].append((path, freq))
+        if path[-1] > max_rank:
+            max_rank = path[-1]
+    if not by_len:
+        return True  # nothing stored, nothing to mine
+    width = max_rank + 1
+    if width * width > _PAIR_MATRIX_MAX_CELLS:
+        return False
+
+    cells = width * width
+    total = _np.zeros(cells)
+    arrays: dict[int, tuple["_np.ndarray", "_np.ndarray"]] = {}
+    for length, entries in by_len.items():
+        mat = _np.array([p for p, _ in entries], dtype=_np.int64)
+        ifreqs = _np.array([f for _, f in entries], dtype=_np.int64)
+        freqs = ifreqs.astype(_np.float64)
+        arrays[length] = (mat, ifreqs)
+        if length == 1:
+            codes = (mat[:, 0] * width + mat[:, 0]).ravel()
+            total += _np.bincount(codes, weights=freqs, minlength=cells)
             continue
-        cd, support = _consume_bucket(bucket, buckets)
+        iidx, kidx = _np.tril_indices(length)
+        codes = (mat[:, iidx] * width + mat[:, kidx]).ravel()
+        weights = _np.repeat(freqs, len(iidx))
+        total += _np.bincount(codes, weights=weights, minlength=cells)
+    pair_support = total.reshape(width, width)
+
+    counters = _COUNTERS
+    # vectorised projection: every stored path truncated at every column
+    # c >= 2 is a conditional-structure entry for the rank at that column
+    # (columns 0 and 1 yield projections shorter than two ranks, whose
+    # only information — first-level support — the matrix already holds).
+    # One 2D gather per (length, column) evaluates the local-frequency
+    # filter for every terminal rank at once, so prefixes with fewer than
+    # two surviving ranks never reach Python at all.
+    subs: dict[int, PathBuckets] = {}
+    subs_get = subs.get
+    if max_len is None or max_len >= 3:
+        for length, (mat, ifreqs) in arrays.items():
+            if length < 3:
+                continue
+            flist = ifreqs.tolist()
+            for c in range(2, length):
+                jcol = mat[:, c]
+                prefix = mat[:, :c]
+                keepm = pair_support[jcol[:, None], prefix] >= min_support
+                sel = _np.nonzero(keepm.sum(axis=1) >= 2)[0]
+                if not sel.size:
+                    continue
+                if counters.enabled:
+                    counters.add("cond_work_items_merged", int(sel.size))
+                pre = prefix[sel].tolist()
+                flags = keepm[sel].tolist()
+                js = jcol[sel].tolist()
+                rsel = sel.tolist()
+                for vals, flag, j, ridx in zip(pre, flags, js, rsel):
+                    kept = tuple(_compress(vals, flag))
+                    freq = flist[ridx]
+                    sub = subs_get(j)
+                    if sub is None:
+                        subs[j] = {kept[-1]: {kept: freq}}
+                        continue
+                    key = kept[-1]
+                    sb = sub.get(key)
+                    if sb is None:
+                        sub[key] = {kept: freq}
+                    else:
+                        sb[kept] = sb.get(kept, 0) + freq
+
+    diag = pair_support.diagonal()
+    for j in range(max_rank, 0, -1):
+        support = int(diag[j])
         if support < min_support:
-            continue  # prefixes were still migrated, as Algorithm 3 requires
-        itemset = suffix + (j,)
-        emit(itemset, support)
-        if cd and (max_len is None or len(itemset) < max_len):
-            sub_buckets = build_conditional_buckets(cd, min_support)
-            if sub_buckets:
-                _mine(sub_buckets, itemset, min_support, emit, max_len)
+            continue
+        if counters.enabled:
+            counters.add("cond_buckets_touched")
+        emit((j,), support)
+        if max_len is not None and max_len < 2:
+            continue
+        # rank 0 does not exist, so its row cell is always zero and can
+        # never pass the >= min_support test (min_support >= 1)
+        row = pair_support[j]
+        head = row[:j]
+        frequent = _np.nonzero(head >= min_support)[0]
+        if frequent.size == 0:
+            continue
+        sub_order = frequent[::-1].tolist()
+        row_list = row.tolist()
+        # 2-itemsets come straight from the matrix: row[r] IS the exact
+        # support of {r, j}
+        for r in sub_order:
+            emit((r, j), int(row_list[r]))
+        sub = subs.pop(j, None)
+        if sub:
+            if counters.enabled:
+                counters.add("cond_structures_built")
+            _mine_paths(
+                sub, sub_order, (j,), min_support, emit, max_len, row_list
+            )
+    return True
 
 
 def mine_conditional(
@@ -194,34 +705,33 @@ def mine_conditional(
         raise InvalidSupportError(f"max_len must be >= 1, got {max_len}")
 
     results: list[tuple[tuple[int, ...], int]] = []
-
+    # the engine constructs every itemset in ascending rank order (it
+    # prepends the strictly smaller extension rank), so no per-emission
+    # sort is needed
     def emit(itemset: tuple[int, ...], support: int) -> None:
-        # suffixes are produced in decreasing rank order; store ascending
-        results.append((tuple(sorted(itemset)), support))
+        results.append((itemset, support))
 
-    buckets = plt.sum_index()
-    depth_needed = plt.max_length() + len(plt.rank_table) + 100
-    old_limit = sys.getrecursionlimit()
-    if depth_needed > old_limit:
-        sys.setrecursionlimit(depth_needed)
-    try:
-        if ranks is None:
-            _mine(buckets, (), min_support, emit, max_len)
-        else:
-            wanted = set(ranks)
-            for j in range(max(buckets, default=0), 0, -1):
-                bucket = buckets.pop(j, None)
-                if bucket is None:
-                    continue
-                cd, support = _consume_bucket(bucket, buckets)
-                if j not in wanted or support < min_support:
-                    continue
-                emit((j,), support)
-                if cd and (max_len is None or max_len > 1):
-                    sub = build_conditional_buckets(cd, min_support)
-                    if sub:
-                        _mine(sub, (j,), min_support, emit, max_len)
-    finally:
-        if depth_needed > old_limit:
-            sys.setrecursionlimit(old_limit)
+    if ranks is None:
+        if _mine_top_matrix(plt, min_support, emit, max_len):
+            return results
+        buckets = plt.rank_path_index()
+        if buckets:
+            _mine_paths(
+                buckets, range(max(buckets), 0, -1), (), min_support, emit, max_len
+            )
+        return results
+    buckets = plt.rank_path_index()
+    wanted = set(ranks)
+    for j in range(max(buckets, default=0), 0, -1):
+        bucket = buckets.pop(j, None)
+        if bucket is None:
+            continue
+        cd, support = _consume_path_bucket(bucket, buckets)
+        if j not in wanted or support < min_support:
+            continue
+        emit((j,), support)
+        if cd and (max_len is None or max_len > 1):
+            sub, sub_order = _build_path_buckets(cd, min_support)
+            if sub:
+                _mine_paths(sub, sub_order, (j,), min_support, emit, max_len)
     return results

@@ -22,13 +22,14 @@ vector, and increments its aggregated frequency.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, defaultdict
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Hashable
 
 from repro.core import position
-from repro.core.position import PositionVector
+from repro.core.position import PositionVector, RankPath
 from repro.core.rank import RankTable
 from repro.data.transaction_db import item_supports, resolve_min_support
 from repro.errors import InvalidSupportError, UnknownItemError
@@ -76,7 +77,14 @@ class PLT:
         to nothing because all their items were infrequent).
     """
 
-    __slots__ = ("rank_table", "min_support", "n_transactions", "_partitions", "_sum_index")
+    __slots__ = (
+        "rank_table",
+        "min_support",
+        "n_transactions",
+        "_partitions",
+        "_sum_index",
+        "_rank_paths",
+    )
 
     def __init__(
         self,
@@ -89,16 +97,26 @@ class PLT:
         self.rank_table = rank_table
         self.min_support = min_support
         self.n_transactions = n_transactions
-        partitions: dict[int, dict[PositionVector, int]] = {}
-        sum_index: dict[int, dict[PositionVector, int]] = {}
+        partitions: dict[int, dict[PositionVector, int]] = defaultdict(dict)
+        sum_index: dict[int, dict[PositionVector, int]] = defaultdict(dict)
+        rank_paths: dict[int, dict[RankPath, int]] = defaultdict(dict)
         for vec, freq in vectors.items():
             position.validate(vec)
             if freq <= 0:
                 raise ValueError(f"vector frequency must be positive: {vec!r} -> {freq}")
-            partitions.setdefault(len(vec), {})[vec] = freq
-            sum_index.setdefault(sum(vec), {})[vec] = freq
-        self._partitions = partitions
-        self._sum_index = sum_index
+            # One accumulate pass yields everything the indexes need: the
+            # rank path itself, its last element (= the vector's sum, the
+            # Algorithm 3 bucket key) and the length partition key.
+            path = tuple(accumulate(vec))
+            total = path[-1]
+            partitions[len(vec)][vec] = freq
+            sum_index[total][vec] = freq
+            rank_paths[total][path] = freq
+        # Freeze back to plain dicts: lookups of absent keys must miss, not
+        # materialise empty buckets.
+        self._partitions = dict(partitions)
+        self._sum_index = dict(sum_index)
+        self._rank_paths = dict(rank_paths)
 
     # ------------------------------------------------------------------
     # construction (Algorithm 1)
@@ -214,10 +232,35 @@ class PLT:
         """
         return {s: dict(bucket) for s, bucket in self._sum_index.items()}
 
+    def rank_path_index(self) -> dict[int, dict[RankPath, int]]:
+        """Rank-path form of :meth:`sum_index` — the mining hot-path view.
+
+        Maps ``max rank -> {rank path -> frequency}`` where each rank path
+        is the cumulative-sum tuple of a stored vector (Lemma 4.1.1),
+        computed once at construction.  The conditional miner works on this
+        representation because the quantities Algorithm 3 recomputes per
+        vector in delta form are all O(1) here: bucket key = ``path[-1]``,
+        prefix's bucket key = ``path[-2]``, and local projection is a plain
+        membership filter.
+
+        Returns a fresh, deep-copied mapping (the miner consumes it).
+        """
+        return {s: dict(bucket) for s, bucket in self._rank_paths.items()}
+
     def iter_vectors(self) -> Iterator[tuple[PositionVector, int]]:
         """All (vector, frequency) pairs, longest partitions first."""
         for length in sorted(self._partitions, reverse=True):
             yield from self._partitions[length].items()
+
+    def iter_rank_paths(self) -> Iterator[tuple[RankPath, int]]:
+        """All (rank path, frequency) pairs, in sum-index bucket order.
+
+        The paths are the precomputed cumulative-sum views of the stored
+        vectors (same aggregation, so frequencies match
+        :meth:`iter_vectors` pair-for-pair up to ordering).
+        """
+        for bucket in self._rank_paths.values():
+            yield from bucket.items()
 
     def vectors(self) -> dict[PositionVector, int]:
         """Flat copy of the aggregated vector table."""
@@ -242,11 +285,19 @@ class PLT:
         return self.rank_support(rank)
 
     def rank_support(self, rank: int) -> int:
-        """Support of the item with the given rank."""
+        """Support of the item with the given rank.
+
+        Scans the precomputed rank paths: membership of ``rank`` on a path
+        is a C-speed tuple containment test instead of a per-vector prefix
+        sum; buckets whose maximal rank is below ``rank`` are skipped
+        entirely.
+        """
         total = 0
-        for bucket in self._partitions.values():
-            for vec, freq in bucket.items():
-                if position.contains_rank(vec, rank):
+        for max_rank, bucket in self._rank_paths.items():
+            if max_rank < rank:
+                continue
+            for path, freq in bucket.items():
+                if rank in path:
                     total += freq
         return total
 

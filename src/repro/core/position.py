@@ -31,8 +31,11 @@ from repro.errors import InvalidVectorError
 
 __all__ = [
     "PositionVector",
+    "RankPath",
     "encode",
     "decode",
+    "rank_path",
+    "path_to_vector",
     "vector_sum",
     "validate",
     "is_valid",
@@ -51,6 +54,13 @@ __all__ = [
 ]
 
 PositionVector = tuple[int, ...]
+
+#: The cumulative-sum form of a position vector (Lemma 4.1.1): the strictly
+#: increasing tuple of the encoded itemset's ranks.  The mining hot paths
+#: operate on this representation because every quantity they need is O(1)
+#: on it — the sum-index key is ``path[-1]``, the prefix's key is
+#: ``path[-2]``, and projecting out infrequent ranks is a plain filter.
+RankPath = tuple[int, ...]
 
 
 # ---------------------------------------------------------------------------
@@ -85,6 +95,35 @@ def decode(vector: PositionVector) -> tuple[int, ...]:
     """
     validate(vector)
     return tuple(itertools.accumulate(vector))
+
+
+def rank_path(vector: PositionVector) -> RankPath:
+    """The vector's cumulative-sum tuple — its *rank path* (Lemma 4.1.1).
+
+    Identical to :func:`decode` but without validation: this is the hot-path
+    conversion the kernels use, so it must not pay per-call checks.  The
+    result's last element is the vector's sum (the sum-index key).
+
+    >>> rank_path((1, 2, 1))
+    (1, 3, 4)
+    """
+    return tuple(itertools.accumulate(vector))
+
+
+def path_to_vector(path: RankPath) -> PositionVector:
+    """Inverse of :func:`rank_path`: first differences of the rank path.
+
+    >>> path_to_vector((1, 3, 4))
+    (1, 2, 1)
+    """
+    if not path:
+        return ()
+    prev = 0
+    out = []
+    for r in path:
+        out.append(r - prev)
+        prev = r
+    return tuple(out)
 
 
 def vector_sum(vector: PositionVector) -> int:

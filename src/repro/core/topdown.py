@@ -24,28 +24,64 @@ once by composing the paper's two subset rules (Lemma 4.1.3) canonically:
 
 Any subset has exactly one (prefix, decreasing-merge-sequence)
 decomposition, so every (transaction, subset) pair contributes its
-frequency exactly once.  Work items are aggregated by ``(vector, limit)``
-across transactions — the dictionary-merge the paper's ``D_{i-1}`` lookup
-performs — which is what makes the pass feasible on aggregated data.
+frequency exactly once.
+
+Hot-path engine
+---------------
+:func:`_subset_byte_frequencies` runs the pass on **rank paths**
+(cumulative-sum tuples, Lemma 4.1.1, precomputed at PLT construction)
+packed into native-int ``bytes`` keys: removing item ``i`` is a
+two-slice memcpy instead of the delta-space merge's three-part
+concatenation with an addition, and key hashing is one pass over a flat
+buffer rather than per-element integer hashing.  Three further
+structural savings over the seed-era two-part formulation:
+
+* **Fused parts** — prefix seeding threads through the same
+  descending-length sweep as merge expansion (a per-length *chain* table),
+  so stored vectors that share a prefix converge *before* shorter prefixes
+  are sliced and each shared prefix tuple is materialised once, not once
+  per ancestor.
+* **Cursor grouping** — work items are aggregated ``vector -> {cursor ->
+  frequency}``; a vector reached with several different cursors expands
+  its children once, each child receiving the suffix-summed frequency of
+  every cursor that allows it (identical aggregation semantics, far fewer
+  tuple constructions and table updates).
+* **Local binding** — the per-length target tables are bound to locals
+  around the hot loops; no ``setdefault`` or closure calls remain on the
+  per-subset path.
+
+:func:`topdown_subset_frequencies` keeps the historical delta-vector
+result shape by converting the path table once at the end.
 """
 
 from __future__ import annotations
 
+from array import array
+from collections import defaultdict
 from collections.abc import Mapping
 
 from repro.core.plt import PLT
-from repro.core.position import PositionVector
+from repro.core.position import PositionVector, RankPath, path_to_vector
 from repro.errors import InvalidSupportError, TopDownExplosionError
+from repro.perf.counters import COUNTERS as _COUNTERS
 
 __all__ = [
     "topdown_subset_frequencies",
+    "topdown_subset_path_frequencies",
     "mine_topdown",
     "estimate_topdown_work",
     "DEFAULT_WORK_LIMIT",
+    "WORK_ESTIMATE_CAP",
 ]
 
 #: Default ceiling on generated subset-work items before aggregation savings.
 DEFAULT_WORK_LIMIT = 20_000_000
+
+#: Saturation value returned by :func:`estimate_topdown_work` once the true
+#: bound exceeds it.  Any practical ``work_limit`` is far below this, so a
+#: capped estimate always trips the guard; callers must treat the value as
+#: "at least this much", never as an exact count.
+WORK_ESTIMATE_CAP = 1 << 62
 
 
 def estimate_topdown_work(plt: PLT) -> int:
@@ -54,75 +90,200 @@ def estimate_topdown_work(plt: PLT) -> int:
     Aggregation across identical ``(vector, cursor)`` work items usually
     keeps the real cost far below this, but the bound is what protects the
     process from pathological inputs.
+
+    Saturates at :data:`WORK_ESTIMATE_CAP`: once the running bound crosses
+    the cap the function returns the cap itself rather than whatever
+    partial sum the loop had reached, so the work-limit guard compares
+    against a well-defined sentinel and can never under-estimate by
+    reporting a partially-accumulated total as if it covered every
+    partition.
     """
     total = 0
     for length, bucket in plt.partitions.items():
-        total += (2 ** length - 1) * len(bucket)
-        if total > 1 << 62:  # avoid silly bignums
-            break
+        total += (2**length - 1) * len(bucket)
+        if total > WORK_ESTIMATE_CAP:
+            return WORK_ESTIMATE_CAP
     return total
+
+
+def _check_work_limit(plt: PLT, work_limit: int | None) -> None:
+    if work_limit is None:
+        return
+    estimate = estimate_topdown_work(plt)
+    if estimate > work_limit:
+        raise TopDownExplosionError(
+            f"top-down pass would generate up to {estimate} subset events "
+            f"(work_limit={work_limit}); use the conditional miner or raise "
+            f"the limit"
+        )
+
+
+#: Byte width of one rank in the packed-path keys of the byte engine.
+_RANK_ITEMSIZE = array("I").itemsize
+
+
+def _decode_path(pb: bytes) -> RankPath:
+    """Unpack a packed-path key back into a rank-path tuple."""
+    return tuple(array("I", pb))
+
+
+def _subset_byte_frequencies(plt: PLT) -> dict[int, dict[bytes, int]]:
+    """The top-down engine on packed-``bytes`` path keys.
+
+    Rank paths are packed into native unsigned-int ``bytes`` strings: a
+    child deletion is then one slice-and-concatenate memcpy, hashing is a
+    single pass over the buffer instead of per-element integer hashing,
+    and merge cursors live directly in byte units so the hot loop does no
+    index arithmetic at all.  The result maps ``length -> {packed path ->
+    frequency}``; callers that need tuples decode with
+    :func:`_decode_path` (ideally after support filtering, so only
+    survivors pay the decode).
+    """
+    counters = _COUNTERS
+    counts: dict[int, dict[bytes, int]] = defaultdict(dict)
+    # merge work: length -> {path -> {cursor -> frequency}}; cursors are
+    # byte offsets — a child cut at offset o inherits the summed
+    # frequency of every cursor > o and carries cursor o itself
+    merge_work: dict[int, dict[bytes, dict[int, int]]] = defaultdict(dict)
+    # prefix chains: length -> {path -> frequency}; entries are already
+    # counted and owe (a) their full merge fan-out, (b) their next prefix
+    chain_work: dict[int, dict[bytes, int]] = defaultdict(dict)
+
+    isz = _RANK_ITEMSIZE
+    top = 0
+    for path, freq in plt.iter_rank_paths():
+        length = len(path)
+        pb = array("I", path).tobytes()
+        counts[length][pb] = freq  # stored paths are distinct
+        if length >= 2:
+            chain = chain_work[length]
+            chain[pb] = chain.get(pb, 0) + freq
+        if length > top:
+            top = length
+
+    length = top
+    while length >= 2:
+        child_len = length - 1
+        # byte offset of the last item — also the full-freedom cursor
+        # (every deletion offset is strictly below it)
+        cut = isz * child_len
+        chain = chain_work.pop(length, None)
+        if chain:
+            if counters.enabled:
+                counters.add("topdown_chain_prefixes", len(chain))
+            mw = merge_work[length]
+            mw_get = mw.get
+            ccounts = counts[child_len]
+            ccounts_get = ccounts.get
+            cchain = chain_work[child_len] if child_len >= 2 else None
+            for pb, freq in chain.items():
+                # (a) full-freedom merges for this prefix
+                cursors = mw_get(pb)
+                if cursors is None:
+                    mw[pb] = {cut: freq}
+                else:
+                    cursors[cut] = cursors.get(cut, 0) + freq
+                # (b) the next-shorter prefix: counted here, chained on
+                prefix = pb[:cut]
+                ccounts[prefix] = ccounts_get(prefix, 0) + freq
+                if cchain is not None:
+                    cchain[prefix] = cchain.get(prefix, 0) + freq
+        bucket = merge_work.pop(length, None)
+        if bucket:
+            if counters.enabled:
+                counters.add("topdown_work_vectors", len(bucket))
+                counters.add(
+                    "topdown_work_items", sum(len(c) for c in bucket.values())
+                )
+            ccounts = counts[child_len]
+            ccounts_get = ccounts.get
+            # child_len >= 2 whenever the o > 0 push below can trigger
+            # (length == 2 only ever cuts at offset 0), so cmw is never
+            # dereferenced while None
+            cmw = merge_work[child_len] if child_len >= 2 else None
+            cmw_get = cmw.get if cmw is not None else None
+            for pb, cursors in bucket.items():
+                # expand once per vector: the child cut at offset o gets
+                # the total frequency of every cursor allowing it (> o);
+                # the o == 0 child is peeled off the loops since it is
+                # never pushed (no merge freedom left) and needs no
+                # prefix slice
+                if len(cursors) == 1:
+                    ((limit, running),) = cursors.items()
+                    for o in range(limit - isz, 0, -isz):
+                        child = pb[:o] + pb[o + isz :]
+                        ccounts[child] = ccounts_get(child, 0) + running
+                        ccursors = cmw_get(child)
+                        if ccursors is None:
+                            cmw[child] = {o: running}
+                        else:
+                            ccursors[o] = ccursors.get(o, 0) + running
+                else:
+                    ordered = sorted(cursors.items(), reverse=True)
+                    limit, running = ordered[0]
+                    starts = ordered[1:]
+                    ptr = 0
+                    n_starts = len(starts)
+                    for o in range(limit - isz, 0, -isz):
+                        while ptr < n_starts and starts[ptr][0] > o:
+                            running += starts[ptr][1]
+                            ptr += 1
+                        child = pb[:o] + pb[o + isz :]
+                        ccounts[child] = ccounts_get(child, 0) + running
+                        ccursors = cmw_get(child)
+                        if ccursors is None:
+                            cmw[child] = {o: running}
+                        else:
+                            ccursors[o] = ccursors.get(o, 0) + running
+                    # every cursor is a positive byte offset, so all
+                    # stragglers apply at o == 0
+                    while ptr < n_starts:
+                        running += starts[ptr][1]
+                        ptr += 1
+                child = pb[isz:]
+                ccounts[child] = ccounts_get(child, 0) + running
+        length -= 1
+    # drop defaultdict behaviour and any bucket the sweep only peeked at
+    return {length: bucket for length, bucket in counts.items() if bucket}
+
+
+def topdown_subset_path_frequencies(
+    plt: PLT, *, work_limit: int | None = DEFAULT_WORK_LIMIT
+) -> dict[int, dict[RankPath, int]]:
+    """Run the top-down pass; return all subset frequencies by length.
+
+    The result maps ``length -> {rank path -> frequency}`` and contains
+    every non-empty subset of every encoded transaction with its exact
+    support — the state of Figure 4, keyed by rank paths.  Runs
+    :func:`_subset_byte_frequencies` and decodes every key; support-
+    filtering callers should prefer :func:`mine_topdown`, which decodes
+    only the frequent survivors.
+
+    Raises :class:`TopDownExplosionError` when the estimated work exceeds
+    ``work_limit`` (pass ``None`` to disable the guard).
+    """
+    _check_work_limit(plt, work_limit)
+    return {
+        length: {_decode_path(pb): freq for pb, freq in bucket.items()}
+        for length, bucket in _subset_byte_frequencies(plt).items()
+    }
 
 
 def topdown_subset_frequencies(
     plt: PLT, *, work_limit: int | None = DEFAULT_WORK_LIMIT
 ) -> dict[int, dict[PositionVector, int]]:
-    """Run the top-down pass; return all subset frequencies by length.
+    """Top-down pass with the historical delta-vector result shape.
 
-    The result maps ``length -> {vector -> frequency}`` and contains every
-    non-empty subset of every encoded transaction with its exact support —
-    the state of Figure 4.
-
-    Raises :class:`TopDownExplosionError` when the estimated work exceeds
-    ``work_limit`` (pass ``None`` to disable the guard).
+    Runs :func:`topdown_subset_path_frequencies` and converts each rank
+    path back to its position vector (first differences) once at the end.
+    Callers that only filter by support should prefer the path form — it
+    is what :func:`mine_topdown` consumes directly.
     """
-    if work_limit is not None:
-        estimate = estimate_topdown_work(plt)
-        if estimate > work_limit:
-            raise TopDownExplosionError(
-                f"top-down pass would generate up to {estimate} subset events "
-                f"(work_limit={work_limit}); use the conditional miner or raise "
-                f"the limit"
-            )
-
-    counts: dict[int, dict[PositionVector, int]] = {}
-    # work[(vector, limit)] = frequency, partitioned by vector length
-    work: dict[int, dict[tuple[PositionVector, int], int]] = {}
-
-    def count(vec: PositionVector, freq: int) -> None:
-        bucket = counts.setdefault(len(vec), {})
-        bucket[vec] = bucket.get(vec, 0) + freq
-
-    def push(vec: PositionVector, limit: int, freq: int) -> None:
-        bucket = work.setdefault(len(vec), {})
-        key = (vec, limit)
-        bucket[key] = bucket.get(key, 0) + freq
-
-    # Part A (prefix seeding, folded into "construction" per the paper):
-    # every prefix of every stored vector is both counted and queued with a
-    # cursor allowing merges anywhere inside it.
-    for vec, freq in plt.iter_vectors():
-        for j in range(1, len(vec) + 1):
-            prefix = vec[:j]
-            count(prefix, freq)
-            if j >= 2:
-                push(prefix, j - 1, freq)
-
-    # Part B: consume partitions longest-first, merging with the
-    # left-shift (strictly decreasing index) discipline.  Children always
-    # land one length below the partition being consumed, so a descending
-    # counter visits everything.
-    length = max(work, default=0)
-    while length >= 2:
-        bucket = work.pop(length, None)
-        if bucket:
-            for (vec, limit), freq in bucket.items():
-                for i in range(limit):
-                    child = vec[:i] + (vec[i] + vec[i + 1],) + vec[i + 2 :]
-                    count(child, freq)
-                    if len(child) >= 2 and i >= 1:
-                        push(child, i, freq)
-        length -= 1
-    return counts
+    path_counts = topdown_subset_path_frequencies(plt, work_limit=work_limit)
+    return {
+        length: {path_to_vector(path): freq for path, freq in bucket.items()}
+        for length, bucket in path_counts.items()
+    }
 
 
 def mine_topdown(
@@ -136,22 +297,26 @@ def mine_topdown(
 
     Returns ``(rank_tuple, support)`` pairs like
     :func:`~repro.core.conditional.mine_conditional`, so the two miners are
-    interchangeable behind the facade.
+    interchangeable behind the facade.  Works on the packed table
+    directly — a decoded rank path *is* the sorted rank tuple — and only
+    the frequent survivors pay the decode.
     """
     if min_support is None:
         min_support = plt.min_support
     if min_support < 1:
         raise InvalidSupportError(f"absolute min_support must be >= 1, got {min_support}")
-    from repro.core.position import decode
-
-    counts = topdown_subset_frequencies(plt, work_limit=work_limit)
+    _check_work_limit(plt, work_limit)
+    counts = _subset_byte_frequencies(plt)
     results: list[tuple[tuple[int, ...], int]] = []
+    extend = results.extend
     for length, bucket in counts.items():
         if max_len is not None and length > max_len:
             continue
-        for vec, freq in bucket.items():
-            if freq >= min_support:
-                results.append((decode(vec), freq))
+        extend(
+            (_decode_path(pb), freq)
+            for pb, freq in bucket.items()
+            if freq >= min_support
+        )
     return results
 
 

@@ -65,7 +65,7 @@ from collections.abc import Hashable, Iterable, Mapping
 from repro.compress.plt_codec import decode_label, encode_label
 from repro.compress.varint import decode_uvarint, encode_uvarint
 from repro.core import position
-from repro.core.conditional import _mine, build_conditional_buckets
+from repro.core.conditional import mine_conditional_block
 from repro.core.rank import RankTable, sort_key
 from repro.data.transaction_db import item_supports
 from repro.errors import CodecError, CrashedNodeError, ParallelExecutionError
@@ -378,8 +378,9 @@ def _mine_owned(
 ) -> list[tuple[tuple[int, ...], int]]:
     results: list[tuple[tuple[int, ...], int]] = []
 
+    # the path engine emits itemsets already sorted ascending — append raw
     def emit(itemset: tuple[int, ...], support: int) -> None:
-        results.append((tuple(sorted(itemset)), support))
+        results.append((itemset, support))
 
     for rank in sorted(owned, reverse=True):
         support, prefixes = owned[rank]
@@ -387,9 +388,7 @@ def _mine_owned(
             continue
         emit((rank,), support)
         if prefixes and (max_len is None or max_len > 1):
-            buckets = build_conditional_buckets(prefixes, min_support)
-            if buckets:
-                _mine(buckets, (rank,), min_support, emit, max_len)
+            mine_conditional_block(prefixes, rank, min_support, emit, max_len)
     return results
 
 

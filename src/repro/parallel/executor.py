@@ -34,7 +34,7 @@ import time
 import warnings
 from collections.abc import Callable, Sequence
 
-from repro.core.conditional import _mine, build_conditional_buckets
+from repro.core.conditional import mine_conditional_block
 from repro.core.plt import PLT
 from repro.core.position import PositionVector
 from repro.core.topdown import DEFAULT_WORK_LIMIT, estimate_topdown_work
@@ -83,15 +83,14 @@ def _mine_task_batch(
     batch, min_support, max_len = args
     results: list[tuple[tuple[int, ...], int]] = []
 
+    # the path engine emits itemsets already sorted ascending — append raw
     def emit(itemset: tuple[int, ...], support: int) -> None:
-        results.append((tuple(sorted(itemset)), support))
+        results.append((itemset, support))
 
     for rank, support, prefixes in batch:
         emit((rank,), support)
         if prefixes and (max_len is None or max_len > 1):
-            buckets = build_conditional_buckets(prefixes, min_support)
-            if buckets:
-                _mine(buckets, (rank,), min_support, emit, max_len)
+            mine_conditional_block(prefixes, rank, min_support, emit, max_len)
     return results
 
 

@@ -1,0 +1,230 @@
+"""The tracked benchmark baseline: ``python -m repro bench``.
+
+Runs a pinned workload matrix — sparse and dense synthetic databases at
+three support levels each for the conditional miner, plus a dense matrix
+for the top-down miner — and times the optimized kernels against the
+frozen pre-optimization references in :mod:`repro.perf.legacy` on the
+same prebuilt PLT.  Every workload is verified (the two generations must
+emit identical ``(itemset, support)`` sets) before it is timed, so a
+benchmark number can never come from a wrong answer.
+
+The JSON written to ``BENCH_PR2.json`` records per-workload wall-clock
+for both generations, the speedup ratio, and the optimized engine's
+phase counters.  The *ratio* is the tracked quantity: both generations
+run in the same process on the same machine, so it is hardware-
+independent enough for CI to regress against (``--compare`` fails when a
+workload's current ratio drops more than ``REGRESSION_TOLERANCE`` below
+the committed baseline).
+
+``--quick`` runs the one-workload-per-group subset that the ``bench-
+smoke`` CI job uses; ``--repeat`` controls the best-of noise filter.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.perf.counters import COUNTERS, collecting
+from repro.perf.timer import best_of
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "DEFAULT_OUTPUT",
+    "REGRESSION_TOLERANCE",
+    "run_bench",
+    "compare_against_baseline",
+    "main",
+]
+
+DEFAULT_OUTPUT = "BENCH_PR2.json"
+
+#: A workload "regresses" when its current legacy/optimized ratio falls
+#: more than this fraction below the committed baseline ratio.
+REGRESSION_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One pinned (miner, dataset, support) cell of the benchmark matrix."""
+
+    kind: str  # "conditional" | "topdown"
+    dataset: str  # repro.data.datasets name
+    min_support: int  # absolute count
+    quick: bool  # part of the --quick smoke subset
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}/{self.dataset}@{self.min_support}"
+
+
+#: The pinned matrix.  Supports are absolute counts chosen so the sweep
+#: spans shallow to deep lattices on each dataset; the ``quick`` subset
+#: keeps one cell per (kind, dataset) group for CI.
+WORKLOADS: tuple[Workload, ...] = (
+    Workload("conditional", "T10.I4.D5K", 100, True),
+    Workload("conditional", "T10.I4.D5K", 50, False),
+    Workload("conditional", "T10.I4.D5K", 25, False),
+    Workload("conditional", "DENSE-50", 600, False),
+    Workload("conditional", "DENSE-50", 500, True),
+    Workload("conditional", "DENSE-50", 400, False),
+    Workload("topdown", "DENSE-30", 150, True),
+    Workload("topdown", "DENSE-30", 75, False),
+    Workload("topdown", "DENSE-30", 30, False),
+)
+
+
+def _miner_pair(kind: str):
+    """Return ``(optimized, legacy)`` callables taking ``(plt, ms)``."""
+    from repro.core.conditional import mine_conditional
+    from repro.core.topdown import mine_topdown
+    from repro.perf.legacy import (
+        mine_conditional_reference,
+        mine_topdown_reference,
+    )
+
+    if kind == "conditional":
+        return mine_conditional, mine_conditional_reference
+    if kind == "topdown":
+        return (
+            lambda plt, ms: mine_topdown(plt, ms, work_limit=None),
+            mine_topdown_reference,
+        )
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def run_workload(workload: Workload, repeat: int) -> dict:
+    """Verify then time one matrix cell; return its JSON record."""
+    from repro.core.plt import PLT
+    from repro.data.datasets import load
+
+    optimized, legacy = _miner_pair(workload.kind)
+    db = load(workload.dataset)
+    ms = workload.min_support
+    plt = PLT.from_transactions(db, min_support=ms)
+
+    new_result = optimized(plt, ms)
+    old_result = legacy(plt, ms)
+    if sorted(new_result) != sorted(old_result):
+        raise AssertionError(
+            f"{workload.name}: optimized and legacy miners disagree "
+            f"({len(new_result)} vs {len(old_result)} itemsets)"
+        )
+
+    with collecting():
+        optimized(plt, ms)
+        counters = COUNTERS.snapshot()
+
+    optimized_s, _ = best_of(optimized, plt, ms, repeat=repeat)
+    legacy_s, _ = best_of(legacy, plt, ms, repeat=repeat)
+    return {
+        "name": workload.name,
+        "kind": workload.kind,
+        "dataset": workload.dataset,
+        "min_support": ms,
+        "transactions": len(db),
+        "itemsets": len(new_result),
+        "legacy_s": legacy_s,
+        "optimized_s": optimized_s,
+        "speedup": legacy_s / optimized_s if optimized_s else float("inf"),
+        "counters": counters,
+    }
+
+
+def _geomean(values: list[float]) -> float:
+    return math.prod(values) ** (1.0 / len(values)) if values else 0.0
+
+
+def run_bench(*, quick: bool = False, repeat: int = 3) -> dict:
+    """Run the (full or quick) matrix and return the report document."""
+    records = []
+    for workload in WORKLOADS:
+        if quick and not workload.quick:
+            continue
+        record = run_workload(workload, repeat)
+        records.append(record)
+        print(
+            f"  {record['name']}: legacy {record['legacy_s'] * 1e3:8.1f} ms"
+            f"  optimized {record['optimized_s'] * 1e3:8.1f} ms"
+            f"  speedup {record['speedup']:.2f}x",
+            file=sys.stderr,
+        )
+    summary = {
+        f"{kind}_speedup": round(
+            _geomean([r["speedup"] for r in records if r["kind"] == kind]), 3
+        )
+        for kind in ("conditional", "topdown")
+        if any(r["kind"] == kind for r in records)
+    }
+    return {
+        "schema": 1,
+        "pr": "PR2",
+        "quick": quick,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "workloads": records,
+        "summary": summary,
+    }
+
+
+def compare_against_baseline(
+    report: dict, baseline: dict, tolerance: float = REGRESSION_TOLERANCE
+) -> list[str]:
+    """Return one message per workload whose ratio regressed.
+
+    Only workloads present in both documents are compared — the ratio is
+    machine-independent, absolute times are not, so the check stays valid
+    across hardware.
+    """
+    base_by_name = {w["name"]: w for w in baseline.get("workloads", ())}
+    problems = []
+    for record in report["workloads"]:
+        base = base_by_name.get(record["name"])
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if record["speedup"] < floor:
+            problems.append(
+                f"{record['name']}: speedup {record['speedup']:.2f}x fell "
+                f"below {floor:.2f}x (baseline {base['speedup']:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+def main(
+    *,
+    quick: bool = False,
+    repeat: int | None = None,
+    output: str | None = None,
+    compare: str | None = None,
+) -> int:
+    """Driver behind ``python -m repro bench``; returns an exit status."""
+    if repeat is None:
+        repeat = 2 if quick else 3
+    report = run_bench(quick=quick, repeat=repeat)
+    for key, value in report["summary"].items():
+        print(f"{key}: {value}x", file=sys.stderr)
+
+    if compare is not None:
+        baseline = json.loads(Path(compare).read_text())
+        problems = compare_against_baseline(report, baseline)
+        for problem in problems:
+            print(f"REGRESSION {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"no regressions vs {compare} "
+            f"(tolerance {REGRESSION_TOLERANCE:.0%})",
+            file=sys.stderr,
+        )
+
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+    return 0

@@ -1,0 +1,212 @@
+"""Frozen pre-optimization reference miners (the PR-1-era hot paths).
+
+These are verbatim-behaviour copies of ``mine_conditional`` and
+``mine_topdown`` as they stood *before* the rank-path kernel rewrite:
+recursive conditional mining over delta vectors with per-vector
+``sum(...)`` recomputation and ``setdefault``-based aggregation, and the
+two-part (prefix seeding, then shift merging) top-down pass.
+
+They exist for two reasons and must not be "improved":
+
+* **Differential correctness** — the optimized kernels must produce
+  itemset-for-itemset identical output to these functions on every input
+  (``tests/core/test_differential.py``).
+* **Tracked speedups** — ``python -m repro bench`` times both generations
+  on the same prebuilt PLT and records the ratio in ``BENCH_*.json``; the
+  ratio is hardware-independent enough to regress against in CI.
+
+Only the public PLT surface is used (``sum_index()``, ``iter_vectors()``,
+``partitions``), so the copies stay valid as the PLT internals evolve.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable
+
+from repro.core.plt import PLT
+from repro.core.position import PositionVector, decode, restrict_to_ranks
+from repro.errors import InvalidSupportError, TopDownExplosionError
+
+__all__ = ["mine_conditional_reference", "mine_topdown_reference"]
+
+_Buckets = dict[int, dict[PositionVector, int]]
+_Emit = Callable[[tuple[int, ...], int], None]
+
+
+# ---------------------------------------------------------------------------
+# conditional miner, seed-era formulation
+# ---------------------------------------------------------------------------
+def _rank_supports(vectors: dict[PositionVector, int]) -> dict[int, int]:
+    supports: dict[int, int] = {}
+    for vec, freq in vectors.items():
+        total = 0
+        for p in vec:
+            total += p
+            supports[total] = supports.get(total, 0) + freq
+    return supports
+
+
+def _build_conditional_buckets(
+    prefixes: dict[PositionVector, int], min_support: int
+) -> _Buckets:
+    supports = _rank_supports(prefixes)
+    frequent = {r for r, s in supports.items() if s >= min_support}
+    if not frequent:
+        return {}
+    buckets: _Buckets = {}
+    if len(frequent) == len(supports):
+        for vec, freq in prefixes.items():
+            bucket = buckets.setdefault(sum(vec), {})
+            bucket[vec] = bucket.get(vec, 0) + freq
+        return buckets
+    for vec, freq in prefixes.items():
+        kept = restrict_to_ranks(vec, frequent)
+        if not kept:
+            continue
+        bucket = buckets.setdefault(sum(kept), {})
+        bucket[kept] = bucket.get(kept, 0) + freq
+    return buckets
+
+
+def _consume_bucket(
+    bucket: dict[PositionVector, int], buckets: _Buckets
+) -> tuple[dict[PositionVector, int], int]:
+    support = 0
+    cd: dict[PositionVector, int] = {}
+    for vec, freq in bucket.items():
+        support += freq
+        prefix = vec[:-1]
+        if prefix:
+            parent = buckets.setdefault(sum(prefix), {})
+            parent[prefix] = parent.get(prefix, 0) + freq
+            cd[prefix] = cd.get(prefix, 0) + freq
+    return cd, support
+
+
+def _mine_recursive(
+    buckets: _Buckets,
+    suffix: tuple[int, ...],
+    min_support: int,
+    emit: _Emit,
+    max_len: int | None,
+) -> None:
+    for j in range(max(buckets, default=0), 0, -1):
+        bucket = buckets.pop(j, None)
+        if bucket is None:
+            continue
+        cd, support = _consume_bucket(bucket, buckets)
+        if support < min_support:
+            continue
+        itemset = suffix + (j,)
+        emit(itemset, support)
+        if cd and (max_len is None or len(itemset) < max_len):
+            sub_buckets = _build_conditional_buckets(cd, min_support)
+            if sub_buckets:
+                _mine_recursive(sub_buckets, itemset, min_support, emit, max_len)
+
+
+def mine_conditional_reference(
+    plt: PLT,
+    min_support: int | None = None,
+    *,
+    max_len: int | None = None,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Algorithm 3 exactly as shipped before the rank-path rewrite."""
+    if min_support is None:
+        min_support = plt.min_support
+    if min_support < 1:
+        raise InvalidSupportError(f"absolute min_support must be >= 1, got {min_support}")
+    if max_len is not None and max_len < 1:
+        raise InvalidSupportError(f"max_len must be >= 1, got {max_len}")
+
+    results: list[tuple[tuple[int, ...], int]] = []
+
+    def emit(itemset: tuple[int, ...], support: int) -> None:
+        results.append((tuple(sorted(itemset)), support))
+
+    buckets = plt.sum_index()
+    depth_needed = plt.max_length() + len(plt.rank_table) + 100
+    old_limit = sys.getrecursionlimit()
+    if depth_needed > old_limit:
+        sys.setrecursionlimit(depth_needed)
+    try:
+        _mine_recursive(buckets, (), min_support, emit, max_len)
+    finally:
+        if depth_needed > old_limit:
+            sys.setrecursionlimit(old_limit)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# top-down miner, seed-era formulation (separate Part A / Part B)
+# ---------------------------------------------------------------------------
+def _topdown_frequencies(plt: PLT) -> dict[int, dict[PositionVector, int]]:
+    counts: dict[int, dict[PositionVector, int]] = {}
+    work: dict[int, dict[tuple[PositionVector, int], int]] = {}
+
+    def count(vec: PositionVector, freq: int) -> None:
+        bucket = counts.setdefault(len(vec), {})
+        bucket[vec] = bucket.get(vec, 0) + freq
+
+    def push(vec: PositionVector, limit: int, freq: int) -> None:
+        bucket = work.setdefault(len(vec), {})
+        key = (vec, limit)
+        bucket[key] = bucket.get(key, 0) + freq
+
+    for vec, freq in plt.iter_vectors():
+        for j in range(1, len(vec) + 1):
+            prefix = vec[:j]
+            count(prefix, freq)
+            if j >= 2:
+                push(prefix, j - 1, freq)
+
+    length = max(work, default=0)
+    while length >= 2:
+        bucket = work.pop(length, None)
+        if bucket:
+            for (vec, limit), freq in bucket.items():
+                for i in range(limit):
+                    child = vec[:i] + (vec[i] + vec[i + 1],) + vec[i + 2 :]
+                    count(child, freq)
+                    if len(child) >= 2 and i >= 1:
+                        push(child, i, freq)
+        length -= 1
+    return counts
+
+
+def mine_topdown_reference(
+    plt: PLT,
+    min_support: int | None = None,
+    *,
+    max_len: int | None = None,
+    work_limit: int | None = None,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Algorithm 2 exactly as shipped before the fused-pass rewrite.
+
+    ``work_limit`` guards against pathological inputs like the live
+    implementation; ``None`` (default) disables the guard since the bench
+    controls its own workloads.
+    """
+    if min_support is None:
+        min_support = plt.min_support
+    if min_support < 1:
+        raise InvalidSupportError(f"absolute min_support must be >= 1, got {min_support}")
+    if work_limit is not None:
+        estimate = 0
+        for length, bucket in plt.partitions.items():
+            estimate += (2**length - 1) * len(bucket)
+        if estimate > work_limit:
+            raise TopDownExplosionError(
+                f"top-down pass would generate up to {estimate} subset events "
+                f"(work_limit={work_limit})"
+            )
+    counts = _topdown_frequencies(plt)
+    results: list[tuple[tuple[int, ...], int]] = []
+    for length, bucket in counts.items():
+        if max_len is not None and length > max_len:
+            continue
+        for vec, freq in bucket.items():
+            if freq >= min_support:
+                results.append((decode(vec), freq))
+    return results

@@ -1,0 +1,101 @@
+"""Monotonic-clock timing primitives for the perf harness.
+
+Everything here is built on :func:`time.perf_counter` — monotonic, highest
+available resolution, immune to wall-clock adjustments — and keeps zero
+state outside the objects, so timers are safe to nest and to use from
+tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["Stopwatch", "PhaseTimes", "best_of"]
+
+
+class Stopwatch:
+    """A one-shot/contextmanager stopwatch.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class PhaseTimes:
+    """Accumulated wall-clock per named phase.
+
+    >>> phases = PhaseTimes()
+    >>> with phases.phase("construct"):
+    ...     _ = sum(range(1000))
+    >>> list(phases.as_dict()) == ["construct"]
+    True
+    """
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._seconds[name] = self._seconds.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._seconds)
+
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+
+def best_of(fn: Callable, *args, repeat: int = 1, **kwargs) -> tuple[float, object]:
+    """Best-of-``repeat`` monotonic wall time and the (last) return value.
+
+    Best-of is the standard noise filter for benchmarking deterministic
+    code: every source of interference only ever makes a run *slower*.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result

@@ -51,6 +51,29 @@ class TestRoundtrip:
         with PLTStore(path) as store:
             assert store.to_plt().vectors() == plt.vectors()
 
+    def test_rank_path_cache_preserved(self, store_path, paper_plt):
+        # the PLT precomputes rank paths at construction; a codec round
+        # trip must rebuild an identical cache, or every miner downstream
+        # of to_plt() would run on different paths than the original
+        with PLTStore(store_path) as store:
+            restored = store.to_plt()
+        assert sorted(restored.iter_rank_paths()) == sorted(
+            paper_plt.iter_rank_paths()
+        )
+        assert restored.rank_path_index() == paper_plt.rank_path_index()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rank_path_cache_preserved_random(self, tmp_path, seed):
+        db = random_database(seed + 2300, max_items=10, max_transactions=60)
+        plt = PLT.from_transactions(db, 2)
+        path = PLTStore.write(plt, tmp_path / "c.plts")
+        with PLTStore(path) as store:
+            restored = store.to_plt()
+        assert sorted(restored.iter_rank_paths()) == sorted(plt.iter_rank_paths())
+        assert sorted(mine_conditional(restored, 2)) == sorted(
+            mine_conditional(plt, 2)
+        )
+
     def test_empty_plt(self, tmp_path):
         plt = PLT.from_transactions([], 1)
         path = PLTStore.write(plt, tmp_path / "empty.plts")

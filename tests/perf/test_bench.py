@@ -1,0 +1,100 @@
+"""Unit tests for the tracked benchmark harness (repro.perf.bench)."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    REGRESSION_TOLERANCE,
+    WORKLOADS,
+    Workload,
+    compare_against_baseline,
+    main,
+    run_workload,
+)
+
+
+class TestWorkloadMatrix:
+    def test_names_unique(self):
+        names = [w.name for w in WORKLOADS]
+        assert len(names) == len(set(names))
+
+    def test_quick_subset_covers_every_group(self):
+        groups = {(w.kind, w.dataset) for w in WORKLOADS}
+        quick_groups = {(w.kind, w.dataset) for w in WORKLOADS if w.quick}
+        assert quick_groups == groups
+
+    def test_both_kinds_present(self):
+        kinds = {w.kind for w in WORKLOADS}
+        assert kinds == {"conditional", "topdown"}
+
+    def test_name_format(self):
+        w = Workload("conditional", "T10.I4.D5K", 100, True)
+        assert w.name == "conditional/T10.I4.D5K@100"
+
+    def test_unknown_kind_rejected(self):
+        bad = Workload("sideways", "T10.I4.D5K", 100, False)
+        with pytest.raises(ValueError):
+            run_workload(bad, repeat=1)
+
+
+class TestRunWorkload:
+    # one real (tiny) cell end to end: verification, counters, timing
+    def test_record_shape(self):
+        w = Workload("conditional", "paper-example", 2, False)
+        record = run_workload(w, repeat=1)
+        assert record["name"] == "conditional/paper-example@2"
+        assert record["itemsets"] > 0
+        assert record["legacy_s"] >= 0.0
+        assert record["optimized_s"] >= 0.0
+        assert record["speedup"] > 0.0
+        assert isinstance(record["counters"], dict)
+
+
+class TestCompare:
+    @staticmethod
+    def _doc(speedups):
+        return {
+            "workloads": [
+                {"name": name, "speedup": s} for name, s in speedups.items()
+            ]
+        }
+
+    def test_no_regression_within_tolerance(self):
+        base = self._doc({"conditional/X@1": 2.0})
+        now = self._doc({"conditional/X@1": 2.0 * (1 - REGRESSION_TOLERANCE) + 0.01})
+        assert compare_against_baseline(now, base) == []
+
+    def test_regression_detected(self):
+        base = self._doc({"conditional/X@1": 2.0})
+        now = self._doc({"conditional/X@1": 1.0})
+        problems = compare_against_baseline(now, base)
+        assert len(problems) == 1
+        assert "conditional/X@1" in problems[0]
+
+    def test_unknown_workload_ignored(self):
+        base = self._doc({"conditional/X@1": 2.0})
+        now = self._doc({"conditional/Y@1": 0.1})
+        assert compare_against_baseline(now, base) == []
+
+    def test_custom_tolerance(self):
+        base = self._doc({"topdown/X@1": 2.0})
+        now = self._doc({"topdown/X@1": 1.9})
+        assert compare_against_baseline(now, base, tolerance=0.01) != []
+        assert compare_against_baseline(now, base, tolerance=0.10) == []
+
+
+class TestMain:
+    def test_writes_report_and_compares(self, tmp_path, monkeypatch):
+        # shrink the matrix to the tiny paper example so the test is fast
+        tiny = (Workload("conditional", "paper-example", 2, True),)
+        monkeypatch.setattr("repro.perf.bench.WORKLOADS", tiny)
+
+        out = tmp_path / "bench.json"
+        assert main(quick=True, repeat=1, output=str(out)) == 0
+        report = json.loads(out.read_text())
+        assert report["summary"]["conditional_speedup"] > 0
+        assert [w["name"] for w in report["workloads"]] == ["conditional/paper-example@2"]
+
+        # comparing a run against its own baseline can never regress
+        assert main(quick=True, repeat=1, output=None, compare=str(out)) == 0

@@ -1,0 +1,77 @@
+"""Unit tests for repro.perf.counters."""
+
+from repro.perf.counters import COUNTERS, PhaseCounters, collecting
+
+
+class TestPhaseCounters:
+    def test_disabled_by_default(self):
+        counters = PhaseCounters()
+        assert counters.enabled is False
+        counters.add("x")
+        assert counters.snapshot() == {}
+
+    def test_add_when_enabled(self):
+        counters = PhaseCounters()
+        counters.enabled = True
+        counters.add("x")
+        counters.add("x", 4)
+        counters.add("y", 2)
+        assert counters.snapshot() == {"x": 5, "y": 2}
+
+    def test_snapshot_sorted_and_detached(self):
+        counters = PhaseCounters()
+        counters.enabled = True
+        counters.add("zeta")
+        counters.add("alpha")
+        snap = counters.snapshot()
+        assert list(snap) == ["alpha", "zeta"]
+        counters.add("alpha")
+        assert snap["alpha"] == 1  # snapshot is a copy
+
+    def test_reset(self):
+        counters = PhaseCounters()
+        counters.enabled = True
+        counters.add("x")
+        counters.reset()
+        assert counters.snapshot() == {}
+
+
+class TestCollecting:
+    def test_enables_and_restores(self):
+        assert COUNTERS.enabled is False
+        with collecting() as counts:
+            assert COUNTERS.enabled is True
+            COUNTERS.add("k", 3)
+            assert counts["k"] == 3
+        assert COUNTERS.enabled is False
+
+    def test_reset_default(self):
+        with collecting():
+            COUNTERS.add("stale")
+        with collecting() as counts:
+            assert counts["stale"] == 0
+
+    def test_no_reset_keeps_counts(self):
+        with collecting():
+            COUNTERS.add("kept", 2)
+        with collecting(reset=False) as counts:
+            assert counts["kept"] == 2
+        COUNTERS.reset()
+
+    def test_nesting_restores_outer_state(self):
+        with collecting():
+            with collecting(reset=False):
+                COUNTERS.add("inner")
+            assert COUNTERS.enabled is True
+        assert COUNTERS.enabled is False
+        COUNTERS.reset()
+
+    def test_kernels_report_when_collecting(self):
+        from repro.core.conditional import mine_conditional
+        from repro.core.plt import PLT
+
+        db = [frozenset({1, 2, 3}), frozenset({1, 2}), frozenset({2, 3})]
+        plt = PLT.from_transactions(db, 1)
+        with collecting() as counts:
+            mine_conditional(plt, 1)
+        assert sum(counts.values()) > 0

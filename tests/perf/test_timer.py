@@ -1,0 +1,81 @@
+"""Unit tests for repro.perf.timer."""
+
+import pytest
+
+from repro.perf.timer import PhaseTimes, Stopwatch, best_of
+
+
+class TestStopwatch:
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            sum(range(100))
+        assert sw.elapsed >= 0.0
+
+    def test_explicit_start_stop(self):
+        sw = Stopwatch().start()
+        elapsed = sw.stop()
+        assert elapsed == sw.elapsed >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reusable(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            sum(range(1000))
+        assert sw.elapsed >= 0.0
+        assert first >= 0.0
+
+
+class TestPhaseTimes:
+    def test_phase_accumulates(self):
+        phases = PhaseTimes()
+        with phases.phase("a"):
+            pass
+        with phases.phase("a"):
+            pass
+        with phases.phase("b"):
+            pass
+        d = phases.as_dict()
+        assert set(d) == {"a", "b"}
+        assert phases.total() == pytest.approx(d["a"] + d["b"])
+
+    def test_add_and_get(self):
+        phases = PhaseTimes()
+        phases.add("x", 1.5)
+        phases.add("x", 0.5)
+        assert phases.get("x") == pytest.approx(2.0)
+        assert phases.get("missing") == 0.0
+
+    def test_phase_records_on_exception(self):
+        phases = PhaseTimes()
+        with pytest.raises(ValueError):
+            with phases.phase("boom"):
+                raise ValueError("boom")
+        assert phases.get("boom") >= 0.0
+        assert "boom" in phases.as_dict()
+
+
+class TestBestOf:
+    def test_returns_result(self):
+        secs, result = best_of(lambda x: x * 2, 21)
+        assert result == 42
+        assert secs >= 0.0
+
+    def test_repeat_runs_fn_each_time(self):
+        calls = []
+        secs, result = best_of(lambda: calls.append(1), repeat=3)
+        assert len(calls) == 3
+
+    def test_repeat_floor_is_one(self):
+        calls = []
+        best_of(lambda: calls.append(1), repeat=0)
+        assert len(calls) == 1
+
+    def test_kwargs_forwarded(self):
+        _, result = best_of(lambda a, b=0: a + b, 1, b=2)
+        assert result == 3

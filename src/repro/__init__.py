@@ -20,9 +20,11 @@ paper-vs-measured record.
 
 from repro.core import (
     PLT,
+    ApproximateResult,
     FrequentItemset,
     IncrementalPLT,
     MiningResult,
+    PartialResult,
     RankTable,
     build_plt,
     mine_closed_itemsets,
@@ -33,7 +35,12 @@ from repro.core import (
     mine_topdown,
 )
 from repro.data import TransactionDatabase
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, Cancelled, MiningInterrupted, ReproError
+from repro.robustness.governor import (
+    CancellationToken,
+    DegradationPolicy,
+    MiningBudget,
+)
 
 __version__ = "1.0.0"
 
@@ -42,9 +49,17 @@ __all__ = [
     "FrequentItemset",
     "IncrementalPLT",
     "MiningResult",
+    "PartialResult",
+    "ApproximateResult",
     "RankTable",
     "TransactionDatabase",
     "ReproError",
+    "MiningInterrupted",
+    "BudgetExceeded",
+    "Cancelled",
+    "MiningBudget",
+    "CancellationToken",
+    "DegradationPolicy",
     "build_plt",
     "mine_conditional",
     "mine_frequent_itemsets",

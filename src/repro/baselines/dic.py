@@ -22,6 +22,7 @@ from typing import Hashable
 
 from repro.core.rank import sort_key
 from repro.data.transaction_db import item_supports
+from repro.errors import InvalidParameterError
 
 __all__ = ["mine_dic"]
 
@@ -37,7 +38,7 @@ def mine_dic(
 ) -> dict[frozenset, int]:
     """Run DIC; returns ``{itemset -> absolute support}`` (exact)."""
     if interval < 1:
-        raise ValueError("interval must be >= 1")
+        raise InvalidParameterError("interval must be >= 1")
     db = [frozenset(t) for t in transactions]
     n = len(db)
     if n == 0:

@@ -22,6 +22,7 @@ from collections.abc import Iterable, Sequence
 from typing import Hashable
 
 from repro.core.rank import sort_key
+from repro.errors import InvalidParameterError
 
 __all__ = ["mine_partition", "local_frequent_itemsets", "split_database"]
 
@@ -33,7 +34,7 @@ def split_database(
 ) -> list[Sequence[frozenset]]:
     """Contiguous, near-equal chunks (the paper reads pages in order)."""
     if n_partitions < 1:
-        raise ValueError("n_partitions must be >= 1")
+        raise InvalidParameterError("n_partitions must be >= 1")
     n = len(transactions)
     n_partitions = min(n_partitions, max(n, 1))
     chunk = math.ceil(n / n_partitions) if n else 1

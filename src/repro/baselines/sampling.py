@@ -22,6 +22,7 @@ from typing import Hashable
 
 from repro.core.mining import mine_frequent_itemsets
 from repro.core.rank import sort_key
+from repro.errors import InvalidParameterError
 
 __all__ = ["mine_sampling", "negative_border"]
 
@@ -89,9 +90,9 @@ def mine_sampling(
     if not db:
         return {}, info
     if not 0 < sample_fraction <= 1:
-        raise ValueError("sample_fraction must be in (0, 1]")
+        raise InvalidParameterError("sample_fraction must be in (0, 1]")
     if not 0 < lowering <= 1:
-        raise ValueError("lowering must be in (0, 1]")
+        raise InvalidParameterError("lowering must be in (0, 1]")
 
     rng = random.Random(seed)
     sample_size = max(1, int(round(sample_fraction * len(db))))

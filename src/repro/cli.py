@@ -36,6 +36,23 @@ def _support_value(text: str) -> float | int:
         raise argparse.ArgumentTypeError(f"invalid support {text!r}") from None
 
 
+def _size_value(text: str) -> int:
+    """byte-size argument: plain int or with a k/m/g suffix (``64m``)."""
+    raw = text.strip().lower()
+    multiplier = 1
+    for suffix, scale in (("g", 1 << 30), ("m", 1 << 20), ("k", 1 << 10)):
+        if raw.endswith(suffix):
+            raw, multiplier = raw[: -len(suffix)], scale
+            break
+    try:
+        value = int(float(raw) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid size {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,6 +77,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_mine.add_argument("--relative", action="store_true", help="print fractional supports")
     p_mine.add_argument("--output", default=None, help="write results here instead of stdout")
+    p_mine.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry print the partial result mined so far",
+    )
+    p_mine.add_argument(
+        "--max-itemsets",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after emitting N itemsets",
+    )
+    p_mine.add_argument(
+        "--memory-budget",
+        type=_size_value,
+        default=None,
+        metavar="BYTES",
+        help="approximate mining-state budget (accepts k/m/g suffixes)",
+    )
+    p_mine.add_argument(
+        "--degrade",
+        choices=["sampling", "topk"],
+        default=None,
+        help="on budget exhaustion fall back to an approximate strategy "
+        "instead of returning a partial result",
+    )
 
     p_rules = sub.add_parser("rules", help="mine association rules")
     p_rules.add_argument("--input", required=True)
@@ -156,26 +201,61 @@ def _write(text: str, output: str | None) -> None:
 
 def _cmd_mine(args) -> int:
     from repro.core.mining import (
+        ApproximateResult,
+        PartialResult,
         mine_closed_itemsets,
         mine_frequent_itemsets,
         mine_maximal_itemsets,
     )
     from repro.data.io import read_dat
+    from repro.robustness.governor import DegradationPolicy
     from repro.viz import render_itemsets
 
+    governed = (
+        args.deadline is not None
+        or args.max_itemsets is not None
+        or args.memory_budget is not None
+    )
     db = read_dat(args.input)
-    if args.kind == "closed":
-        result = mine_closed_itemsets(db, args.min_support)
-    elif args.kind == "maximal":
-        result = mine_maximal_itemsets(db, args.min_support)
+    if args.kind in ("closed", "maximal"):
+        if governed or args.degrade:
+            raise ReproError(
+                "budget flags (--deadline/--max-itemsets/--memory-budget/"
+                "--degrade) only apply to --kind all"
+            )
+        if args.kind == "closed":
+            result = mine_closed_itemsets(db, args.min_support)
+        else:
+            result = mine_maximal_itemsets(db, args.min_support)
     else:
+        kwargs = {}
+        if governed:
+            kwargs.update(
+                deadline=args.deadline,
+                max_itemsets=args.max_itemsets,
+                memory_budget=args.memory_budget,
+            )
+            if args.degrade:
+                kwargs["degradation"] = DegradationPolicy(fallback=args.degrade)
+        elif args.degrade:
+            raise ReproError(
+                "--degrade requires a budget flag "
+                "(--deadline/--max-itemsets/--memory-budget)"
+            )
         result = mine_frequent_itemsets(
-            db, args.min_support, method=args.method, max_len=args.max_len
+            db, args.min_support, method=args.method, max_len=args.max_len, **kwargs
         )
     header = (
         f"# {len(result)} itemsets  method={result.method}  "
         f"min_support={result.min_support}/{result.n_transactions}"
     )
+    if isinstance(result, PartialResult):
+        header = (
+            f"# PARTIAL ({result.stop_reason}) after {result.elapsed:.2f}s — "
+            f"supports are exact, enumeration incomplete\n" + header
+        )
+    elif isinstance(result, ApproximateResult):
+        header = f"# APPROXIMATE: {result.disclaimer}\n" + header
     _write(header + "\n" + render_itemsets(result, relative=args.relative), args.output)
     return 0
 

@@ -33,7 +33,7 @@ from repro.core.conditional import _consume_bucket, mine_conditional_block
 from repro.core.plt import PLT
 from repro.core.position import PositionVector
 from repro.core.rank import RankTable
-from repro.errors import CodecError, InvalidSupportError
+from repro.errors import CodecError, InvalidSupportError, MiningInterrupted
 
 __all__ = ["PLTStore"]
 
@@ -215,7 +215,11 @@ class PLTStore:
 
     # ------------------------------------------------------------------
     def mine(
-        self, min_support: int | None = None, *, max_len: int | None = None
+        self,
+        min_support: int | None = None,
+        *,
+        max_len: int | None = None,
+        governor=None,
     ) -> list[tuple[tuple[int, ...], int]]:
         """Algorithm 3 streaming buckets from disk, descending sum.
 
@@ -223,6 +227,11 @@ class PLTStore:
         are strictly shorter than their sources) are the only mining state
         held in memory.  Output format matches
         :func:`repro.core.conditional.mine_conditional`.
+
+        With a ``governor``, a budget trip raises
+        :class:`~repro.errors.MiningInterrupted` carrying ``partial`` (all
+        exact supports) and ``progress["complete_from_rank"]`` — every
+        itemset whose maximal rank is >= that value was fully enumerated.
         """
         if min_support is None:
             min_support = self.min_support
@@ -233,27 +242,46 @@ class PLTStore:
         results: list[tuple[tuple[int, ...], int]] = []
 
         # the path engine emits itemsets already sorted ascending — append raw
-        def emit(itemset: tuple[int, ...], support: int) -> None:
-            results.append((itemset, support))
+        if governor is None:
+            def emit(itemset: tuple[int, ...], support: int) -> None:
+                results.append((itemset, support))
+        else:
+            governor.start()
+
+            def emit(itemset: tuple[int, ...], support: int) -> None:
+                governor.note_itemsets()
+                results.append((itemset, support))
 
         migrated: dict[int, dict[PositionVector, int]] = {}
         top = max(self._directory, default=0)
-        for j in range(top, 0, -1):
-            bucket = migrated.pop(j, None)
-            disk = self.read_bucket(j) if j in self._directory else {}
-            if bucket:
-                for vec, freq in disk.items():
-                    bucket[vec] = bucket.get(vec, 0) + freq
-            else:
-                bucket = disk
-            if not bucket:
-                continue
-            cd, support = _consume_bucket(bucket, migrated)
-            if support < min_support:
-                continue
-            emit((j,), support)
-            if cd and (max_len is None or max_len > 1):
-                mine_conditional_block(cd, j, min_support, emit, max_len)
+        try:
+            for j in range(top, 0, -1):
+                bucket = migrated.pop(j, None)
+                disk = self.read_bucket(j) if j in self._directory else {}
+                if bucket:
+                    for vec, freq in disk.items():
+                        bucket[vec] = bucket.get(vec, 0) + freq
+                else:
+                    bucket = disk
+                if not bucket:
+                    continue
+                if governor is not None:
+                    governor.progress["mining_rank"] = j
+                    governor.tick(len(bucket))
+                cd, support = _consume_bucket(bucket, migrated)
+                if support < min_support:
+                    continue
+                emit((j,), support)
+                if cd and (max_len is None or max_len > 1):
+                    mine_conditional_block(
+                        cd, j, min_support, emit, max_len, governor=governor
+                    )
+        except MiningInterrupted as exc:
+            exc.partial = results
+            mining_rank = governor.progress.get("mining_rank") if governor else None
+            if mining_rank is not None:
+                exc.progress.setdefault("complete_from_rank", mining_rank + 1)
+            raise
         return results
 
     # ------------------------------------------------------------------

@@ -16,8 +16,10 @@ from repro.core.constraints import mine_constrained, verify_antimonotone
 from repro.core.conditional import mine_conditional
 from repro.core.incremental import IncrementalPLT
 from repro.core.mining import (
+    ApproximateResult,
     FrequentItemset,
     MiningResult,
+    PartialResult,
     mine_closed_itemsets,
     mine_frequent_itemsets,
     mine_maximal_itemsets,
@@ -45,6 +47,8 @@ __all__ = [
     "topdown_subset_frequencies",
     "FrequentItemset",
     "MiningResult",
+    "PartialResult",
+    "ApproximateResult",
     "mine_frequent_itemsets",
     "mine_closed_itemsets",
     "mine_maximal_itemsets",

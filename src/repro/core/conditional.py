@@ -63,7 +63,7 @@ except ImportError:  # pragma: no cover - numpy ships with the toolchain
 
 from repro.core.plt import PLT
 from repro.core.position import PositionVector, RankPath, restrict_to_ranks
-from repro.errors import InvalidSupportError
+from repro.errors import InvalidSupportError, MiningInterrupted
 from repro.perf.counters import COUNTERS as _COUNTERS
 
 __all__ = [
@@ -259,6 +259,8 @@ def _mine_paths(
     emit: Emit,
     max_len: int | None,
     row: list[float] | None = None,
+    governor=None,
+    track_top: bool = False,
 ) -> None:
     """Depth-first conditional mining over rank-path buckets, no recursion.
 
@@ -306,6 +308,14 @@ def _mine_paths(
     **all-frequent** bucket (no rank filtered out) re-buckets prefixes
     by plain assignment, since two distinct paths sharing the terminal
     ``j`` cannot share a prefix.
+
+    When a :class:`~repro.robustness.governor.ResourceGovernor` is given
+    it is charged one amortized tick per consumed bucket (weighted by
+    bucket size); with ``track_top`` the currently-mined *top-level* rank
+    is recorded in ``governor.progress["mining_rank"]`` — each top-level
+    rank's entire subtree completes before the loop advances, so on a
+    budget trip every rank above the marker is verified complete.  Cost
+    when ``governor is None``: a single predicate test per bucket.
     """
     counters = _COUNTERS
     stack: list[
@@ -330,6 +340,10 @@ def _mine_paths(
             bucket = bucket_pop(j, None)
             if bucket is None:
                 continue
+            if governor is not None:
+                if track_top and not stack:
+                    governor.progress["mining_rank"] = j
+                governor.tick(len(bucket))
             if counters.enabled:
                 counters.add("cond_buckets_touched")
                 counters.add("cond_work_items_merged", len(bucket))
@@ -509,6 +523,7 @@ def mine_conditional_block(
     min_support: int,
     emit: Emit,
     max_len: int | None = None,
+    governor=None,
 ) -> None:
     """Mine one top-level rank's conditional database on the path engine.
 
@@ -529,9 +544,14 @@ def mine_conditional_block(
     for vec, freq in prefixes.items():
         # accumulate() is injective on delta vectors: plain assignment
         path_prefixes[tuple(accumulate(vec))] = freq
+    if governor is not None:
+        governor.tick(len(path_prefixes))
     buckets, schedule = _build_path_buckets(path_prefixes, min_support)
     if buckets:
-        _mine_paths(buckets, schedule, (rank,), min_support, emit, max_len)
+        _mine_paths(
+            buckets, schedule, (rank,), min_support, emit, max_len,
+            governor=governor,
+        )
 
 
 #: Rank-space ceiling for the pairwise co-occurrence matrix: the dense
@@ -545,6 +565,7 @@ def _mine_top_matrix(
     min_support: int,
     emit: Emit,
     max_len: int | None,
+    governor=None,
 ) -> bool:
     """Vectorised top level of Algorithm 3; returns False when inapplicable.
 
@@ -615,6 +636,8 @@ def _mine_top_matrix(
                 prefix = mat[:, :c]
                 keepm = pair_support[jcol[:, None], prefix] >= min_support
                 sel = _np.nonzero(keepm.sum(axis=1) >= 2)[0]
+                if governor is not None:
+                    governor.tick(max(1, int(sel.size)))
                 if not sel.size:
                     continue
                 if counters.enabled:
@@ -642,6 +665,9 @@ def _mine_top_matrix(
         support = int(diag[j])
         if support < min_support:
             continue
+        if governor is not None:
+            governor.progress["mining_rank"] = j
+            governor.tick()
         if counters.enabled:
             counters.add("cond_buckets_touched")
         emit((j,), support)
@@ -665,7 +691,8 @@ def _mine_top_matrix(
             if counters.enabled:
                 counters.add("cond_structures_built")
             _mine_paths(
-                sub, sub_order, (j,), min_support, emit, max_len, row_list
+                sub, sub_order, (j,), min_support, emit, max_len, row_list,
+                governor=governor,
             )
     return True
 
@@ -676,6 +703,7 @@ def mine_conditional(
     *,
     max_len: int | None = None,
     ranks: Iterator[int] | None = None,
+    governor=None,
 ) -> list[tuple[tuple[int, ...], int]]:
     """Mine all frequent itemsets from a PLT (Algorithm 3).
 
@@ -691,6 +719,13 @@ def mine_conditional(
         Restrict the *top-level* loop to these ranks (used by the parallel
         executor's task partitioning).  Prefix migration for higher ranks
         is still performed so counts stay exact.
+    governor:
+        Optional :class:`~repro.robustness.governor.ResourceGovernor`.
+        When its budget trips (or its token is cancelled) the raised
+        :class:`~repro.errors.MiningInterrupted` carries ``partial`` (the
+        pairs mined so far, exact supports) and
+        ``progress["complete_from_rank"]`` — every itemset whose maximal
+        rank is >= that value was fully enumerated.
 
     Returns
     -------
@@ -708,30 +743,54 @@ def mine_conditional(
     # the engine constructs every itemset in ascending rank order (it
     # prepends the strictly smaller extension rank), so no per-emission
     # sort is needed
-    def emit(itemset: tuple[int, ...], support: int) -> None:
-        results.append((itemset, support))
+    if governor is None:
+        def emit(itemset: tuple[int, ...], support: int) -> None:
+            results.append((itemset, support))
+    else:
+        governor.start()
 
-    if ranks is None:
-        if _mine_top_matrix(plt, min_support, emit, max_len):
+        def emit(itemset: tuple[int, ...], support: int) -> None:
+            # cap check first, so partial results never exceed the cap
+            governor.note_itemsets()
+            results.append((itemset, support))
+
+    try:
+        if ranks is None:
+            if _mine_top_matrix(plt, min_support, emit, max_len, governor=governor):
+                return results
+            buckets = plt.rank_path_index()
+            if buckets:
+                _mine_paths(
+                    buckets, range(max(buckets), 0, -1), (), min_support,
+                    emit, max_len, governor=governor, track_top=True,
+                )
             return results
         buckets = plt.rank_path_index()
-        if buckets:
-            _mine_paths(
-                buckets, range(max(buckets), 0, -1), (), min_support, emit, max_len
-            )
+        wanted = set(ranks)
+        for j in range(max(buckets, default=0), 0, -1):
+            bucket = buckets.pop(j, None)
+            if bucket is None:
+                continue
+            if governor is not None:
+                governor.progress["mining_rank"] = j
+                governor.tick(len(bucket))
+            cd, support = _consume_path_bucket(bucket, buckets)
+            if j not in wanted or support < min_support:
+                continue
+            emit((j,), support)
+            if cd and (max_len is None or max_len > 1):
+                sub, sub_order = _build_path_buckets(cd, min_support)
+                if sub:
+                    _mine_paths(
+                        sub, sub_order, (j,), min_support, emit, max_len,
+                        governor=governor,
+                    )
         return results
-    buckets = plt.rank_path_index()
-    wanted = set(ranks)
-    for j in range(max(buckets, default=0), 0, -1):
-        bucket = buckets.pop(j, None)
-        if bucket is None:
-            continue
-        cd, support = _consume_path_bucket(bucket, buckets)
-        if j not in wanted or support < min_support:
-            continue
-        emit((j,), support)
-        if cd and (max_len is None or max_len > 1):
-            sub, sub_order = _build_path_buckets(cd, min_support)
-            if sub:
-                _mine_paths(sub, sub_order, (j,), min_support, emit, max_len)
-    return results
+    except MiningInterrupted as exc:
+        # everything emitted has its exact support; ranks strictly above
+        # the one in flight were mined to completion
+        exc.partial = results
+        mining_rank = governor.progress.get("mining_rank") if governor else None
+        if mining_rank is not None:
+            exc.progress.setdefault("complete_from_rank", mining_rank + 1)
+        raise

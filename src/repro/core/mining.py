@@ -24,15 +24,29 @@ from repro.core.plt import PLT
 from repro.core.rank import sort_key
 from repro.core.topdown import mine_topdown
 from repro.data.transaction_db import TransactionDatabase, resolve_min_support
-from repro.errors import ReproError
+from repro.errors import (
+    AdmissionRejected,
+    InvalidParameterError,
+    MiningInterrupted,
+    ReproError,
+)
+from repro.robustness.governor import (
+    CancellationToken,
+    DegradationPolicy,
+    MiningBudget,
+    ResourceGovernor,
+)
 
 __all__ = [
     "FrequentItemset",
     "MiningResult",
+    "PartialResult",
+    "ApproximateResult",
     "mine_frequent_itemsets",
     "mine_closed_itemsets",
     "mine_maximal_itemsets",
     "METHODS",
+    "GOVERNED_METHODS",
 ]
 
 Item = Hashable
@@ -56,7 +70,7 @@ class FrequentItemset:
 
     def relative_support(self, n_transactions: int) -> float:
         if n_transactions <= 0:
-            raise ValueError("n_transactions must be positive")
+            raise InvalidParameterError("n_transactions must be positive")
         return self.support / n_transactions
 
 
@@ -65,7 +79,17 @@ class MiningResult(Sequence):
 
     Itemsets are sorted canonically (by length, then lexicographically) so
     results from different miners compare equal.
+
+    ``complete``/``approximate`` distinguish the governed-result variants:
+    a plain :class:`MiningResult` is the full exact answer
+    (``complete=True, approximate=False``); see :class:`PartialResult` and
+    :class:`ApproximateResult`.
     """
+
+    #: True when every frequent itemset at the threshold is present.
+    complete = True
+    #: True when supports (or coverage) are estimates, not exact counts.
+    approximate = False
 
     def __init__(
         self,
@@ -75,9 +99,20 @@ class MiningResult(Sequence):
         min_support: int,
         method: str,
     ) -> None:
-        self._itemsets = sorted(
-            itemsets, key=lambda fi: (len(fi.items), [sort_key(i) for i in fi.items])
-        )
+        # items repeat across many itemsets — memoize their sort keys so
+        # canonical ordering stays cheap even for six-figure result sets
+        cache: dict = {}
+
+        def canonical(fi: FrequentItemset):
+            keys = []
+            for item in fi.items:
+                key = cache.get(item)
+                if key is None:
+                    key = cache[item] = sort_key(item)
+                keys.append(key)
+            return (len(keys), keys)
+
+        self._itemsets = sorted(itemsets, key=canonical)
         self.n_transactions = n_transactions
         self.min_support = min_support
         self.method = method
@@ -158,27 +193,151 @@ class MiningResult(Sequence):
         )
 
 
+class PartialResult(MiningResult):
+    """The itemsets mined before a budget trip or cancellation.
+
+    Every itemset present carries its **exact** support — governed miners
+    never report estimated counts — but the collection is not the full
+    frequent set.  ``stop_reason`` says why mining stopped
+    (``"deadline"``, ``"max_itemsets"``, ``"memory"``, ``"cancelled"``);
+    ``progress`` holds the miner's completion markers, e.g.
+    ``complete_from_rank`` (conditional/out-of-core: every itemset whose
+    maximal rank is >= the marker was fully enumerated) or
+    ``complete_min_len`` (top-down: counts for subset lengths >= the
+    marker are final).
+    """
+
+    complete = False
+
+    def __init__(
+        self,
+        itemsets: Iterable[FrequentItemset],
+        *,
+        n_transactions: int,
+        min_support: int,
+        method: str,
+        stop_reason: str | None,
+        elapsed: float = 0.0,
+        progress: dict | None = None,
+    ) -> None:
+        super().__init__(
+            itemsets,
+            n_transactions=n_transactions,
+            min_support=min_support,
+            method=method + "+partial",
+        )
+        self.stop_reason = stop_reason
+        self.elapsed = elapsed
+        self.progress = dict(progress or {})
+
+    @property
+    def complete_from_rank(self) -> int | None:
+        return self.progress.get("complete_from_rank")
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialResult({len(self)} itemsets, stop_reason={self.stop_reason!r}, "
+            f"method={self.method!r}, elapsed={self.elapsed:.3f}s)"
+        )
+
+
+class ApproximateResult(MiningResult):
+    """A degraded-mode answer: bounded, flagged, never mistaken for exact.
+
+    Produced when a :class:`~repro.robustness.governor.DegradationPolicy`
+    converts a budget trip into an approximate answer.  ``disclaimer`` is
+    a human-readable accuracy statement (also printed by the CLI);
+    ``info`` records the fallback used and its parameters.
+    """
+
+    approximate = True
+    complete = False
+
+    def __init__(
+        self,
+        itemsets: Iterable[FrequentItemset],
+        *,
+        n_transactions: int,
+        min_support: int,
+        method: str,
+        disclaimer: str,
+        info: dict | None = None,
+    ) -> None:
+        super().__init__(
+            itemsets,
+            n_transactions=n_transactions,
+            min_support=min_support,
+            method=method,
+        )
+        self.disclaimer = disclaimer
+        self.info = dict(info or {})
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximateResult({len(self)} itemsets, method={self.method!r}, "
+            f"disclaimer={self.disclaimer!r})"
+        )
+
+
 # ---------------------------------------------------------------------------
 # method registry
 # ---------------------------------------------------------------------------
+def _decode_partial(exc: MiningInterrupted, table) -> None:
+    """Decode a miner's rank-pair ``partial`` into item space, in place.
+
+    Kept lean (no set construction, one sort per itemset) — partials can
+    hold tens of thousands of pairs and this runs *after* the deadline
+    already expired, so it is pure latency on top of the budget.
+    """
+    # rank -> label and rank -> sort position, computed once; per-pair work
+    # is then a list-indexed sort plus a tuple build
+    labels = (None,) + table.items()
+    order = sorted(range(1, len(labels)), key=lambda r: sort_key(labels[r]))
+    position = [0] * len(labels)
+    for pos, r in enumerate(order):
+        position[r] = pos
+    key = position.__getitem__
+    exc.partial_items = [
+        (tuple(labels[r] for r in sorted(ranks, key=key)), sup)
+        for ranks, sup in exc.partial
+    ]
+
+
 def _mine_plt(transactions, abs_support, order, max_len, **kwargs):
+    governor = kwargs.get("governor")
     plt = PLT.from_transactions(transactions, abs_support, order=order)
-    pairs = mine_conditional(plt, abs_support, max_len=max_len)
+    if governor is not None:
+        governor.admit(plt, method="conditional")
     table = plt.rank_table
+    try:
+        pairs = mine_conditional(
+            plt, abs_support, max_len=max_len, governor=governor
+        )
+    except MiningInterrupted as exc:
+        _decode_partial(exc, table)
+        raise
     return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}
 
 
 def _mine_plt_topdown(transactions, abs_support, order, max_len, **kwargs):
     from repro.core.topdown import DEFAULT_WORK_LIMIT
 
+    governor = kwargs.get("governor")
     plt = PLT.from_transactions(transactions, abs_support, order=order)
-    pairs = mine_topdown(
-        plt,
-        abs_support,
-        max_len=max_len,
-        work_limit=kwargs.get("work_limit", DEFAULT_WORK_LIMIT),
-    )
+    if governor is not None:
+        governor.admit(plt, method="topdown")
     table = plt.rank_table
+    try:
+        pairs = mine_topdown(
+            plt,
+            abs_support,
+            max_len=max_len,
+            work_limit=kwargs.get("work_limit", DEFAULT_WORK_LIMIT),
+            governor=governor,
+        )
+    except MiningInterrupted as exc:
+        _decode_partial(exc, table)
+        raise
     return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}
 
 
@@ -261,18 +420,26 @@ def _mine_count_distribution(transactions, abs_support, order, max_len, **kwargs
 def _mine_plt_parallel(transactions, abs_support, order, max_len, **kwargs):
     from repro.parallel.executor import mine_parallel
 
+    governor = kwargs.get("governor")
     plt = PLT.from_transactions(transactions, abs_support, order=order)
+    if governor is not None:
+        governor.admit(plt, method="conditional")
     parallel_kwargs = {
         key: kwargs[key] for key in ("timeout", "retry") if key in kwargs
     }
-    pairs = mine_parallel(
-        plt,
-        abs_support,
-        max_len=max_len,
-        n_workers=kwargs.get("n_workers"),
-        **parallel_kwargs,
-    )
     table = plt.rank_table
+    try:
+        pairs = mine_parallel(
+            plt,
+            abs_support,
+            max_len=max_len,
+            n_workers=kwargs.get("n_workers"),
+            governor=governor,
+            **parallel_kwargs,
+        )
+    except MiningInterrupted as exc:
+        _decode_partial(exc, table)
+        raise
     return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}
 
 
@@ -293,6 +460,86 @@ METHODS: dict[str, Callable] = {
     "bruteforce": _mine_bruteforce,
 }
 
+#: Methods whose hot loops consult a :class:`ResourceGovernor`.  Budget /
+#: cancellation kwargs on the facade are rejected for any other method —
+#: silently ignoring them would defeat the whole point of a deadline.
+GOVERNED_METHODS = frozenset({"plt", "plt-conditional", "plt-topdown", "plt-parallel"})
+
+
+def _degrade(
+    transactions: TransactionDatabase,
+    abs_support: int,
+    order: str,
+    max_len: int | None,
+    policy: DegradationPolicy,
+    method: str,
+    reason: str | None,
+) -> ApproximateResult:
+    """Produce the bounded approximate answer the policy asked for."""
+    import random
+
+    n = len(transactions)
+    if policy.fallback == "topk":
+        from repro.core.topk import mine_top_k
+
+        plt = PLT.from_transactions(transactions, abs_support, order=order)
+        pairs = mine_top_k(plt, policy.k, max_len=max_len)
+        table = plt.rank_table
+        itemsets = [
+            FrequentItemset(
+                tuple(sorted(table.decode_ranks(ranks), key=sort_key)), sup
+            )
+            for ranks, sup in pairs
+            if sup >= abs_support
+        ]
+        disclaimer = (
+            f"approximate result: supports are exact but only the "
+            f"{policy.k} most frequent itemsets were mined "
+            f"(budget stop: {reason})"
+        )
+        info = {"fallback": "topk", "k": policy.k, "stop_reason": reason}
+    else:
+        rng = random.Random(policy.seed)
+        size = max(1, round(n * policy.sample_fraction))
+        if size >= n:
+            sample = list(transactions)
+            size = n
+        else:
+            sample = rng.sample(list(transactions), size)
+        # scale the threshold to the sample, but never below the full-run
+        # floor: a sample mined at support 1 enumerates every subset of
+        # every sampled transaction — the opposite of a *bounded* fallback
+        scaled_support = max(min(abs_support, 2), round(abs_support * size / n))
+        sub = mine_frequent_itemsets(
+            sample, scaled_support, method="plt", order=order, max_len=max_len
+        )
+        scale = n / size
+        itemsets = [
+            FrequentItemset(fi.items, est)
+            for fi in sub
+            if (est := round(fi.support * scale)) >= abs_support
+        ]
+        disclaimer = (
+            f"approximate result: supports are estimates scaled up from a "
+            f"{size}/{n} transaction sample (seed={policy.seed}, "
+            f"budget stop: {reason})"
+        )
+        info = {
+            "fallback": "sampling",
+            "sample_size": size,
+            "sample_fraction": policy.sample_fraction,
+            "seed": policy.seed,
+            "stop_reason": reason,
+        }
+    return ApproximateResult(
+        itemsets,
+        n_transactions=n,
+        min_support=abs_support,
+        method=method + "+approx-" + policy.fallback,
+        disclaimer=disclaimer,
+        info=info,
+    )
+
 
 def mine_frequent_itemsets(
     transactions: Iterable[Iterable[Item]],
@@ -301,6 +548,13 @@ def mine_frequent_itemsets(
     method: str = "plt",
     order: str = "lexicographic",
     max_len: int | None = None,
+    deadline: float | None = None,
+    max_itemsets: int | None = None,
+    memory_budget: int | None = None,
+    budget: MiningBudget | None = None,
+    cancel: CancellationToken | None = None,
+    degradation: DegradationPolicy | None = None,
+    on_budget: str = "partial",
     **kwargs,
 ) -> MiningResult:
     """Mine all frequent itemsets from ``transactions``.
@@ -322,6 +576,28 @@ def mine_frequent_itemsets(
         ``lexicographic`` (paper), ``support_asc``, ``support_desc``.
     max_len:
         Optional cap on itemset length.
+    deadline, max_itemsets, memory_budget:
+        Shorthand for ``budget=MiningBudget(...)``: wall-clock seconds,
+        emitted-itemset cap, estimated-byte cap.  Only the PLT methods
+        (:data:`GOVERNED_METHODS`) support governance; other methods
+        raise :class:`~repro.errors.ReproError` when any budget kwarg is
+        set.
+    budget:
+        A full :class:`~repro.robustness.governor.MiningBudget` (mutually
+        exclusive with the shorthand kwargs).
+    cancel:
+        A :class:`~repro.robustness.governor.CancellationToken`; flip it
+        from another thread to stop mining cooperatively.
+    degradation:
+        A :class:`~repro.robustness.governor.DegradationPolicy`.  When the
+        budget trips (or admission control rejects the run), fall back to
+        a bounded approximate miner and return an
+        :class:`ApproximateResult` instead of a partial answer.
+    on_budget:
+        ``"partial"`` (default) converts a budget trip into a
+        :class:`PartialResult`; ``"raise"`` propagates the
+        :class:`~repro.errors.BudgetExceeded` /
+        :class:`~repro.errors.Cancelled` exception instead.
     kwargs:
         Method-specific options (e.g. ``n_workers`` for ``plt-parallel``,
         ``work_limit`` for ``plt-topdown``).
@@ -337,10 +613,70 @@ def mine_frequent_itemsets(
         raise ReproError(
             f"unknown mining method {method!r}; available: {', '.join(sorted(METHODS))}"
         )
+    if on_budget not in ("partial", "raise"):
+        raise InvalidParameterError(
+            f"on_budget must be 'partial' or 'raise', got {on_budget!r}"
+        )
+    shorthand = (deadline, max_itemsets, memory_budget)
+    if budget is not None and any(v is not None for v in shorthand):
+        raise InvalidParameterError(
+            "pass either budget= or the deadline/max_itemsets/memory_budget "
+            "shorthand kwargs, not both"
+        )
+    if budget is None and any(v is not None for v in shorthand):
+        budget = MiningBudget(
+            deadline=deadline,
+            max_itemsets=max_itemsets,
+            memory_budget=memory_budget,
+        )
+    governor = None
+    if budget is not None or cancel is not None:
+        if method not in GOVERNED_METHODS:
+            raise ReproError(
+                f"method {method!r} does not support resource governance; "
+                f"governed methods: {', '.join(sorted(GOVERNED_METHODS))}"
+            )
+        governor = ResourceGovernor(budget, cancel).start()
+        kwargs["governor"] = governor
+    elif degradation is not None:
+        raise InvalidParameterError(
+            "a DegradationPolicy needs a budget or cancellation token to "
+            "degrade from; pass deadline/max_itemsets/memory_budget/budget/cancel"
+        )
     if not isinstance(transactions, TransactionDatabase):
         transactions = TransactionDatabase(transactions)
     abs_support = resolve_min_support(min_support, len(transactions))
-    table = METHODS[method](transactions, abs_support, order, max_len, **kwargs)
+    try:
+        table = METHODS[method](transactions, abs_support, order, max_len, **kwargs)
+    except AdmissionRejected:
+        if degradation is None:
+            raise
+        return _degrade(
+            transactions, abs_support, order, max_len, degradation, method,
+            "admission",
+        )
+    except MiningInterrupted as exc:
+        if on_budget == "raise":
+            raise
+        if degradation is not None:
+            return _degrade(
+                transactions, abs_support, order, max_len, degradation, method,
+                exc.reason,
+            )
+        partial_items = getattr(exc, "partial_items", [])
+        itemsets = [FrequentItemset(items, sup) for items, sup in partial_items]
+        progress = dict(governor.progress) if governor is not None else {}
+        progress.update(exc.progress)
+        progress = {k: v for k, v in progress.items() if not k.startswith("_")}
+        return PartialResult(
+            itemsets,
+            n_transactions=len(transactions),
+            min_support=abs_support,
+            method=method,
+            stop_reason=exc.reason,
+            elapsed=governor.elapsed() if governor is not None else 0.0,
+            progress=progress,
+        )
     itemsets = [
         FrequentItemset(tuple(sorted(items, key=sort_key)), sup)
         for items, sup in table.items()

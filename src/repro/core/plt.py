@@ -32,7 +32,7 @@ from repro.core import position
 from repro.core.position import PositionVector, RankPath
 from repro.core.rank import RankTable
 from repro.data.transaction_db import item_supports, resolve_min_support
-from repro.errors import InvalidSupportError, UnknownItemError
+from repro.errors import InvalidSupportError, InvalidVectorError, UnknownItemError
 
 __all__ = ["PLT", "PLTStats", "build_plt"]
 
@@ -103,7 +103,7 @@ class PLT:
         for vec, freq in vectors.items():
             position.validate(vec)
             if freq <= 0:
-                raise ValueError(f"vector frequency must be positive: {vec!r} -> {freq}")
+                raise InvalidVectorError(f"vector frequency must be positive: {vec!r} -> {freq}")
             # One accumulate pass yields everything the indexes need: the
             # rank path itself, its last element (= the vector's sum, the
             # Algorithm 3 bucket key) and the length partition key.

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping, Sequence
 from typing import Any, Hashable
 
-from repro.errors import UnknownItemError
+from repro.errors import RankTableError, UnknownItemError
 
 __all__ = ["RankTable", "ORDER_POLICIES", "sort_key"]
 
@@ -90,7 +90,7 @@ class RankTable:
         rank_to_item = tuple(items_in_order)
         item_to_rank = {item: i + 1 for i, item in enumerate(rank_to_item)}
         if len(item_to_rank) != len(rank_to_item):
-            raise ValueError("duplicate items in rank order")
+            raise RankTableError("duplicate items in rank order")
         self._rank_to_item = rank_to_item
         self._item_to_rank = item_to_rank
         self.order = order
@@ -112,7 +112,7 @@ class RankTable:
         the rank table and are therefore invisible to every later stage.
         """
         if order not in ORDER_POLICIES:
-            raise ValueError(
+            raise RankTableError(
                 f"unknown order policy {order!r}; expected one of {ORDER_POLICIES}"
             )
         frequent = [(item, sup) for item, sup in supports.items() if sup >= min_support]
@@ -131,7 +131,7 @@ class RankTable:
         Only ``lexicographic`` makes sense without support information.
         """
         if order != "lexicographic":
-            raise ValueError("from_items only supports the lexicographic policy")
+            raise RankTableError("from_items only supports the lexicographic policy")
         distinct = sorted(set(items), key=sort_key)
         return cls(distinct, order=order)
 

@@ -62,7 +62,7 @@ from collections.abc import Mapping
 
 from repro.core.plt import PLT
 from repro.core.position import PositionVector, RankPath, path_to_vector
-from repro.errors import InvalidSupportError, TopDownExplosionError
+from repro.errors import InvalidSupportError, MiningInterrupted, TopDownExplosionError
 from repro.perf.counters import COUNTERS as _COUNTERS
 
 __all__ = [
@@ -127,7 +127,7 @@ def _decode_path(pb: bytes) -> RankPath:
     return tuple(array("I", pb))
 
 
-def _subset_byte_frequencies(plt: PLT) -> dict[int, dict[bytes, int]]:
+def _subset_byte_frequencies(plt: PLT, governor=None) -> dict[int, dict[bytes, int]]:
     """The top-down engine on packed-``bytes`` path keys.
 
     Rank paths are packed into native unsigned-int ``bytes`` strings: a
@@ -141,6 +141,12 @@ def _subset_byte_frequencies(plt: PLT) -> dict[int, dict[bytes, int]]:
     """
     counters = _COUNTERS
     counts: dict[int, dict[bytes, int]] = defaultdict(dict)
+    if governor is not None:
+        # expose the live table so mine_topdown can salvage the lengths
+        # already finalized if a budget trips mid-sweep (private key,
+        # popped by the driver before progress reaches any caller)
+        governor.start()
+        governor.progress["_topdown_counts"] = counts
     # merge work: length -> {path -> {cursor -> frequency}}; cursors are
     # byte offsets — a child cut at offset o inherits the summed
     # frequency of every cursor > o and carries cursor o itself
@@ -161,14 +167,22 @@ def _subset_byte_frequencies(plt: PLT) -> dict[int, dict[bytes, int]]:
         if length > top:
             top = length
 
+    tick = governor.tick if governor is not None else None
     length = top
     while length >= 2:
+        if governor is not None:
+            # counts[L] for L >= the in-flight length are final: processing
+            # this length only writes into counts[length - 1]
+            governor.progress["sweep_length"] = length
+            governor.tick()
         child_len = length - 1
         # byte offset of the last item — also the full-freedom cursor
         # (every deletion offset is strictly below it)
         cut = isz * child_len
         chain = chain_work.pop(length, None)
         if chain:
+            if tick is not None:
+                tick(len(chain))
             if counters.enabled:
                 counters.add("topdown_chain_prefixes", len(chain))
             mw = merge_work[length]
@@ -208,6 +222,8 @@ def _subset_byte_frequencies(plt: PLT) -> dict[int, dict[bytes, int]]:
                 # the o == 0 child is peeled off the loops since it is
                 # never pushed (no merge freedom left) and needs no
                 # prefix slice
+                if tick is not None:
+                    tick(child_len)
                 if len(cursors) == 1:
                     ((limit, running),) = cursors.items()
                     for o in range(limit - isz, 0, -isz):
@@ -292,6 +308,7 @@ def mine_topdown(
     *,
     max_len: int | None = None,
     work_limit: int | None = DEFAULT_WORK_LIMIT,
+    governor=None,
 ) -> list[tuple[tuple[int, ...], int]]:
     """Mine frequent itemsets with the top-down approach.
 
@@ -300,23 +317,62 @@ def mine_topdown(
     interchangeable behind the facade.  Works on the packed table
     directly — a decoded rank path *is* the sorted rank tuple — and only
     the frequent survivors pay the decode.
+
+    When ``governor`` trips mid-sweep, the raised
+    :class:`~repro.errors.MiningInterrupted` carries in ``partial`` the
+    frequent pairs from every *finalized* length and
+    ``progress["complete_min_len"]`` — all counts for subset lengths >=
+    that value are final and exact.
     """
     if min_support is None:
         min_support = plt.min_support
     if min_support < 1:
         raise InvalidSupportError(f"absolute min_support must be >= 1, got {min_support}")
     _check_work_limit(plt, work_limit)
-    counts = _subset_byte_frequencies(plt)
+    try:
+        counts = _subset_byte_frequencies(plt, governor=governor)
+    except MiningInterrupted as exc:
+        raw = governor.progress.pop("_topdown_counts", {}) if governor else {}
+        sweep_length = governor.progress.get("sweep_length") if governor else None
+        pairs: list[tuple[tuple[int, ...], int]] = []
+        if sweep_length is not None:
+            for length, bucket in raw.items():
+                if length < sweep_length:
+                    continue  # still receiving contributions — not exact
+                if max_len is not None and length > max_len:
+                    continue
+                pairs.extend(
+                    (_decode_path(pb), freq)
+                    for pb, freq in bucket.items()
+                    if freq >= min_support
+                )
+            exc.progress.setdefault("complete_min_len", sweep_length)
+        exc.partial = pairs
+        raise
+    if governor is not None:
+        governor.progress.pop("_topdown_counts", None)
     results: list[tuple[tuple[int, ...], int]] = []
-    extend = results.extend
-    for length, bucket in counts.items():
-        if max_len is not None and length > max_len:
-            continue
-        extend(
-            (_decode_path(pb), freq)
-            for pb, freq in bucket.items()
-            if freq >= min_support
-        )
+    if governor is None:
+        extend = results.extend
+        for length, bucket in counts.items():
+            if max_len is not None and length > max_len:
+                continue
+            extend(
+                (_decode_path(pb), freq)
+                for pb, freq in bucket.items()
+                if freq >= min_support
+            )
+        return results
+    try:
+        for length, bucket in counts.items():
+            for pb, freq in bucket.items():
+                if freq >= min_support and (max_len is None or length <= max_len):
+                    # cap check first so partials never exceed max_itemsets
+                    governor.note_itemsets()
+                    results.append((_decode_path(pb), freq))
+    except MiningInterrupted as exc:
+        exc.partial = results
+        raise
     return results
 
 

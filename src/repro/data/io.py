@@ -10,6 +10,17 @@ Supported formats:
   occurrence; the long format relational databases export.
 
 Both readers accept plain or gzip-compressed files (by extension).
+
+Robust parsing
+--------------
+Real dumps are dirty: binary junk spliced into text, truncated gzip
+streams, malformed rows.  By default the readers are **tolerant** — bad
+lines are skipped and *counted* rather than aborting a scan halfway
+through a multi-gigabyte file; the ``*_report`` variants return a
+:class:`ParseReport` describing exactly what was dropped.  Pass
+``strict=True`` to raise :class:`~repro.errors.DatasetError` on the first
+defect instead (the right mode for curated benchmark inputs, where any
+damage means the file is wrong).
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from __future__ import annotations
 import gzip
 import io
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Hashable, TextIO
 
@@ -24,19 +36,71 @@ from repro.data.transaction_db import TransactionDatabase
 from repro.errors import DatasetError
 
 __all__ = [
+    "ParseReport",
     "read_dat",
+    "read_dat_report",
     "write_dat",
     "read_basket_csv",
+    "read_basket_csv_report",
     "write_basket_csv",
     "iter_dat_lines",
 ]
 
+#: Cap on per-line error messages kept in a :class:`ParseReport` — the
+#: counts stay exact, but a million-line garbage file should not grow a
+#: million-entry list.
+MAX_REPORT_ERRORS = 20
+
+
+@dataclass
+class ParseReport:
+    """What a tolerant read skipped, and why.
+
+    ``n_lines`` counts every line seen, ``n_transactions`` the ones that
+    produced data, ``n_skipped`` the ones dropped as malformed.
+    ``truncated`` is set when the stream itself died mid-scan (truncated
+    or corrupt gzip, I/O error after a successful open): everything read
+    up to that point is kept.  ``errors`` holds the first
+    :data:`MAX_REPORT_ERRORS` defect descriptions.
+    """
+
+    path: str
+    n_lines: int = 0
+    n_transactions: int = 0
+    n_skipped: int = 0
+    truncated: bool = False
+    errors: list[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        """True when the file parsed clean end to end."""
+        return self.n_skipped == 0 and not self.truncated
+
+    def record(self, message: str) -> None:
+        self.n_skipped += 1
+        if len(self.errors) < MAX_REPORT_ERRORS:
+            self.errors.append(message)
+
+    def __repr__(self) -> str:
+        state = "clean" if self.ok() else (
+            f"skipped={self.n_skipped}" + (", truncated" if self.truncated else "")
+        )
+        return (
+            f"ParseReport({self.path!r}, lines={self.n_lines}, "
+            f"transactions={self.n_transactions}, {state})"
+        )
+
 
 def _open_text(path: str | Path, mode: str) -> TextIO:
     path = Path(path)
+    # readers decode with errors="replace" so binary junk surfaces as
+    # U+FFFD on the offending *line* instead of a UnicodeDecodeError that
+    # kills the whole scan; the per-line garbage check spots the marker
+    errors = "replace" if mode == "r" else "strict"
     if path.suffix == ".gz":
-        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
-    return open(path, mode + "t", encoding="utf-8")
+        return io.TextIOWrapper(
+            gzip.open(path, mode + "b"), encoding="utf-8", errors=errors
+        )
+    return open(path, mode + "t", encoding="utf-8", errors=errors)
 
 
 def _parse_token(token: str) -> Hashable:
@@ -46,26 +110,78 @@ def _parse_token(token: str) -> Hashable:
         return token
 
 
-def iter_dat_lines(path: str | Path) -> Iterator[tuple[Hashable, ...]]:
+def _is_garbage(line: str) -> bool:
+    return "�" in line or "\x00" in line
+
+
+def iter_dat_lines(
+    path: str | Path,
+    *,
+    strict: bool = False,
+    report: ParseReport | None = None,
+) -> Iterator[tuple[Hashable, ...]]:
     """Stream transactions from a FIMI ``.dat`` file without materialising.
 
     Blank lines are skipped (some FIMI dumps include them); a line of only
     whitespace is treated as blank rather than as an empty transaction.
+    Lines containing undecodable bytes are skipped and counted into
+    ``report`` (raised as :class:`DatasetError` under ``strict``), and a
+    stream that dies mid-scan (truncated gzip) ends the iteration with
+    ``report.truncated`` set instead of crashing.
     """
-    with _open_text(path, "r") as fh:
-        for lineno, line in enumerate(fh, start=1):
+    if report is None:
+        report = ParseReport(path=str(path))
+    try:
+        fh = _open_text(path, "r")
+    except OSError as exc:
+        raise DatasetError(f"cannot read {path}: {exc}") from exc
+    with fh:
+        lines = iter(fh)
+        while True:
+            try:
+                line = next(lines)
+            except StopIteration:
+                break
+            except (EOFError, OSError) as exc:
+                if strict:
+                    raise DatasetError(
+                        f"{path}: stream truncated or corrupt: {exc}"
+                    ) from exc
+                report.truncated = True
+                report.record(f"stream truncated or corrupt: {exc}")
+                break
+            report.n_lines += 1
+            if _is_garbage(line):
+                if strict:
+                    raise DatasetError(
+                        f"{path}:{report.n_lines}: line contains undecodable bytes"
+                    )
+                report.record(f"line {report.n_lines}: undecodable bytes")
+                continue
             tokens = line.split()
             if not tokens:
                 continue
+            report.n_transactions += 1
             yield tuple(_parse_token(tok) for tok in tokens)
 
 
-def read_dat(path: str | Path) -> TransactionDatabase:
-    """Load a FIMI ``.dat`` (optionally ``.dat.gz``) file."""
-    try:
-        return TransactionDatabase(iter_dat_lines(path))
-    except OSError as exc:
-        raise DatasetError(f"cannot read {path}: {exc}") from exc
+def read_dat(path: str | Path, *, strict: bool = False) -> TransactionDatabase:
+    """Load a FIMI ``.dat`` (optionally ``.dat.gz``) file.
+
+    Tolerant by default (garbage lines skipped, truncated streams yield
+    what was readable); ``strict=True`` raises on any defect.  Use
+    :func:`read_dat_report` when you need to know what was skipped.
+    """
+    return read_dat_report(path, strict=strict)[0]
+
+
+def read_dat_report(
+    path: str | Path, *, strict: bool = False
+) -> tuple[TransactionDatabase, ParseReport]:
+    """Like :func:`read_dat`, returning the :class:`ParseReport` too."""
+    report = ParseReport(path=str(path))
+    db = TransactionDatabase(iter_dat_lines(path, strict=strict, report=report))
+    return db, report
 
 
 def write_dat(db: Iterable[Iterable[Hashable]], path: str | Path) -> None:
@@ -79,32 +195,74 @@ def write_dat(db: Iterable[Iterable[Hashable]], path: str | Path) -> None:
             fh.write("\n")
 
 
-def read_basket_csv(path: str | Path, *, header: bool = True) -> TransactionDatabase:
+def read_basket_csv(
+    path: str | Path, *, header: bool = True, strict: bool = False
+) -> TransactionDatabase:
     """Load ``tid,item`` long-format CSV into a database.
 
     Transactions appear in first-seen TID order.  TIDs may be arbitrary
-    strings; items parse to int when possible.
+    strings; items parse to int when possible.  Malformed rows (no comma)
+    and undecodable lines are skipped by default; ``strict=True`` raises
+    :class:`DatasetError` on the first one.
     """
+    return read_basket_csv_report(path, header=header, strict=strict)[0]
+
+
+def read_basket_csv_report(
+    path: str | Path, *, header: bool = True, strict: bool = False
+) -> tuple[TransactionDatabase, ParseReport]:
+    """Like :func:`read_basket_csv`, returning the :class:`ParseReport` too."""
+    report = ParseReport(path=str(path))
     baskets: dict[str, set] = {}
     order: list[str] = []
-    with _open_text(path, "r") as fh:
-        for lineno, line in enumerate(fh, start=1):
+    try:
+        fh = _open_text(path, "r")
+    except OSError as exc:
+        raise DatasetError(f"cannot read {path}: {exc}") from exc
+    with fh:
+        lines = iter(fh)
+        while True:
+            try:
+                line = next(lines)
+            except StopIteration:
+                break
+            except (EOFError, OSError) as exc:
+                if strict:
+                    raise DatasetError(
+                        f"{path}: stream truncated or corrupt: {exc}"
+                    ) from exc
+                report.truncated = True
+                report.record(f"stream truncated or corrupt: {exc}")
+                break
+            report.n_lines += 1
+            lineno = report.n_lines
             line = line.strip()
             if not line:
                 continue
             if header and lineno == 1:
                 continue
+            if _is_garbage(line):
+                if strict:
+                    raise DatasetError(
+                        f"{path}:{lineno}: line contains undecodable bytes"
+                    )
+                report.record(f"line {lineno}: undecodable bytes")
+                continue
             parts = line.split(",")
             if len(parts) < 2:
-                raise DatasetError(
-                    f"{path}:{lineno}: expected 'tid,item', got {line!r}"
-                )
+                if strict:
+                    raise DatasetError(
+                        f"{path}:{lineno}: expected 'tid,item', got {line!r}"
+                    )
+                report.record(f"line {lineno}: expected 'tid,item', got {line!r}")
+                continue
             tid, item = parts[0].strip(), ",".join(parts[1:]).strip()
             if tid not in baskets:
                 baskets[tid] = set()
                 order.append(tid)
             baskets[tid].add(_parse_token(item))
-    return TransactionDatabase(baskets[tid] for tid in order)
+            report.n_transactions = len(order)
+    return TransactionDatabase(baskets[tid] for tid in order), report
 
 
 def write_basket_csv(db: Iterable[Iterable[Hashable]], path: str | Path) -> None:

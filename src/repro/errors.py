@@ -13,12 +13,18 @@ __all__ = [
     "InvalidVectorError",
     "UnknownItemError",
     "InvalidSupportError",
+    "InvalidParameterError",
+    "RankTableError",
     "TopDownExplosionError",
     "DatasetError",
     "CodecError",
     "ParallelExecutionError",
     "CrashedNodeError",
     "CheckpointError",
+    "MiningInterrupted",
+    "BudgetExceeded",
+    "Cancelled",
+    "AdmissionRejected",
     "DegradedExecutionWarning",
 ]
 
@@ -46,6 +52,21 @@ class InvalidSupportError(ReproError, ValueError):
     Absolute supports must be integers ``>= 1``; relative supports must be
     floats in ``(0, 1]``.
     """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A configuration parameter is out of its valid range.
+
+    The taxonomy home for the parameter checks that used to raise bare
+    ``ValueError`` across :mod:`repro.core` and :mod:`repro.parallel`
+    (worker counts, partition counts, sampling fractions, ...).  Subclasses
+    ``ValueError`` so pre-existing ``except ValueError`` callers keep
+    working.
+    """
+
+
+class RankTableError(ReproError, ValueError):
+    """A rank table cannot be built from the given items or order policy."""
 
 
 class TopDownExplosionError(ReproError, RuntimeError):
@@ -93,6 +114,77 @@ class CrashedNodeError(ParallelExecutionError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A required checkpoint is missing or malformed in stable storage."""
+
+
+class MiningInterrupted(ReproError, RuntimeError):
+    """A governed mining run stopped before enumerating every itemset.
+
+    Base class for :class:`BudgetExceeded` and :class:`Cancelled`.  The
+    miner that trips attaches everything a caller needs to salvage the
+    run:
+
+    * ``reason`` — machine-readable stop cause (``"deadline"``,
+      ``"max_itemsets"``, ``"memory"``, ``"cancelled"``);
+    * ``partial`` — the ``(ranks, support)`` pairs mined before the stop;
+      every pair carries its **exact** frequency (governed miners never
+      emit estimated counts);
+    * ``progress`` — miner-specific completion markers, e.g.
+      ``complete_from_rank`` (every itemset whose maximal rank is >= the
+      marker was fully enumerated) or ``complete_min_len`` (top-down:
+      every subset length >= the marker is final).
+
+    Facade callers normally never see this exception —
+    :func:`repro.core.mining.mine_frequent_itemsets` converts it into a
+    :class:`~repro.core.mining.PartialResult` (or degrades per a
+    :class:`~repro.robustness.governor.DegradationPolicy`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str | None = None,
+        partial: list | None = None,
+        progress: dict | None = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.partial = partial if partial is not None else []
+        self.progress = progress if progress is not None else {}
+
+
+class BudgetExceeded(MiningInterrupted):
+    """A :class:`~repro.robustness.governor.MiningBudget` limit was hit.
+
+    ``reason`` says which axis: ``"deadline"`` (wall clock),
+    ``"max_itemsets"`` (output cap) or ``"memory"`` (estimated allocation
+    cap).
+    """
+
+
+class Cancelled(MiningInterrupted):
+    """A :class:`~repro.robustness.governor.CancellationToken` fired.
+
+    Cooperative: the mining loop observed the token at one of its
+    amortized checkpoints and unwound; ``partial`` holds what was mined
+    up to that point.
+    """
+
+
+class AdmissionRejected(ReproError, RuntimeError):
+    """Admission control refused to start the mining run at all.
+
+    Raised *before* any mining work when an up-front estimate (e.g.
+    :func:`repro.core.topdown.estimate_topdown_work` or the governor's
+    memory estimators) says the request cannot fit its
+    :class:`~repro.robustness.governor.MiningBudget`.  Carries the
+    ``estimate`` and the ``budget`` figure it was compared against.
+    """
+
+    def __init__(self, message: str, *, estimate: int | None = None, budget: int | None = None):
+        super().__init__(message)
+        self.estimate = estimate
+        self.budget = budget
 
 
 class DegradedExecutionWarning(RuntimeWarning):

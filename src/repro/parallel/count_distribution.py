@@ -23,6 +23,7 @@ from repro.baselines.apriori import CandidateTrie, generate_candidates
 from repro.baselines.partition import split_database
 from repro.core.rank import sort_key
 from repro.data.transaction_db import item_supports
+from repro.errors import InvalidParameterError
 
 __all__ = ["mine_count_distribution", "node_level_counts"]
 
@@ -55,7 +56,7 @@ def mine_count_distribution(
 ) -> dict[frozenset, int]:
     """Run count-distribution Apriori; ``{itemset -> absolute support}``."""
     if n_nodes < 1:
-        raise ValueError("n_nodes must be >= 1")
+        raise InvalidParameterError("n_nodes must be >= 1")
     db = [frozenset(t) for t in transactions]
     # level 1 is itself an all-reduce of per-slice item counts
     slices = split_database(db, n_nodes)

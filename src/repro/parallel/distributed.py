@@ -68,11 +68,17 @@ from repro.core import position
 from repro.core.conditional import mine_conditional_block
 from repro.core.rank import RankTable, sort_key
 from repro.data.transaction_db import item_supports
-from repro.errors import CodecError, CrashedNodeError, ParallelExecutionError
+from repro.errors import (
+    CodecError,
+    CrashedNodeError,
+    MiningInterrupted,
+    ParallelExecutionError,
+)
 from repro.parallel.faults import FaultPlan
 from repro.parallel.simcluster import ClusterStats, SimCluster
 from repro.robustness.channel import ReliableChannel
 from repro.robustness.checkpoint import CheckpointStore
+from repro.robustness.governor import CancellationToken, MiningBudget, ResourceGovernor
 from repro.robustness.retry import RetryPolicy
 
 __all__ = ["mine_distributed", "owner_of_rank", "COORDINATOR"]
@@ -374,13 +380,21 @@ def _local_slices(partition, rank_table: RankTable) -> dict[int, tuple[int, dict
 
 
 def _mine_owned(
-    owned: dict[int, tuple[int, dict]], min_support: int, max_len: int | None
+    owned: dict[int, tuple[int, dict]],
+    min_support: int,
+    max_len: int | None,
+    governor: ResourceGovernor | None = None,
 ) -> list[tuple[tuple[int, ...], int]]:
     results: list[tuple[tuple[int, ...], int]] = []
 
     # the path engine emits itemsets already sorted ascending — append raw
-    def emit(itemset: tuple[int, ...], support: int) -> None:
-        results.append((itemset, support))
+    if governor is None:
+        def emit(itemset: tuple[int, ...], support: int) -> None:
+            results.append((itemset, support))
+    else:
+        def emit(itemset: tuple[int, ...], support: int) -> None:
+            governor.note_itemsets()
+            results.append((itemset, support))
 
     for rank in sorted(owned, reverse=True):
         support, prefixes = owned[rank]
@@ -388,7 +402,9 @@ def _mine_owned(
             continue
         emit((rank,), support)
         if prefixes and (max_len is None or max_len > 1):
-            mine_conditional_block(prefixes, rank, min_support, emit, max_len)
+            mine_conditional_block(
+                prefixes, rank, min_support, emit, max_len, governor=governor
+            )
     return results
 
 
@@ -419,6 +435,7 @@ class _Node:
         max_len: int | None,
         store: CheckpointStore,
         retry: RetryPolicy | None,
+        governor: ResourceGovernor | None = None,
     ):
         self.node_id = node_id
         self.n_nodes = n_nodes
@@ -426,6 +443,7 @@ class _Node:
         self.min_support = min_support
         self.max_len = max_len
         self.store = store
+        self.governor = governor
         self.channel = ReliableChannel(node_id, retry=retry)
         #: slot -> node currently acting for it (identity until failover)
         self.actor = list(range(n_nodes))
@@ -591,6 +609,10 @@ class _Node:
     # -- forward progress --------------------------------------------------
     def _progress(self, ctx, superstep: int) -> None:
         me = self.node_id
+        if self.governor is not None:
+            # one shared governor across the in-process cluster: any
+            # node's step can observe the deadline/token trip
+            self.governor.tick()
         # 1) ship item counts for every duty until the rank table is fixed
         if self.rank_table is None:
             for origin in self.duties():
@@ -647,7 +669,9 @@ class _Node:
                 pairs = _decode_results(blob)
             else:
                 owned = _merge_bundles(per_origin)
-                pairs = _mine_owned(owned, self.min_support, self.max_len)
+                pairs = _mine_owned(
+                    owned, self.min_support, self.max_len, governor=self.governor
+                )
                 self.store.save(slot, "results", _encode_results(pairs))
                 ctx.stats.checkpoint_writes += 1
             self.results_sent.add(slot)
@@ -749,6 +773,8 @@ def mine_distributed(
     retry: RetryPolicy | None = None,
     checkpoint_store: CheckpointStore | None = None,
     max_supersteps: int = 10_000,
+    budget: MiningBudget | None = None,
+    cancel: CancellationToken | None = None,
 ) -> tuple[list[tuple], ClusterStats, RankTable]:
     """Mine on a simulated ``n_nodes`` cluster, optionally under faults.
 
@@ -768,6 +794,14 @@ def mine_distributed(
     inputs and recovery state (a fresh in-memory store by default), and
     the stats carry communication volume, modelled parallel makespan, and
     full fault/recovery accounting.
+
+    ``budget``/``cancel`` govern the run: the simulated cluster is
+    in-process, so one shared :class:`ResourceGovernor` is observed by
+    every node's step and mining loop.  A trip raises
+    :class:`~repro.errors.BudgetExceeded` / :class:`~repro.errors.Cancelled`
+    whose ``partial`` holds the decoded pairs of every ownership slot the
+    coordinator had already collected — complete slots only, exact
+    supports — and ``progress["slots_complete"]`` lists those slots.
     """
     db = [frozenset(t) for t in transactions]
     if min_support < 1:
@@ -780,20 +814,37 @@ def mine_distributed(
     store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
     for node_id, part in enumerate(partitions):
         store.save(node_id, "partition", _encode_partition(part))
+    governor = None
+    if budget is not None or cancel is not None:
+        governor = ResourceGovernor(budget, cancel).start()
     cluster = SimCluster(n_nodes, fault_plan=fault_plan, max_supersteps=max_supersteps)
     states = [
-        _Node(i, n_nodes, part, min_support, max_len, store, retry)
+        _Node(i, n_nodes, part, min_support, max_len, store, retry, governor)
         for i, part in enumerate(partitions)
     ]
-    final = cluster.run(_ft_program, states)
+    coordinator_node: _Node = states[COORDINATOR]
+
+    def _decode_slots(node: _Node) -> tuple[list[tuple], RankTable]:
+        tbl = node.rank_table if node.rank_table is not None else RankTable([])
+        raw: list[tuple[tuple[int, ...], int]] = []
+        for slot in sorted(node.results_by_slot):
+            raw.extend(node.results_by_slot[slot])
+        out = [
+            (tuple(sorted(tbl.decode_ranks(ranks), key=sort_key)), support)
+            for ranks, support in raw
+        ]
+        out.sort(key=lambda pair: (len(pair[0]), [sort_key(i) for i in pair[0]]))
+        return out, tbl
+
+    try:
+        final = cluster.run(_ft_program, states)
+    except MiningInterrupted as exc:
+        # the coordinator's results_by_slot holds only fully mined slots,
+        # so every salvaged pair carries its exact global support
+        decoded, _ = _decode_slots(coordinator_node)
+        exc.partial = decoded
+        exc.progress["slots_complete"] = sorted(coordinator_node.results_by_slot)
+        raise
     root: _Node = final[COORDINATOR]
-    table = root.rank_table if root.rank_table is not None else RankTable([])
-    pairs: list[tuple[tuple[int, ...], int]] = []
-    for slot in sorted(root.results_by_slot):
-        pairs.extend(root.results_by_slot[slot])
-    decoded = [
-        (tuple(sorted(table.decode_ranks(ranks), key=sort_key)), support)
-        for ranks, support in pairs
-    ]
-    decoded.sort(key=lambda pair: (len(pair[0]), [sort_key(i) for i in pair[0]]))
+    decoded, table = _decode_slots(root)
     return decoded, cluster.stats, table

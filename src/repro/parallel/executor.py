@@ -39,7 +39,10 @@ from repro.core.plt import PLT
 from repro.core.position import PositionVector
 from repro.core.topdown import DEFAULT_WORK_LIMIT, estimate_topdown_work
 from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
     DegradedExecutionWarning,
+    MiningInterrupted,
     ParallelExecutionError,
     TopDownExplosionError,
 )
@@ -49,6 +52,7 @@ from repro.parallel.partitioner import (
     lpt_partition,
     split_vectors,
 )
+from repro.robustness.governor import ResourceGovernor
 from repro.robustness.retry import RetryPolicy
 
 __all__ = [
@@ -94,6 +98,42 @@ def _mine_task_batch(
     return results
 
 
+def _mine_task_batch_governed(
+    args: tuple[list[tuple[int, int, dict]], int, int | None, object]
+) -> tuple[str, list[tuple[tuple[int, ...], int]], str | None]:
+    """Governed worker entry: mine under a shipped :class:`MiningBudget`.
+
+    Cancellation tokens cannot cross process boundaries, so workers get a
+    picklable budget copy carrying the driver's *remaining* deadline and
+    enforce it with their own governor.  Budget trips never propagate as
+    exceptions (custom kwargs don't survive unpickling); the return is
+    always ``(status, pairs, reason)`` with ``status`` one of ``"ok"`` /
+    ``"partial"`` — every pair carries its exact support either way.
+    """
+    batch, min_support, max_len, budget = args
+    if budget is None or budget.unlimited():
+        return ("ok", _mine_task_batch((batch, min_support, max_len)), None)
+    governor = ResourceGovernor(budget).start()
+    results: list[tuple[tuple[int, ...], int]] = []
+
+    def emit(itemset: tuple[int, ...], support: int) -> None:
+        governor.note_itemsets()
+        results.append((itemset, support))
+
+    try:
+        for rank, support, prefixes in batch:
+            governor.progress["mining_rank"] = rank
+            governor.tick()
+            emit((rank,), support)
+            if prefixes and (max_len is None or max_len > 1):
+                mine_conditional_block(
+                    prefixes, rank, min_support, emit, max_len, governor=governor
+                )
+    except MiningInterrupted as exc:
+        return ("partial", results, exc.reason)
+    return ("ok", results, None)
+
+
 def _topdown_slice(
     args: tuple[dict, int]
 ) -> dict[int, dict[PositionVector, int]]:
@@ -116,6 +156,25 @@ def _shell_plt(vectors: dict[PositionVector, int]) -> PLT:
 # ---------------------------------------------------------------------------
 # the hardened batch runner
 # ---------------------------------------------------------------------------
+def _raise_if_tripped(governor: ResourceGovernor, what: str, results: list) -> None:
+    """Driver-side trip check between result waits (pool paths only)."""
+    cancel = governor.cancel
+    if cancel is not None and cancel.cancelled:
+        exc: MiningInterrupted = Cancelled(
+            f"{what}: mining cancelled: {cancel.reason}", reason="cancelled"
+        )
+        exc.raw_results = [r for r in results if r is not None]
+        raise exc
+    remaining_t = governor.remaining_time()
+    if remaining_t is not None and remaining_t <= 0:
+        exc = BudgetExceeded(
+            f"{what}: deadline of {governor.budget.deadline}s exceeded",
+            reason="deadline",
+        )
+        exc.raw_results = [r for r in results if r is not None]
+        raise exc
+
+
 def _run_batches(
     worker: Callable,
     batches: Sequence,
@@ -123,6 +182,7 @@ def _run_batches(
     timeout: float | None,
     retry: RetryPolicy | None,
     what: str,
+    governor: ResourceGovernor | None = None,
 ) -> list:
     """Run ``worker(batch)`` for every batch on worker processes, reliably.
 
@@ -134,6 +194,11 @@ def _run_batches(
     in-process sequentially under a :class:`DegradedExecutionWarning`; an
     error even then is a genuine bug in the batch and is re-raised as
     :class:`ParallelExecutionError`.
+
+    With a ``governor``, the result wait is sliced so the driver observes
+    its cancellation token and deadline between waits; a trip terminates
+    the pool (via the ``with`` block) and raises with the results already
+    collected attached as ``raw_results``.
 
     Returns results in batch order.
     """
@@ -161,17 +226,33 @@ def _run_batches(
             handles = [(i, pool.apply_async(worker, (batches[i],))) for i in remaining]
             deadline = None if timeout is None else time.monotonic() + timeout
             for i, handle in handles:
-                budget = None if deadline is None else max(0.0, deadline - time.monotonic())
-                try:
-                    results[i] = handle.get(budget)
-                except mp.TimeoutError:
-                    failed.append(i)
-                    last_error = ParallelExecutionError(
-                        f"{what}: batch {i} exceeded the {timeout}s deadline"
+                while True:
+                    if governor is not None:
+                        _raise_if_tripped(governor, what, results)
+                    budget = (
+                        None if deadline is None else max(0.0, deadline - time.monotonic())
                     )
-                except Exception as exc:
-                    failed.append(i)
-                    last_error = exc
+                    # slice the wait so a governed driver observes its
+                    # token/deadline promptly; ungoverned waits stay whole
+                    if governor is not None:
+                        slice_budget = 0.05 if budget is None else min(0.05, budget)
+                    else:
+                        slice_budget = budget
+                    try:
+                        results[i] = handle.get(slice_budget)
+                        break
+                    except mp.TimeoutError:
+                        if governor is not None and (budget is None or budget > 0):
+                            continue
+                        failed.append(i)
+                        last_error = ParallelExecutionError(
+                            f"{what}: batch {i} exceeded the {timeout}s deadline"
+                        )
+                        break
+                    except Exception as exc:
+                        failed.append(i)
+                        last_error = exc
+                        break
         remaining = failed
     if remaining:
         warnings.warn(
@@ -202,12 +283,20 @@ def mine_parallel(
     max_len: int | None = None,
     timeout: float | None = DEFAULT_BATCH_TIMEOUT,
     retry: RetryPolicy | None = None,
+    governor: ResourceGovernor | None = None,
 ) -> list[tuple[tuple[int, ...], int]]:
     """Parallel conditional mining; same output as ``mine_conditional``.
 
     ``timeout`` bounds each batch attempt (seconds; ``None`` disables) and
     ``retry`` sets how many fresh-pool retries failed batches get before
     the in-process fallback.
+
+    With a ``governor``: workers receive a budget copy carrying the
+    *remaining* deadline and trip themselves; the driver additionally
+    polls the cancellation token and deadline between result waits, and
+    enforces ``max_itemsets`` on the merged output.  A trip raises
+    :class:`~repro.errors.BudgetExceeded` / :class:`~repro.errors.Cancelled`
+    carrying every pair collected so far (all exact supports).
     """
     if min_support is None:
         min_support = plt.min_support
@@ -217,22 +306,105 @@ def mine_parallel(
     if not tasks:
         return []
     if n_workers <= 1 or len(tasks) == 1:
-        return _mine_task_batch(
-            ([(t.rank, t.support, t.prefixes) for t in tasks], min_support, max_len)
-        )
+        batch = [(t.rank, t.support, t.prefixes) for t in tasks]
+        if governor is None:
+            return _mine_task_batch((batch, min_support, max_len))
+        return _mine_inprocess_governed(batch, min_support, max_len, governor)
     sizes = [t.cost_estimate() for t in tasks]
     bins = lpt_partition(tasks, sizes, n_workers)
-    batches = [
-        ([(t.rank, t.support, t.prefixes) for t in bin_tasks], min_support, max_len)
+    packed = [
+        [(t.rank, t.support, t.prefixes) for t in bin_tasks]
         for bin_tasks in bins
         if bin_tasks
     ]
-    results: list[tuple[tuple[int, ...], int]] = []
-    for part in _run_batches(
-        _mine_task_batch, batches, timeout=timeout, retry=retry, what="mine_parallel"
-    ):
+    if governor is None:
+        results: list[tuple[tuple[int, ...], int]] = []
+        for part in _run_batches(
+            _mine_task_batch,
+            [(b, min_support, max_len) for b in packed],
+            timeout=timeout,
+            retry=retry,
+            what="mine_parallel",
+        ):
+            results.extend(part)
+        return results
+    governor.start()
+    governor.check_now()
+    ship_budget = governor.budget.with_deadline(governor.remaining_time())
+    batches = [(b, min_support, max_len, ship_budget) for b in packed]
+    try:
+        parts = _run_batches(
+            _mine_task_batch_governed,
+            batches,
+            timeout=timeout,
+            retry=retry,
+            what="mine_parallel",
+            governor=governor,
+        )
+    except MiningInterrupted as exc:
+        pairs: list[tuple[tuple[int, ...], int]] = []
+        for entry in getattr(exc, "raw_results", []):
+            pairs.extend(entry[1])
+        exc.partial = _trim_to_cap(pairs, governor)
+        raise
+    results = []
+    stop_reason: str | None = None
+    for status, part, reason in parts:
         results.extend(part)
+        if status == "partial" and stop_reason is None:
+            stop_reason = reason
+    cap = governor.budget.max_itemsets
+    if cap is not None and len(results) > cap:
+        del results[cap:]
+        if stop_reason is None:
+            stop_reason = "max_itemsets"
+    governor.itemsets = len(results)
+    if stop_reason is not None:
+        cls = Cancelled if stop_reason == "cancelled" else BudgetExceeded
+        raise cls(
+            f"mine_parallel: budget exhausted in worker processes ({stop_reason})",
+            reason=stop_reason,
+            partial=results,
+        )
     return results
+
+
+def _mine_inprocess_governed(
+    batch: list[tuple[int, int, dict]],
+    min_support: int,
+    max_len: int | None,
+    governor: ResourceGovernor,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Single-worker path under the caller's own governor (shared object)."""
+    governor.start()
+    results: list[tuple[tuple[int, ...], int]] = []
+
+    def emit(itemset: tuple[int, ...], support: int) -> None:
+        governor.note_itemsets()
+        results.append((itemset, support))
+
+    try:
+        for rank, support, prefixes in batch:
+            governor.progress["mining_rank"] = rank
+            governor.tick()
+            emit((rank,), support)
+            if prefixes and (max_len is None or max_len > 1):
+                mine_conditional_block(
+                    prefixes, rank, min_support, emit, max_len, governor=governor
+                )
+    except MiningInterrupted as exc:
+        exc.partial = results
+        raise
+    return results
+
+
+def _trim_to_cap(
+    pairs: list[tuple[tuple[int, ...], int]], governor: ResourceGovernor
+) -> list[tuple[tuple[int, ...], int]]:
+    cap = governor.budget.max_itemsets
+    if cap is not None and len(pairs) > cap:
+        del pairs[cap:]
+    return pairs
 
 
 def topdown_parallel(
@@ -242,10 +414,17 @@ def topdown_parallel(
     work_limit: int | None = DEFAULT_WORK_LIMIT,
     timeout: float | None = DEFAULT_BATCH_TIMEOUT,
     retry: RetryPolicy | None = None,
+    governor: ResourceGovernor | None = None,
 ) -> dict[int, dict[PositionVector, int]]:
     """Parallel top-down pass; same output as ``topdown_subset_frequencies``.
 
     ``timeout``/``retry`` behave as in :func:`mine_parallel`.
+
+    Governance is driver-level only, and a trip raises with **no**
+    partial attached: each worker's table holds partial *sums* for
+    vectors shared across slices, so an incomplete merge would report
+    under-counted (inexact) frequencies — exactly what governed partials
+    promise never to do.
     """
     if n_workers is None:
         n_workers = default_workers()
@@ -256,19 +435,46 @@ def topdown_parallel(
                 f"top-down pass would generate up to {estimate} subset events "
                 f"(work_limit={work_limit})"
             )
+    if governor is not None:
+        governor.start()
+        governor.check_now()
     slices = [s for s in split_vectors(plt, n_workers) if s]
     if len(slices) <= 1 or n_workers <= 1:
-        from repro.core.topdown import topdown_subset_frequencies
+        if governor is None:
+            from repro.core.topdown import topdown_subset_frequencies
 
-        return topdown_subset_frequencies(plt, work_limit=None)
+            return topdown_subset_frequencies(plt, work_limit=None)
+        from repro.core.position import path_to_vector
+        from repro.core.topdown import _decode_path, _subset_byte_frequencies
+
+        try:
+            counts = _subset_byte_frequencies(plt, governor=governor)
+        except MiningInterrupted as exc:
+            governor.progress.pop("_topdown_counts", None)
+            exc.partial = []
+            raise
+        governor.progress.pop("_topdown_counts", None)
+        return {
+            length: {
+                path_to_vector(_decode_path(pb)): freq for pb, freq in bucket.items()
+            }
+            for length, bucket in counts.items()
+        }
     merged: dict[int, dict[PositionVector, int]] = {}
-    for partial in _run_batches(
-        _topdown_slice,
-        [(s, 0) for s in slices],
-        timeout=timeout,
-        retry=retry,
-        what="topdown_parallel",
-    ):
+    try:
+        parts = _run_batches(
+            _topdown_slice,
+            [(s, 0) for s in slices],
+            timeout=timeout,
+            retry=retry,
+            what="topdown_parallel",
+            governor=governor,
+        )
+    except MiningInterrupted as exc:
+        exc.raw_results = []
+        exc.partial = []
+        raise
+    for partial in parts:
         for length, bucket in partial.items():
             target = merged.setdefault(length, {})
             for vec, freq in bucket.items():

@@ -25,6 +25,7 @@ from typing import Sequence, TypeVar
 from repro.core.conditional import _consume_bucket  # shared sweep logic
 from repro.core.plt import PLT
 from repro.core.position import PositionVector
+from repro.errors import InvalidParameterError
 
 __all__ = ["ConditionalTask", "conditional_tasks", "lpt_partition", "split_vectors"]
 
@@ -76,7 +77,7 @@ def conditional_tasks(plt: PLT, min_support: int) -> list[ConditionalTask]:
 def lpt_partition(items: Sequence[T], sizes: Sequence[int], n_bins: int) -> list[list[T]]:
     """Greedy LPT: assign each item (descending size) to the lightest bin."""
     if n_bins < 1:
-        raise ValueError("n_bins must be >= 1")
+        raise InvalidParameterError("n_bins must be >= 1")
     bins: list[list[T]] = [[] for _ in range(n_bins)]
     if not items:
         return bins

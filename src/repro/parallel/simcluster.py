@@ -48,7 +48,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import CrashedNodeError, ParallelExecutionError
+from repro.errors import CrashedNodeError, MiningInterrupted, ParallelExecutionError
 from repro.parallel.faults import FaultPlan
 
 __all__ = ["SimCluster", "NodeContext", "ClusterStats", "HEADER_BYTES"]
@@ -301,7 +301,9 @@ class SimCluster:
                 start = time.perf_counter()
                 try:
                     result = program(ctx, superstep, states[i])
-                except ParallelExecutionError:
+                except (ParallelExecutionError, MiningInterrupted):
+                    # budget/cancellation trips carry partial results the
+                    # driver must see intact — never wrap them
                     raise
                 except Exception as exc:
                     raise ParallelExecutionError(

@@ -16,11 +16,21 @@ generic machinery — none of it knows anything about PLTs:
   network, with bounded retries and peer-death detection.
 * :mod:`~repro.robustness.checkpoint` — :class:`CheckpointStore`, a model
   of stable storage that survives node crashes (the input partitions and
-  per-phase node state live here, enabling failover replay).
+  per-phase node state live here, enabling failover replay).  Checkpoints
+  are CRC-framed generations: corruption is detected on read and the
+  previous good generation is served instead.
+* :mod:`~repro.robustness.governor` — resource governance:
+  :class:`MiningBudget` (deadline / itemset cap / memory cap),
+  :class:`CancellationToken`, the :class:`ResourceGovernor` that the
+  mining hot loops consult at amortized checkpoints, and
+  :class:`DegradationPolicy` for falling back to bounded approximate
+  answers.
 
 The consumers are :mod:`repro.parallel.distributed` (resilient distributed
-mining) and :mod:`repro.parallel.executor` (hardened process pools); the
-failure model itself is injected by :mod:`repro.parallel.faults`.
+mining), :mod:`repro.parallel.executor` (hardened process pools), and —
+for governance — every miner behind the
+:func:`repro.core.mining.mine_frequent_itemsets` facade; the failure
+model itself is injected by :mod:`repro.parallel.faults`.
 """
 
 from repro.robustness.channel import ReliableChannel
@@ -32,6 +42,14 @@ from repro.robustness.framing import (
     decode_frame,
     encode_ack,
     encode_data,
+)
+from repro.robustness.governor import (
+    CancellationToken,
+    DegradationPolicy,
+    MiningBudget,
+    ResourceGovernor,
+    estimate_conditional_memory,
+    estimate_topdown_memory,
 )
 from repro.robustness.retry import RetryPolicy
 
@@ -45,4 +63,10 @@ __all__ = [
     "decode_frame",
     "ReliableChannel",
     "CheckpointStore",
+    "MiningBudget",
+    "CancellationToken",
+    "ResourceGovernor",
+    "DegradationPolicy",
+    "estimate_conditional_memory",
+    "estimate_topdown_memory",
 ]

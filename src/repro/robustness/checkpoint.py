@@ -10,22 +10,49 @@ storage as this :class:`CheckpointStore` — a blob store keyed by
 Blobs are required to be ``bytes``: checkpointing is serialization, and
 keeping the wire/storage representations identical means the same codecs
 (and the same fuzz tests) cover both.
+
+Corruption recovery
+-------------------
+Disk is not incorruptible either: truncated writes and flipped bits are
+exactly the failure a checkpoint must survive, not propagate.  Every blob
+is therefore stored inside the same CRC frame the wire uses
+(:mod:`~repro.robustness.framing`, sequence number = write generation),
+and the store keeps the last :data:`GENERATIONS` generations per key.  A
+read verifies the newest frame first; if the CRC rejects it — a torn or
+corrupted write — the store counts it (``corruption_detected``) and falls
+back to the previous good generation (``fallback_reads``).  Only when
+*every* kept generation is damaged does :meth:`load` raise
+:class:`~repro.errors.CheckpointError`; :meth:`get` returns ``None``,
+which consumers treat as "recompute from durable input" — degraded, never
+wrong.
 """
 
 from __future__ import annotations
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, CodecError
+from repro.robustness.framing import decode_frame, encode_data
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "GENERATIONS"]
+
+#: Checkpoint generations kept per key (newest + one fallback).
+GENERATIONS = 2
 
 
 class CheckpointStore:
-    """Durable ``(node_id, key) -> bytes`` storage with access counters."""
+    """Durable ``(node_id, key) -> bytes`` storage with access counters.
+
+    Values are CRC-framed; reads verify and silently fall back to the
+    previous generation on damage (see module docstring).
+    """
 
     def __init__(self) -> None:
-        self._blobs: dict[tuple[int, str], bytes] = {}
+        # (node_id, key) -> newest-first list of framed generations
+        self._blobs: dict[tuple[int, str], list[bytes]] = {}
+        self._generation = 0
         self.writes = 0
         self.reads = 0
+        self.corruption_detected = 0
+        self.fallback_reads = 0
 
     def save(self, node_id: int, key: str, blob: bytes) -> None:
         """Overwrite the checkpoint ``key`` for ``node_id``."""
@@ -33,30 +60,70 @@ class CheckpointStore:
             raise CheckpointError(
                 f"checkpoints must be serialized to bytes, got {type(blob).__name__}"
             )
-        self._blobs[(node_id, key)] = bytes(blob)
+        self._generation += 1
+        framed = encode_data(self._generation, bytes(blob))
+        chain = self._blobs.setdefault((node_id, key), [])
+        chain.insert(0, framed)
+        del chain[GENERATIONS:]
         self.writes += 1
 
+    def _read_chain(self, node_id: int, key: str) -> bytes | None:
+        """Newest verifiable generation, or ``None`` if all are damaged."""
+        chain = self._blobs[(node_id, key)]
+        for position, framed in enumerate(chain):
+            try:
+                frame = decode_frame(framed)
+            except CodecError:
+                self.corruption_detected += 1
+                continue
+            if position:
+                self.fallback_reads += 1
+            self.reads += 1
+            return frame.payload
+        return None
+
     def load(self, node_id: int, key: str) -> bytes:
-        """Read a checkpoint; raises :class:`CheckpointError` if absent."""
-        try:
-            blob = self._blobs[(node_id, key)]
-        except KeyError:
-            raise CheckpointError(f"no checkpoint {key!r} for node {node_id}") from None
-        self.reads += 1
-        return blob
+        """Read a checkpoint; raises :class:`CheckpointError` if absent
+        or damaged beyond the kept generations."""
+        if (node_id, key) not in self._blobs:
+            raise CheckpointError(f"no checkpoint {key!r} for node {node_id}")
+        payload = self._read_chain(node_id, key)
+        if payload is None:
+            raise CheckpointError(
+                f"checkpoint {key!r} for node {node_id} is corrupt in all "
+                f"{len(self._blobs[(node_id, key)])} kept generations"
+            )
+        return payload
 
     def get(self, node_id: int, key: str) -> bytes | None:
-        """Read a checkpoint, or ``None`` if it was never written."""
-        blob = self._blobs.get((node_id, key))
-        if blob is not None:
-            self.reads += 1
-        return blob
+        """Read a checkpoint, or ``None`` if absent or unrecoverable.
+
+        ``None`` on total corruption is deliberate: every consumer treats
+        a missing checkpoint as "recompute from the durable partition",
+        so damage degrades to replay instead of surfacing wrong bytes.
+        """
+        if (node_id, key) not in self._blobs:
+            return None
+        return self._read_chain(node_id, key)
 
     def has(self, node_id: int, key: str) -> bool:
         return (node_id, key) in self._blobs
 
     def keys(self) -> list[tuple[int, str]]:
         return sorted(self._blobs)
+
+    def inject_corruption(
+        self, node_id: int, key: str, *, generation: int = 0, flip_byte: int = -5
+    ) -> None:
+        """Flip one byte of a stored generation (test hook).
+
+        ``generation`` indexes newest-first; ``flip_byte`` indexes into
+        the framed bytes (default lands in the payload/CRC region).
+        """
+        chain = self._blobs[(node_id, key)]
+        framed = bytearray(chain[generation])
+        framed[flip_byte] ^= 0xFF
+        chain[generation] = bytes(framed)
 
     def __len__(self) -> int:
         return len(self._blobs)

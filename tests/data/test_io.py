@@ -5,9 +5,13 @@ import gzip
 import pytest
 
 from repro.data.io import (
+    MAX_REPORT_ERRORS,
+    ParseReport,
     iter_dat_lines,
     read_basket_csv,
+    read_basket_csv_report,
     read_dat,
+    read_dat_report,
     write_basket_csv,
     write_dat,
 )
@@ -77,11 +81,19 @@ class TestBasketCsv:
         assert len(db) == 2
         assert db[0] == frozenset("ab")
 
-    def test_malformed_row(self, tmp_path):
+    def test_malformed_row_strict(self, tmp_path):
         path = tmp_path / "b.csv"
         path.write_text("tid,item\njustonefield\n")
         with pytest.raises(DatasetError, match="expected"):
-            read_basket_csv(path)
+            read_basket_csv(path, strict=True)
+
+    def test_malformed_row_skipped_by_default(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("tid,item\njustonefield\n1,a\n")
+        db, report = read_basket_csv_report(path)
+        assert db[0] == frozenset({"a"})
+        assert report.n_skipped == 1 and not report.ok()
+        assert "justonefield" in report.errors[0]
 
     def test_item_with_comma_preserved(self, tmp_path):
         path = tmp_path / "b.csv"
@@ -99,3 +111,90 @@ class TestBasketCsv:
         path = tmp_path / "b.csv.gz"
         write_basket_csv(db, path)
         assert read_basket_csv(path) == db
+
+
+class TestRobustParsing:
+    """Dirty real-world inputs: binary junk, truncated streams, reports."""
+
+    def test_binary_junk_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_bytes(b"1 2 3\n\xff\xfe\x9d junk\n4 5\n")
+        db, report = read_dat_report(path)
+        assert list(db) == [frozenset({1, 2, 3}), frozenset({4, 5})]
+        assert report.n_skipped == 1 and report.n_transactions == 2
+        assert not report.truncated
+        assert "undecodable" in report.errors[0]
+
+    def test_binary_junk_strict_raises(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_bytes(b"1 2\n\x00\x00\n")
+        with pytest.raises(DatasetError, match="undecodable"):
+            read_dat(path, strict=True)
+
+    def test_nul_byte_is_garbage_even_when_decodable(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_bytes(b"1\x002\n3\n")
+        db, report = read_dat_report(path)
+        assert list(db) == [frozenset({3})]
+        assert report.n_skipped == 1
+
+    def test_truncated_gzip_yields_prefix(self, tmp_path):
+        whole = tmp_path / "w.dat.gz"
+        write_dat([(i, i + 1) for i in range(500)], whole)
+        cut = tmp_path / "cut.dat.gz"
+        data = whole.read_bytes()
+        cut.write_bytes(data[: len(data) // 2])
+        db, report = read_dat_report(cut)
+        assert report.truncated and not report.ok()
+        assert 0 < len(db) < 500
+        # every transaction that did parse is genuine
+        assert all(t == frozenset({min(t), min(t) + 1}) for t in db)
+
+    def test_truncated_gzip_strict_raises(self, tmp_path):
+        whole = tmp_path / "w.dat.gz"
+        write_dat([(i,) for i in range(500)], whole)
+        data = whole.read_bytes()
+        cut = tmp_path / "cut.dat.gz"
+        cut.write_bytes(data[: len(data) // 2])
+        with pytest.raises(DatasetError, match="truncated or corrupt"):
+            read_dat(cut, strict=True)
+
+    def test_truncated_csv_gzip_tolerated(self, tmp_path):
+        whole = tmp_path / "b.csv.gz"
+        write_basket_csv([(i,) for i in range(500)], whole)
+        data = whole.read_bytes()
+        cut = tmp_path / "cut.csv.gz"
+        cut.write_bytes(data[: len(data) // 2])
+        db, report = read_basket_csv_report(cut)
+        assert report.truncated
+        assert 0 < len(db) < 500
+
+    def test_report_error_list_capped(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_bytes(b"\x00 bad\n" * (MAX_REPORT_ERRORS + 30) + b"1 2\n")
+        db, report = read_dat_report(path)
+        assert report.n_skipped == MAX_REPORT_ERRORS + 30  # counts stay exact
+        assert len(report.errors) == MAX_REPORT_ERRORS
+        assert len(db) == 1
+
+    def test_clean_file_reports_ok(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 2\n3\n")
+        _, report = read_dat_report(path)
+        assert report.ok()
+        assert report.n_lines == 2 and report.n_transactions == 2
+        assert "clean" in repr(report)
+
+    def test_missing_file_always_raises(self, tmp_path):
+        # tolerance covers damaged content, not an unreadable path
+        with pytest.raises(DatasetError, match="cannot read"):
+            read_dat(tmp_path / "absent.dat")
+        with pytest.raises(DatasetError, match="cannot read"):
+            read_basket_csv(tmp_path / "absent.csv")
+
+    def test_parse_report_record(self):
+        report = ParseReport(path="x")
+        for i in range(MAX_REPORT_ERRORS + 5):
+            report.record(f"err {i}")
+        assert report.n_skipped == MAX_REPORT_ERRORS + 5
+        assert len(report.errors) == MAX_REPORT_ERRORS

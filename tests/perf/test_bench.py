@@ -83,6 +83,23 @@ class TestCompare:
         assert compare_against_baseline(now, base, tolerance=0.01) != []
         assert compare_against_baseline(now, base, tolerance=0.10) == []
 
+    def test_micro_workloads_are_not_gated(self):
+        # sub-MIN_GATE_SECONDS timings are scheduler noise: a huge ratio
+        # swing on a microsecond workload must not fail the gate
+        def doc(speedup, seconds):
+            return {
+                "workloads": [{
+                    "name": "conditional/tiny@2", "speedup": speedup,
+                    "legacy_s": seconds, "optimized_s": seconds,
+                }]
+            }
+
+        base, now = doc(2.0, 0.0005), doc(0.2, 0.0005)
+        assert compare_against_baseline(now, base) == []
+        # the same swing on real timings is still a regression
+        base, now = doc(2.0, 0.5), doc(0.2, 0.5)
+        assert compare_against_baseline(now, base) != []
+
 
 class TestMain:
     def test_writes_report_and_compares(self, tmp_path, monkeypatch):

@@ -55,3 +55,68 @@ class TestCounters:
         store.get(1, "missing")  # miss: not counted as a read
         assert store.writes == 2
         assert store.reads == 2
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_newest_falls_back_to_previous_generation(self):
+        store = CheckpointStore()
+        store.save(0, "k", b"old")
+        store.save(0, "k", b"new")
+        store.inject_corruption(0, "k", generation=0)
+        assert store.load(0, "k") == b"old"
+        assert store.corruption_detected == 1
+        assert store.fallback_reads == 1
+
+    def test_clean_read_prefers_newest(self):
+        store = CheckpointStore()
+        store.save(0, "k", b"old")
+        store.save(0, "k", b"new")
+        assert store.load(0, "k") == b"new"
+        assert store.corruption_detected == 0
+        assert store.fallback_reads == 0
+
+    def test_all_generations_corrupt_load_raises(self):
+        store = CheckpointStore()
+        store.save(0, "k", b"old")
+        store.save(0, "k", b"new")
+        store.inject_corruption(0, "k", generation=0)
+        store.inject_corruption(0, "k", generation=1)
+        with pytest.raises(CheckpointError, match="corrupt in all 2"):
+            store.load(0, "k")
+        assert store.corruption_detected == 2
+
+    def test_all_generations_corrupt_get_returns_none(self):
+        # `None` means "recompute from the durable partition" — damage
+        # degrades to replay, never to wrong bytes
+        store = CheckpointStore()
+        store.save(0, "k", b"only")
+        store.inject_corruption(0, "k")
+        assert store.get(0, "k") is None
+
+    def test_only_last_generations_kept(self):
+        store = CheckpointStore()
+        for i in range(5):
+            store.save(0, "k", b"v%d" % i)
+        store.inject_corruption(0, "k", generation=0)
+        assert store.load(0, "k") == b"v3"  # one fallback, not five
+
+    def test_corruption_anywhere_in_frame_detected(self):
+        # flip every single byte position in turn: the CRC frame must
+        # reject the blob or (for header bytes) fail to parse — a
+        # corrupted checkpoint may never be returned as good data
+        store = CheckpointStore()
+        store.save(0, "k", b"payload-bytes")
+        framed = store._blobs[(0, "k")][0]
+        for position in range(len(framed)):
+            fresh = CheckpointStore()
+            fresh.save(0, "k", b"payload-bytes")
+            fresh.inject_corruption(0, "k", flip_byte=position)
+            assert fresh.get(0, "k") is None, f"byte {position} undetected"
+
+    def test_distinct_keys_do_not_share_generations(self):
+        store = CheckpointStore()
+        store.save(0, "a", b"A")
+        store.save(0, "b", b"B")
+        store.inject_corruption(0, "a")
+        assert store.get(0, "a") is None
+        assert store.load(0, "b") == b"B"

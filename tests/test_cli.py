@@ -84,6 +84,150 @@ class TestMine:
         assert exc.value.code == 2
 
 
+class TestMineGoverned:
+    """Budget flags on the mine subcommand, success and failure paths."""
+
+    @pytest.fixture
+    def dense_file(self, tmp_path):
+        import random
+
+        rng = random.Random(3)
+        db = [tuple(rng.sample(range(40), 12)) for _ in range(200)]
+        path = tmp_path / "dense.dat"
+        write_dat(db, path)
+        return str(path)
+
+    def test_max_itemsets_prints_partial_header(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--max-itemsets", "25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# PARTIAL (max_itemsets)" in out
+        assert "supports are exact" in out
+        assert "method=plt+partial" in out
+
+    def test_deadline_flag_accepted(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--deadline", "30"]
+        )
+        assert code == 0
+        # generous deadline: completes, no PARTIAL banner
+        assert "# PARTIAL" not in capsys.readouterr().out
+
+    def test_degrade_produces_approximate_header(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--max-itemsets", "10", "--degrade", "topk"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# APPROXIMATE:" in out
+        assert "method=plt+approx-topk" in out
+
+    def test_memory_budget_suffix_parsed(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--memory-budget", "256m"]
+        )
+        assert code == 0
+        assert "# PARTIAL" not in capsys.readouterr().out
+
+    def test_tiny_memory_budget_is_admission_error(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--memory-budget", "1"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_budget_flags_reject_condensed_kinds(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--kind", "closed", "--deadline", "5"]
+        )
+        assert code == 1
+        assert "only apply to --kind all" in capsys.readouterr().err
+
+    def test_degrade_without_budget_is_error(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--degrade", "sampling"]
+        )
+        assert code == 1
+        assert "requires a budget flag" in capsys.readouterr().err
+
+    def test_bad_memory_budget_is_argparse_error(self, dense_file):
+        for bad in ("nonsense", "-4k", "0"):
+            with pytest.raises(SystemExit) as exc:
+                main(
+                    ["mine", "--input", dense_file, "--min-support", "4",
+                     "--memory-budget", bad]
+                )
+            assert exc.value.code == 2
+
+    def test_bad_degrade_choice_is_argparse_error(self, dense_file):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["mine", "--input", dense_file, "--min-support", "4",
+                 "--deadline", "5", "--degrade", "bogus"]
+            )
+        assert exc.value.code == 2
+
+    def test_budget_with_nongoverned_method_is_error(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--method", "apriori", "--deadline", "5"]
+        )
+        assert code == 1
+        assert "governance" in capsys.readouterr().err
+
+
+class TestFailurePaths:
+    def test_no_command_is_argparse_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+    def test_unknown_command_is_argparse_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+
+    def test_rules_missing_input_is_runtime_error(self, tmp_path, capsys):
+        code = main(
+            ["rules", "--input", str(tmp_path / "no.dat"),
+             "--min-support", "2", "--min-confidence", "0.5"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_encode_missing_input_is_runtime_error(self, tmp_path, capsys):
+        code = main(
+            ["encode", "--input", str(tmp_path / "no.dat"),
+             "--min-support", "2", "--output", str(tmp_path / "o.plt")]
+        )
+        assert code == 1
+
+    def test_info_missing_input_is_runtime_error(self, tmp_path):
+        assert main(["info", "--input", str(tmp_path / "no.dat")]) == 1
+
+    def test_chaos_bad_crash_spec_is_runtime_error(self, capsys):
+        code = main(["chaos", "--crash", "nonsense"])
+        assert code == 1
+        assert "invalid --crash" in capsys.readouterr().err
+
+    def test_mine_tolerates_dirty_input(self, tmp_path, capsys):
+        # robust parsing end to end: junk lines are skipped, not fatal
+        path = tmp_path / "dirty.dat"
+        path.write_bytes(b"1 2\n\xff\xfe garbage\n1 2 3\n2 3\n")
+        code = main(["mine", "--input", str(path), "--min-support", "2"])
+        assert code == 0
+        assert "itemsets" in capsys.readouterr().out
+
+
 class TestRules:
     def test_basic(self, dat_file, capsys):
         assert (

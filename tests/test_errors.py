@@ -9,12 +9,18 @@ ALL_ERRORS = [
     errors.InvalidVectorError,
     errors.UnknownItemError,
     errors.InvalidSupportError,
+    errors.InvalidParameterError,
+    errors.RankTableError,
     errors.TopDownExplosionError,
     errors.DatasetError,
     errors.CodecError,
     errors.ParallelExecutionError,
     errors.CrashedNodeError,
     errors.CheckpointError,
+    errors.MiningInterrupted,
+    errors.BudgetExceeded,
+    errors.Cancelled,
+    errors.AdmissionRejected,
 ]
 
 
@@ -35,6 +41,40 @@ def test_value_error_compatibility():
     assert issubclass(errors.CrashedNodeError, errors.ParallelExecutionError)
     assert issubclass(errors.CheckpointError, RuntimeError)
     assert issubclass(errors.DegradedExecutionWarning, RuntimeWarning)
+    # the consolidated taxonomy keeps the stdlib types old callers caught
+    assert issubclass(errors.InvalidParameterError, ValueError)
+    assert issubclass(errors.RankTableError, ValueError)
+    assert issubclass(errors.MiningInterrupted, RuntimeError)
+    assert issubclass(errors.BudgetExceeded, errors.MiningInterrupted)
+    assert issubclass(errors.Cancelled, errors.MiningInterrupted)
+    assert issubclass(errors.AdmissionRejected, RuntimeError)
+
+
+def test_mining_interrupted_carries_partial_state():
+    exc = errors.BudgetExceeded(
+        "deadline", reason="deadline", partial=[((1,), 2)], progress={"rank": 3}
+    )
+    assert exc.reason == "deadline"
+    assert exc.partial == [((1,), 2)]
+    assert exc.progress == {"rank": 3}
+    bare = errors.Cancelled("stop")
+    assert bare.partial == [] and bare.progress == {}
+
+
+def test_consolidated_raises_stay_catchable_as_value_error():
+    """Pre-taxonomy code caught ValueError from these validators."""
+    from repro.core.rank import RankTable
+
+    with pytest.raises(ValueError):
+        RankTable([1, 1])
+    with pytest.raises(errors.RankTableError):
+        RankTable([1, 1])
+    from repro.baselines.partition import split_database
+
+    with pytest.raises(ValueError):
+        split_database([(1,)], 0)
+    with pytest.raises(errors.InvalidParameterError):
+        split_database([(1,)], 0)
 
 
 def test_parallel_error_carries_location():

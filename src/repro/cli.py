@@ -105,6 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="on budget exhaustion fall back to an approximate strategy "
         "instead of returning a partial result",
     )
+    p_mine.add_argument(
+        "--backend",
+        choices=["sim", "process"],
+        default=None,
+        help="cluster backend for --method plt-distributed "
+        "(sim: in-process simulator; process: real worker processes)",
+    )
+    p_mine.add_argument(
+        "--n-nodes",
+        type=int,
+        default=None,
+        help="cluster size for --method plt-distributed (default 4)",
+    )
 
     p_rules = sub.add_parser("rules", help="mine association rules")
     p_rules.add_argument("--input", required=True)
@@ -186,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=6,
         help="channel retransmit budget before a peer is declared dead",
     )
+    p_chaos.add_argument(
+        "--backend",
+        choices=["sim", "process"],
+        default="sim",
+        help="cluster backend: sim (in-process simulator, default) or "
+        "process (real worker processes over localhost TCP; --crash "
+        "becomes a real SIGKILL)",
+    )
     return parser
 
 
@@ -216,6 +237,18 @@ def _cmd_mine(args) -> int:
         or args.max_itemsets is not None
         or args.memory_budget is not None
     )
+    cluster_flags = args.backend is not None or args.n_nodes is not None
+    if cluster_flags and args.method != "plt-distributed":
+        raise ReproError(
+            "--backend/--n-nodes only apply to --method plt-distributed"
+        )
+    if cluster_flags and args.kind != "all":
+        raise ReproError("--backend/--n-nodes only apply to --kind all")
+    if args.backend == "process" and governed:
+        raise ReproError(
+            "budget flags are not supported on the process backend "
+            "(governors cannot span worker processes)"
+        )
     db = read_dat(args.input)
     if args.kind in ("closed", "maximal"):
         if governed or args.degrade:
@@ -242,6 +275,10 @@ def _cmd_mine(args) -> int:
                 "--degrade requires a budget flag "
                 "(--deadline/--max-itemsets/--memory-budget)"
             )
+        if args.backend is not None:
+            kwargs["backend"] = args.backend
+        if args.n_nodes is not None:
+            kwargs["n_nodes"] = args.n_nodes
         result = mine_frequent_itemsets(
             db, args.min_support, method=args.method, max_len=args.max_len, **kwargs
         )
@@ -405,14 +442,21 @@ def _cmd_chaos(args) -> int:
     )
     retry = RetryPolicy(max_retries=args.max_retries, base_delay=1.0, max_delay=8.0)
     print(f"fault plan: {json.dumps(plan.describe())}")
+    print(f"backend: {args.backend}")
     pairs, stats, _ = mine_distributed(
-        db, args.min_support, n_nodes=args.n_nodes, fault_plan=plan, retry=retry
+        db,
+        args.min_support,
+        n_nodes=args.n_nodes,
+        fault_plan=plan,
+        retry=retry,
+        backend=args.backend,
     )
     expected = sorted(
         (tuple(sorted(fi.items, key=sort_key)), fi.support)
         for fi in mine_frequent_itemsets(db, args.min_support)
     )
     print(f"stats: {json.dumps(stats.deterministic_summary())}")
+    print(f"liveness: {json.dumps(stats.liveness_summary())}")
     if sorted(pairs) != expected:
         print(
             f"MISMATCH: distributed mined {len(pairs)} itemsets, "

@@ -443,11 +443,26 @@ def _mine_plt_parallel(transactions, abs_support, order, max_len, **kwargs):
     return {frozenset(table.decode_ranks(ranks)): sup for ranks, sup in pairs}
 
 
+def _mine_plt_distributed(transactions, abs_support, order, max_len, **kwargs):
+    from repro.parallel.distributed import mine_distributed
+
+    pairs, _stats, _table = mine_distributed(
+        transactions,
+        abs_support,
+        n_nodes=kwargs.get("n_nodes", 4),
+        max_len=max_len,
+        backend=kwargs.get("backend", "sim"),
+        backend_options=kwargs.get("backend_options"),
+    )
+    return {frozenset(items): sup for items, sup in pairs}
+
+
 METHODS: dict[str, Callable] = {
     "plt": _mine_plt,
     "plt-conditional": _mine_plt,
     "plt-topdown": _mine_plt_topdown,
     "plt-parallel": _mine_plt_parallel,
+    "plt-distributed": _mine_plt_distributed,
     "apriori": _mine_apriori,
     "aprioritid": _mine_aprioritid,
     "apriori-cd": _mine_count_distribution,

@@ -20,6 +20,7 @@ __all__ = [
     "CodecError",
     "ParallelExecutionError",
     "CrashedNodeError",
+    "WorkerLostError",
     "CheckpointError",
     "MiningInterrupted",
     "BudgetExceeded",
@@ -110,6 +111,31 @@ class CrashedNodeError(ParallelExecutionError):
     protocol in :mod:`repro.parallel.distributed` and never surface as an
     exception.
     """
+
+
+class WorkerLostError(ParallelExecutionError):
+    """A real worker process died, was killed, or exited nonzero.
+
+    Raised by the process-pool executors and the process-cluster backend
+    when a worker subprocess is lost.  ``rank`` identifies the worker
+    (the cluster node id, or the first top-level item rank of the batch a
+    pool worker was mining), ``superstep`` is the last superstep the
+    worker was known to be alive at (``None`` for pool workers), and
+    ``exitcode`` is the subprocess exit status when known (negative for
+    signal deaths, e.g. ``-9`` for SIGKILL).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        superstep: int | None = None,
+        exitcode: int | None = None,
+    ):
+        super().__init__(message, node_id=rank, superstep=superstep)
+        self.rank = rank
+        self.exitcode = exitcode
 
 
 class CheckpointError(ReproError, RuntimeError):

@@ -1,0 +1,94 @@
+"""The pluggable cluster-backend protocol behind distributed mining.
+
+:mod:`repro.parallel.distributed` is written against a *node-program /
+superstep* interface, not against :class:`SimCluster` specifically: a
+backend executes the same node program over per-node private states in
+BSP supersteps, delivers ``bytes`` messages at superstep boundaries, and
+accounts everything in a :class:`~repro.parallel.simcluster.ClusterStats`.
+This module names that contract (:class:`ClusterBackend`) and registers
+the two implementations:
+
+``sim``
+    :class:`~repro.parallel.simcluster.SimCluster` — one interpreter,
+    deterministic message-level fault injection, byte-accurate traffic
+    accounting.  The default; every chaos test runs here first.
+``process``
+    :class:`~repro.parallel.processcluster.ProcessCluster` — real worker
+    processes over localhost TCP sockets, heartbeat failure detection,
+    SIGKILL-tolerant elastic failover.  Same node program, same fault
+    plan semantics (kills become real signals, message faults are applied
+    by the routing hub), so a run under the same plan produces the same
+    mining output as the simulator.
+
+Both backends share the :data:`DONE` termination sentinel: a node votes
+for termination by returning it from its step function.  The sentinel is
+compared by identity *within* each process — worker processes import
+their own copy, which is exactly the one the node program running there
+returns.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import InvalidParameterError
+from repro.parallel.faults import FaultPlan
+from repro.parallel.simcluster import ClusterStats, NodeProgram, SimCluster
+
+__all__ = ["ClusterBackend", "create_backend", "BACKENDS", "DONE"]
+
+#: Termination sentinel shared by every backend (same object as
+#: ``SimCluster.DONE``, which node programs historically return).
+DONE = SimCluster.DONE
+
+#: Registered backend names, in preference order.
+BACKENDS = ("sim", "process")
+
+
+@runtime_checkable
+class ClusterBackend(Protocol):
+    """What :func:`~repro.parallel.distributed.mine_distributed` needs.
+
+    A backend is single-shot: construct, :meth:`run`, read ``stats``.
+    ``run`` executes ``program(ctx, superstep, state)`` for every node in
+    BSP supersteps until all live nodes return :data:`DONE` with nothing
+    left on the wire, and returns the final per-node states (``None`` for
+    a node whose volatile state was lost to a crash, where the backend
+    cannot recover it).
+    """
+
+    n_nodes: int
+    stats: ClusterStats
+
+    def run(self, program: NodeProgram, states) -> list: ...
+
+
+def create_backend(
+    name: str,
+    n_nodes: int,
+    *,
+    fault_plan: FaultPlan | None = None,
+    max_supersteps: int = 10_000,
+    **options,
+) -> ClusterBackend:
+    """Instantiate a registered backend by name.
+
+    ``options`` are backend-specific (e.g. ``heartbeat_interval`` /
+    ``detection`` for the process backend) and rejected by backends that
+    do not understand them.
+    """
+    if name == "sim":
+        if options:
+            raise InvalidParameterError(
+                f"the sim backend takes no extra options, got {sorted(options)}"
+            )
+        return SimCluster(n_nodes, fault_plan=fault_plan, max_supersteps=max_supersteps)
+    if name == "process":
+        from repro.parallel.processcluster import ProcessCluster
+
+        return ProcessCluster(
+            n_nodes, fault_plan=fault_plan, max_supersteps=max_supersteps, **options
+        )
+    raise InvalidParameterError(
+        f"unknown cluster backend {name!r}; available: {', '.join(BACKENDS)}"
+    )

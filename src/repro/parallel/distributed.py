@@ -71,9 +71,11 @@ from repro.data.transaction_db import item_supports
 from repro.errors import (
     CodecError,
     CrashedNodeError,
+    InvalidParameterError,
     MiningInterrupted,
     ParallelExecutionError,
 )
+from repro.parallel.backend import create_backend
 from repro.parallel.faults import FaultPlan
 from repro.parallel.simcluster import ClusterStats, SimCluster
 from repro.robustness.channel import ReliableChannel
@@ -496,6 +498,8 @@ class _Node:
             self.store.save(origin, "slices", _encode_slices(slices))
             ctx.stats.checkpoint_writes += 1
         else:
+            # replaying a dead peer's superstep of work from stable storage
+            ctx.stats.supersteps_replayed += 1
             blob = self.store.get(origin, "slices")
             if blob is not None:
                 ctx.stats.checkpoint_reads += 1
@@ -566,6 +570,10 @@ class _Node:
 
     # -- failure handling --------------------------------------------------
     def _peer_dead(self, ctx, superstep: int, peer: int) -> None:
+        # the channel exhausted its retry schedule: that many probes went
+        # unanswered, and from this node's view the peer is now dead
+        ctx.stats.heartbeats_missed += self.channel.retry.max_retries
+        ctx.stats.workers_declared_dead += 1
         if peer == COORDINATOR:
             raise CrashedNodeError(
                 f"coordinator node {COORDINATOR} stopped acknowledging "
@@ -596,9 +604,18 @@ class _Node:
             (n for n in range(dead_node + 1, dead_node + self.n_nodes) if (n % self.n_nodes) in live),
             COORDINATOR,
         ) % self.n_nodes
+        moved_slots = set()
         for slot in range(self.n_nodes):
             if self.actor[slot] == dead_node:
                 self.actor[slot] = successor
+                moved_slots.add(slot)
+        if self.rank_table is not None and moved_slots:
+            n_ranks = len(self.rank_table.items())
+            ctx.stats.ranks_resharded += sum(
+                1
+                for rank in range(1, n_ranks + 1)
+                if owner_of_rank(rank, self.n_nodes) in moved_slots
+            )
         labels = self.rank_table.items() if self.rank_table is not None else None
         payload = _msg_reassign(self.actor, self.dead, labels)
         for node in live:
@@ -741,6 +758,7 @@ class _Node:
         for target in sorted(awaited):
             # an in-flight frame to the target already doubles as a probe
             if not self.channel.has_unacked(target):
+                ctx.stats.heartbeats_sent += 1
                 self._send(ctx, superstep, target, bytes([_MSG_PING]))
 
     # -- the BSP step ------------------------------------------------------
@@ -775,8 +793,10 @@ def mine_distributed(
     max_supersteps: int = 10_000,
     budget: MiningBudget | None = None,
     cancel: CancellationToken | None = None,
+    backend: str = "sim",
+    backend_options: Mapping | None = None,
 ) -> tuple[list[tuple], ClusterStats, RankTable]:
-    """Mine on a simulated ``n_nodes`` cluster, optionally under faults.
+    """Mine on an ``n_nodes`` cluster backend, optionally under faults.
 
     Returns ``(itemset pairs as (sorted item tuple, support), cluster
     stats, the global rank table)``.  Results are exactly those of the
@@ -789,11 +809,23 @@ def mine_distributed(
     :class:`~repro.errors.ParallelExecutionError` rather than returning
     wrong results.
 
+    ``backend`` picks the cluster implementation
+    (:data:`~repro.parallel.backend.BACKENDS`): ``"sim"`` (default) runs
+    the protocol on the deterministic in-process simulator; ``"process"``
+    runs the *same node program* on real worker processes over localhost
+    TCP (:class:`~repro.parallel.processcluster.ProcessCluster`), where
+    fault-plan crashes become real ``SIGKILL``\\ s and failover replays
+    from a file-backed checkpoint store.  The process backend needs
+    file-backed stable storage: pass ``CheckpointStore(path=...)`` or
+    leave ``checkpoint_store=None`` to get a run-scoped temporary
+    directory.  ``backend_options`` are forwarded to the backend
+    constructor (e.g. ``heartbeat_interval``, ``detection``).
+
     ``retry`` tunes the ack/retransmit schedule (supersteps),
     ``checkpoint_store`` supplies the stable storage used for durable
-    inputs and recovery state (a fresh in-memory store by default), and
-    the stats carry communication volume, modelled parallel makespan, and
-    full fault/recovery accounting.
+    inputs and recovery state (a fresh in-memory store by default on the
+    sim backend), and the stats carry communication volume, modelled
+    parallel makespan, and full fault/recovery/liveness accounting.
 
     ``budget``/``cancel`` govern the run: the simulated cluster is
     in-process, so one shared :class:`ResourceGovernor` is observed by
@@ -802,6 +834,8 @@ def mine_distributed(
     whose ``partial`` holds the decoded pairs of every ownership slot the
     coordinator had already collected — complete slots only, exact
     supports — and ``progress["slots_complete"]`` lists those slots.
+    Governors are shared in-process objects, so they are only available
+    on the sim backend; the process backend rejects them.
     """
     db = [frozenset(t) for t in transactions]
     if min_support < 1:
@@ -811,13 +845,40 @@ def mine_distributed(
     partitions = split_database(db, n_nodes) if db else []
     while len(partitions) < n_nodes:
         partitions.append([])
-    store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
+    tmpdir = None
+    store = checkpoint_store
+    if backend == "process":
+        if budget is not None or cancel is not None:
+            raise InvalidParameterError(
+                "budget/cancel are not supported on the process backend: a "
+                "governor is a shared in-process object and cannot span "
+                "worker processes; use backend='sim' for governed runs"
+            )
+        if store is None:
+            import tempfile
+
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            store = CheckpointStore(tmpdir.name)
+        elif store.path is None:
+            raise InvalidParameterError(
+                "the process backend needs a file-backed CheckpointStore "
+                "(CheckpointStore(path=...)) so worker processes share "
+                "stable storage across real crashes"
+            )
+    elif store is None:
+        store = CheckpointStore()
     for node_id, part in enumerate(partitions):
         store.save(node_id, "partition", _encode_partition(part))
     governor = None
     if budget is not None or cancel is not None:
         governor = ResourceGovernor(budget, cancel).start()
-    cluster = SimCluster(n_nodes, fault_plan=fault_plan, max_supersteps=max_supersteps)
+    cluster = create_backend(
+        backend,
+        n_nodes,
+        fault_plan=fault_plan,
+        max_supersteps=max_supersteps,
+        **dict(backend_options or {}),
+    )
     states = [
         _Node(i, n_nodes, part, min_support, max_len, store, retry, governor)
         for i, part in enumerate(partitions)
@@ -845,6 +906,18 @@ def mine_distributed(
         exc.partial = decoded
         exc.progress["slots_complete"] = sorted(coordinator_node.results_by_slot)
         raise
-    root: _Node = final[COORDINATOR]
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+    root: _Node | None = final[COORDINATOR]
+    if root is None:
+        # only a real backend can lose a final state: the coordinator
+        # process died after voting DONE but before shipping its state
+        raise CrashedNodeError(
+            f"coordinator node {COORDINATOR} was lost before reporting "
+            "results; distributed mining cannot recover from coordinator "
+            "loss",
+            node_id=COORDINATOR,
+        )
     decoded, table = _decode_slots(root)
     return decoded, cluster.stats, table

@@ -45,6 +45,7 @@ from repro.errors import (
     MiningInterrupted,
     ParallelExecutionError,
     TopDownExplosionError,
+    WorkerLostError,
 )
 from repro.parallel.partitioner import (
     ConditionalTask,
@@ -175,6 +176,19 @@ def _raise_if_tripped(governor: ResourceGovernor, what: str, results: list) -> N
         raise exc
 
 
+def _batch_rank(batch) -> int | None:
+    """First top-level item rank of a mining batch, for error reports.
+
+    Mining batches are ``([(rank, support, prefixes), ...], ...)``;
+    top-down batches carry a vector table instead and yield ``None``.
+    """
+    try:
+        rank = batch[0][0][0]
+    except (TypeError, LookupError):
+        return None
+    return rank if isinstance(rank, int) else None
+
+
 def _run_batches(
     worker: Callable,
     batches: Sequence,
@@ -245,8 +259,23 @@ def _run_batches(
                         if governor is not None and (budget is None or budget > 0):
                             continue
                         failed.append(i)
-                        last_error = ParallelExecutionError(
-                            f"{what}: batch {i} exceeded the {timeout}s deadline"
+                        # a killed pool worker never errors — its result
+                        # just never arrives, so the deadline is also the
+                        # worker-loss detector
+                        last_error = WorkerLostError(
+                            f"{what}: batch {i} exceeded the {timeout}s "
+                            "deadline (worker wedged or its process was "
+                            "killed)",
+                            rank=_batch_rank(batches[i]),
+                        )
+                        break
+                    except (EOFError, ConnectionError, OSError) as exc:
+                        # the worker died mid-result (pipe torn down)
+                        failed.append(i)
+                        last_error = WorkerLostError(
+                            f"{what}: worker running batch {i} died before "
+                            f"returning a result: {exc!r}",
+                            rank=_batch_rank(batches[i]),
                         )
                         break
                     except Exception as exc:

@@ -1,0 +1,575 @@
+"""Real-process cluster backend: node programs in OS processes over TCP.
+
+:class:`ProcessCluster` runs the same node programs as
+:class:`~repro.parallel.simcluster.SimCluster` — same BSP supersteps,
+same ``bytes``-only messages, same :class:`ClusterStats` accounting —
+but every node is a **real worker process** with genuinely private
+memory, connected to the parent over a localhost TCP socket.  Crash
+failover, ack/retransmit framing and checkpoint replay are therefore
+exercised against real process death (``SIGKILL``), real sockets, and
+real partial writes, not function calls.
+
+Topology and lockstep
+---------------------
+The parent is a routing hub (star topology).  Each superstep it:
+
+1. applies scheduled kills from the :class:`~repro.parallel.faults.FaultPlan`
+   (``crashes={node: superstep}`` becomes a real ``SIGKILL``);
+2. delivers the messages due this superstep to each live worker and asks
+   it to run one step of the node program;
+3. collects each worker's outbox, termination vote, compute time and
+   protocol-counter deltas;
+4. routes the outboxes — in node-id order, so the **global send index**
+   matches the simulator's and message-level fault injection
+   (drop/corrupt/duplicate/delay) is applied identically at the hub.
+
+Because the node programs are deterministic given their delivered
+inboxes, a run under a given fault plan produces the *same mining
+output* as the simulator under that plan; the backend test suite
+asserts this equivalence.
+
+Wire format
+-----------
+TCP is a byte stream, and a killed peer can die mid-write, so every
+transport segment is framed::
+
+    length   4 bytes  big-endian count of the frame that follows
+    frame    CRC-framed DATA frame (:mod:`repro.robustness.framing`)
+             whose payload is a pickled control tuple
+
+A short read (EOF inside a segment) or a CRC mismatch marks the peer
+dead — a torn write can never decode to a wrong message.  Control
+tuples: ``("hello", node_id)``, ``("hb",)`` heartbeats,
+``("step", superstep, inbox)``, ``("done", superstep, outbox, is_done,
+elapsed, stats_delta)``, ``("stop",)``, ``("final", state)`` and
+``("error", exc_name, message, node_id, superstep)``.
+
+Failure detection
+-----------------
+Each worker runs a daemon thread that sends a heartbeat every
+``heartbeat_interval`` seconds, so even a worker deep in a long mining
+step stays visibly alive.  The parent declares a worker dead when its
+socket reports EOF (the fast path after a ``SIGKILL``) or when no
+traffic arrives for the duration of the ``detection``
+:class:`~repro.robustness.retry.RetryPolicy` schedule (miss threshold =
+``max_retries``, per-miss timeout = the policy's delays) — covering
+wedged-but-alive processes.  A declared-dead worker is SIGKILLed to
+enforce fail-stop before the cluster moves on.
+
+What happens *after* detection is the node programs' business: the
+distributed-mining protocol's coordinator re-shards the dead worker's
+ownership slots onto survivors and the survivors replay the lost state
+from the shared file-backed
+:class:`~repro.robustness.checkpoint.CheckpointStore` — the same
+elastic-failover path the chaos suite drills on the simulator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+
+from repro import errors as _errors
+from repro.errors import (
+    CodecError,
+    CrashedNodeError,
+    ParallelExecutionError,
+    WorkerLostError,
+)
+from repro.parallel.faults import FaultPlan
+from repro.parallel.simcluster import ClusterStats, NodeContext, NodeProgram, SimCluster
+from repro.robustness.framing import decode_frame, encode_data
+from repro.robustness.retry import RetryPolicy
+
+__all__ = [
+    "ProcessCluster",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_DETECTION_RETRY",
+]
+
+#: Worker heartbeat period (seconds).
+DEFAULT_HEARTBEAT_INTERVAL = 0.1
+
+#: Default failure-detection schedule: 20 missed 100 ms intervals (2 s of
+#: silence) before a worker is declared dead.
+DEFAULT_DETECTION_RETRY = RetryPolicy(
+    max_retries=20, base_delay=0.1, multiplier=1.0, max_delay=0.1
+)
+
+#: Hard cap on one transport segment (a slice bundle is far smaller).
+_MAX_SEGMENT = 1 << 30
+
+_LEN = struct.Struct(">I")
+
+#: ClusterStats counters owned by the workers (shipped back as deltas);
+#: the hub owns supersteps, fault tallies, crash lists and wall clocks.
+_DELTA_FIELDS = (
+    "messages",
+    "bytes_sent",
+    "retransmits",
+    "rejected_frames",
+    "failovers",
+    "checkpoint_writes",
+    "checkpoint_reads",
+    "heartbeats_sent",
+    "heartbeats_missed",
+    "workers_declared_dead",
+    "ranks_resharded",
+    "supersteps_replayed",
+)
+
+
+# ---------------------------------------------------------------------------
+# transport
+# ---------------------------------------------------------------------------
+def _send_msg(sock: socket.socket, lock: threading.Lock, seq: int, obj) -> None:
+    frame = encode_data(seq, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    data = _LEN.pack(len(frame)) + frame
+    with lock:
+        sock.sendall(data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed mid-segment")
+        buf += chunk
+    return bytes(buf)
+
+
+def _recv_msg(sock: socket.socket):
+    """Read one CRC-verified control tuple; raises on EOF or damage."""
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > _MAX_SEGMENT:
+        raise CodecError(f"transport segment of {length} bytes exceeds the cap")
+    frame = decode_frame(_recv_exact(sock, length))
+    return pickle.loads(frame.payload)
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+def _worker_main(
+    node_id: int,
+    n_nodes: int,
+    port: int,
+    program: NodeProgram,
+    state,
+    hb_interval: float,
+) -> None:
+    """One cluster node: connect, heartbeat, step on demand, report."""
+    sock = socket.create_connection(("127.0.0.1", port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    lock = threading.Lock()
+    seq = 0
+
+    def send(obj) -> None:
+        nonlocal seq
+        _send_msg(sock, lock, seq, obj)
+        seq += 1
+
+    send(("hello", node_id))
+    stop_beating = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beating.wait(hb_interval):
+            try:
+                send(("hb",))
+            except OSError:
+                return
+
+    threading.Thread(target=_beat, daemon=True, name=f"hb-{node_id}").start()
+    stats = ClusterStats(n_nodes=n_nodes)
+    snapshot = {field: 0 for field in _DELTA_FIELDS}
+    try:
+        while True:
+            msg = _recv_msg(sock)
+            kind = msg[0]
+            if kind == "step":
+                _, superstep, inbox = msg
+                ctx = NodeContext(node_id, n_nodes, stats)
+                ctx._inbox = list(inbox)
+                start = time.perf_counter()
+                try:
+                    result = program(ctx, superstep, state)
+                except Exception as exc:
+                    send(("error", type(exc).__name__, str(exc), node_id, superstep))
+                    raise SystemExit(1)
+                elapsed = time.perf_counter() - start
+                is_done = result is SimCluster.DONE
+                if not is_done:
+                    state = result
+                delta = {}
+                for field in _DELTA_FIELDS:
+                    value = getattr(stats, field)
+                    delta[field] = value - snapshot[field]
+                    snapshot[field] = value
+                send(("done", superstep, list(ctx._outbox), is_done, elapsed, delta))
+            elif kind == "stop":
+                try:
+                    send(("final", state))
+                except Exception as exc:  # unpicklable state is a bug
+                    send(("error", type(exc).__name__, str(exc), node_id, -1))
+                    raise SystemExit(1)
+                return
+    except (OSError, ConnectionError, CodecError, EOFError):
+        return  # the parent went away; nothing useful left to do
+    finally:
+        stop_beating.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# the parent hub
+# ---------------------------------------------------------------------------
+class ProcessCluster:
+    """Run a node program on ``n_nodes`` real worker processes.
+
+    Satisfies :class:`~repro.parallel.backend.ClusterBackend`.  Single
+    shot: construct, :meth:`run` once, read :attr:`stats`.  The final
+    state of a crashed node is ``None`` — unlike the simulator, a killed
+    process's volatile state is genuinely unrecoverable.
+
+    ``fault_plan`` is honoured in full: ``crashes`` become real
+    ``SIGKILL``\\ s at the scheduled superstep boundary, message-level
+    faults are injected by the routing hub with the same global-send-index
+    addressing as the simulator, and ``slow_nodes`` scales the accounted
+    compute time.  ``program`` and every initial state must be picklable
+    (they are shipped to the workers).
+    """
+
+    DONE = SimCluster.DONE
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        fault_plan: FaultPlan | None = None,
+        max_supersteps: int = 10_000,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        detection: RetryPolicy | None = None,
+        startup_timeout: float = 30.0,
+    ):
+        if n_nodes < 1:
+            raise ParallelExecutionError("n_nodes must be >= 1")
+        if heartbeat_interval <= 0:
+            raise ParallelExecutionError("heartbeat_interval must be > 0")
+        self.n_nodes = n_nodes
+        self.fault_plan = fault_plan
+        self.max_supersteps = max_supersteps
+        self.heartbeat_interval = heartbeat_interval
+        self.detection = detection if detection is not None else DEFAULT_DETECTION_RETRY
+        self.startup_timeout = startup_timeout
+        self.stats = ClusterStats(n_nodes=n_nodes)
+        self.stats.compute_seconds_per_node = [0.0] * n_nodes
+        # silence tolerated before a worker is declared dead
+        self._hb_timeout = max(
+            sum(self.detection.delays("heartbeat")), 3 * heartbeat_interval
+        )
+        self._msg_counter = 0
+        self._in_flight: dict[int, list[tuple[int, int, int, bytes]]] = {}
+        self._procs: list = [None] * n_nodes
+        self._conns: list[socket.socket | None] = [None] * n_nodes
+        self._queues = [queue.Queue() for _ in range(n_nodes)]
+        self._last_seen = [0.0] * n_nodes
+        self._seqs = [0] * n_nodes
+        self._send_locks = [threading.Lock() for _ in range(n_nodes)]
+        self._stats_lock = threading.Lock()
+        self._crashed: set[int] = set()
+        self._done = [False] * n_nodes
+        self._listener: socket.socket | None = None
+        self._used = False
+
+    # -- plumbing ----------------------------------------------------------
+    def _send(self, i: int, obj) -> None:
+        conn = self._conns[i]
+        if conn is None:
+            raise OSError("no connection")
+        _send_msg(conn, self._send_locks[i], self._seqs[i], obj)
+        self._seqs[i] += 1
+
+    def _reader(self, i: int, conn: socket.socket) -> None:
+        """Per-worker reader thread: drain the socket into the queue."""
+        try:
+            while True:
+                msg = _recv_msg(conn)
+                self._last_seen[i] = time.monotonic()
+                if msg[0] == "hb":
+                    with self._stats_lock:
+                        self.stats.heartbeats_sent += 1
+                    continue
+                self._queues[i].put(msg)
+        except Exception:
+            self._queues[i].put(("eof",))
+
+    def _kill(self, i: int) -> None:
+        proc = self._procs[i]
+        if proc is not None and proc.is_alive():
+            proc.kill()  # SIGKILL: fail-stop, no cleanup handlers
+
+    def _declare_dead(self, i: int, superstep: int, *, scheduled: bool) -> None:
+        """Fence and record a dead worker (idempotent)."""
+        if i in self._crashed:
+            return
+        self._kill(i)
+        self._crashed.add(i)
+        self._done[i] = True
+        self.stats.crashed_nodes.append(i)
+        if not scheduled:
+            with self._stats_lock:
+                self.stats.workers_declared_dead += 1
+
+    def _raise_worker_error(self, name: str, message: str, node_id, superstep):
+        cls = getattr(_errors, name, None)
+        if isinstance(cls, type) and issubclass(cls, ParallelExecutionError):
+            raise cls(message, node_id=node_id, superstep=superstep)
+        raise ParallelExecutionError(
+            f"node {node_id} failed at superstep {superstep}: {name}: {message}",
+            node_id=node_id,
+            superstep=superstep,
+        )
+
+    def _await(self, i: int, want: str, superstep: int):
+        """Next ``want`` message from live worker ``i``, or ``None`` if it
+        dies first (the death is recorded before returning)."""
+        while True:
+            try:
+                msg = self._queues[i].get_nowait()
+            except queue.Empty:
+                if time.monotonic() - self._last_seen[i] > self._hb_timeout:
+                    with self._stats_lock:
+                        self.stats.heartbeats_missed += self.detection.max_retries
+                    self._declare_dead(i, superstep, scheduled=False)
+                    return None
+                try:
+                    msg = self._queues[i].get(
+                        timeout=min(0.05, self.heartbeat_interval)
+                    )
+                except queue.Empty:
+                    continue
+            kind = msg[0]
+            if kind == "eof":
+                self._declare_dead(i, superstep, scheduled=False)
+                return None
+            if kind == "error":
+                _, name, message, node_id, err_superstep = msg
+                self._raise_worker_error(name, message, node_id, err_superstep)
+            if kind == want:
+                return msg
+            # anything else (a stale vote from a pre-declared-dead race)
+            # is dropped; the protocol layer is idempotent anyway
+
+    # -- fault-plan routing (mirrors SimCluster._post_outboxes) ------------
+    def _route(self, src: int, outbox, superstep: int) -> None:
+        plan = self.fault_plan
+        for dest, payload in outbox:
+            index = self._msg_counter
+            self._msg_counter += 1
+            arrival = superstep + 1
+            copies = 1
+            if plan is not None:
+                if plan.drops(index):
+                    self.stats.dropped += 1
+                    continue
+                if plan.corrupts(index):
+                    payload = plan.corrupt_payload(index, payload)
+                    self.stats.corrupted += 1
+                if plan.duplicates(index):
+                    copies = 2
+                    self.stats.duplicated += 1
+                extra = plan.delay_of(index)
+                if extra:
+                    arrival += extra
+                    self.stats.delayed += 1
+            for copy in range(copies):
+                self._in_flight.setdefault(arrival, []).append(
+                    (index * 2 + copy, src, dest, payload)
+                )
+
+    # -- lifecycle ---------------------------------------------------------
+    def _start(self, program: NodeProgram, states) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(self.n_nodes)
+        listener.settimeout(0.2)
+        self._listener = listener
+        port = listener.getsockname()[1]
+        ctx = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else mp.get_context()
+        )
+        for i in range(self.n_nodes):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(i, self.n_nodes, port, program, states[i], self.heartbeat_interval),
+                daemon=True,
+                name=f"repro-node-{i}",
+            )
+            proc.start()
+            self._procs[i] = proc
+        deadline = time.monotonic() + self.startup_timeout
+        pending = set(range(self.n_nodes))
+        while pending and time.monotonic() < deadline:
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn.settimeout(5.0)
+            try:
+                hello = _recv_msg(conn)
+            except (OSError, ConnectionError, CodecError):
+                conn.close()
+                continue
+            if hello[0] != "hello" or hello[1] not in pending:
+                conn.close()
+                continue
+            node_id = hello[1]
+            conn.settimeout(None)
+            pending.discard(node_id)
+            self._conns[node_id] = conn
+            self._last_seen[node_id] = time.monotonic()
+            threading.Thread(
+                target=self._reader,
+                args=(node_id, conn),
+                daemon=True,
+                name=f"reader-{node_id}",
+            ).start()
+        for i in sorted(pending):
+            # a worker that never reported in is lost before superstep 0
+            self._declare_dead(i, 0, scheduled=False)
+            proc = self._procs[i]
+            exitcode = proc.exitcode if proc is not None else None
+            if len(pending) == self.n_nodes:
+                raise WorkerLostError(
+                    f"no worker connected within {self.startup_timeout}s "
+                    f"(worker {i} exitcode={exitcode})",
+                    rank=i,
+                    superstep=0,
+                    exitcode=exitcode,
+                )
+
+    def _drive(self) -> list:
+        plan = self.fault_plan
+        stats = self.stats
+        for superstep in range(self.max_supersteps):
+            if plan is not None:
+                for i in range(self.n_nodes):
+                    if i not in self._crashed and plan.crash_superstep(i) == superstep:
+                        self._declare_dead(i, superstep, scheduled=True)
+            if len(self._crashed) == self.n_nodes:
+                raise CrashedNodeError(
+                    f"all {self.n_nodes} nodes crashed by superstep {superstep}",
+                    superstep=superstep,
+                )
+            stats.supersteps += 1
+            due = self._in_flight.pop(superstep, [])
+            due.sort(key=lambda m: (m[1], m[0]))  # sender id, then send order
+            inboxes: list[list[tuple[int, bytes]]] = [[] for _ in range(self.n_nodes)]
+            for _, src, dest, payload in due:
+                if dest in self._crashed:
+                    stats.dropped += 1
+                else:
+                    inboxes[dest].append((src, payload))
+            for i in range(self.n_nodes):
+                if i in self._crashed:
+                    continue
+                try:
+                    self._send(i, ("step", superstep, inboxes[i]))
+                except OSError:
+                    self._declare_dead(i, superstep, scheduled=False)
+            outboxes: dict[int, list] = {}
+            slowest = 0.0
+            for i in range(self.n_nodes):
+                if i in self._crashed:
+                    continue
+                msg = self._await(i, "done", superstep)
+                if msg is None:
+                    continue
+                _, _step, outbox, is_done, elapsed, delta = msg
+                for field, value in delta.items():
+                    setattr(stats, field, getattr(stats, field) + value)
+                if plan is not None:
+                    elapsed *= plan.slow_factor(i)
+                stats.compute_seconds_per_node[i] += elapsed
+                slowest = max(slowest, elapsed)
+                self._done[i] = is_done
+                outboxes[i] = outbox
+            stats._modelled += slowest
+            for i in sorted(outboxes):  # node-id order = sim's global indexing
+                self._route(i, outboxes[i], superstep)
+            if all(self._done) and not self._in_flight:
+                return self._collect_finals(superstep)
+        raise ParallelExecutionError(
+            f"cluster did not terminate within {self.max_supersteps} supersteps"
+        )
+
+    def _collect_finals(self, superstep: int) -> list:
+        finals: list = [None] * self.n_nodes
+        for i in range(self.n_nodes):
+            if i in self._crashed:
+                continue
+            try:
+                self._send(i, ("stop",))
+            except OSError:
+                self._declare_dead(i, superstep, scheduled=False)
+                continue
+            msg = self._await(i, "final", superstep)
+            if msg is not None:
+                finals[i] = msg[1]
+        return finals
+
+    def _shutdown(self) -> None:
+        for i, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def run(self, program: NodeProgram, states) -> list:
+        """Execute supersteps until every live node voted DONE.
+
+        Semantics match :meth:`SimCluster.run`, except that a crashed
+        node's entry in the returned list is ``None`` (its memory died
+        with the process) and unscheduled deaths — a worker killed from
+        outside, wedged, or exiting on its own — are detected by the
+        heartbeat monitor and treated exactly like scheduled crashes.
+        """
+        if self._used:
+            raise ParallelExecutionError(
+                "a ProcessCluster instance is single-shot; create a new one"
+            )
+        self._used = True
+        if len(states) != self.n_nodes:
+            raise ParallelExecutionError(
+                f"expected {self.n_nodes} initial states, got {len(states)}"
+            )
+        try:
+            self._start(program, list(states))
+            return self._drive()
+        finally:
+            self._shutdown()

@@ -85,6 +85,13 @@ class ClusterStats:
     failovers: int = 0
     checkpoint_writes: int = 0
     checkpoint_reads: int = 0
+    # liveness & failover (protocol-level counters are deterministic;
+    # transport heartbeats are timing-dependent and live in summary() only)
+    heartbeats_sent: int = 0
+    heartbeats_missed: int = 0
+    workers_declared_dead: int = 0
+    ranks_resharded: int = 0
+    supersteps_replayed: int = 0
 
     @property
     def total_compute_seconds(self) -> float:
@@ -121,10 +128,31 @@ class ClusterStats:
             "failovers": self.failovers,
             "checkpoint_writes": self.checkpoint_writes,
             "checkpoint_reads": self.checkpoint_reads,
+            "workers_declared_dead": self.workers_declared_dead,
+            "ranks_resharded": self.ranks_resharded,
+            "supersteps_replayed": self.supersteps_replayed,
+        }
+
+    def liveness_summary(self) -> dict:
+        """The failure-detection and failover counters, on their own.
+
+        ``heartbeats_*`` are transport-level and timing-dependent on the
+        process backend, so they are excluded from
+        :meth:`deterministic_summary`; the rest are protocol-level and
+        deterministic under a seeded fault plan.
+        """
+        return {
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_missed": self.heartbeats_missed,
+            "workers_declared_dead": self.workers_declared_dead,
+            "ranks_resharded": self.ranks_resharded,
+            "supersteps_replayed": self.supersteps_replayed,
         }
 
     def summary(self) -> dict:
         out = self.deterministic_summary()
+        out["heartbeats_sent"] = self.heartbeats_sent
+        out["heartbeats_missed"] = self.heartbeats_missed
         out["total_compute_s"] = round(self.total_compute_seconds, 4)
         out["modelled_parallel_s"] = round(self.modelled_parallel_seconds, 4)
         return out

@@ -1,33 +1,59 @@
-"""A model of stable storage that survives simulated node crashes.
+"""A model of stable storage that survives node crashes — real or simulated.
 
 Real distributed miners keep their input splits and per-phase state on a
 distributed filesystem or local disk; when a node dies its successor
-re-reads that state and replays the lost work.  The simulator models node
-memory as the per-node ``state`` object (destroyed by a crash) and stable
-storage as this :class:`CheckpointStore` — a blob store keyed by
-``(node_id, key)`` that fault injection never touches.
+re-reads that state and replays the lost work.  :class:`CheckpointStore`
+is that stable storage, in one of two modes:
+
+* **In-memory** (default, ``path=None``) — a blob store keyed by
+  ``(node_id, key)`` that :class:`~repro.parallel.faults.FaultPlan` fault
+  injection never touches.  This is the stand-in the
+  :class:`~repro.parallel.simcluster.SimCluster` backend uses: node
+  memory is the per-node ``state`` object (destroyed by a crash), stable
+  storage is this store.
+* **File-backed** (``path=<directory>``) — every key lives in its own
+  file under ``path``, and *every read goes to disk*, so multiple real
+  worker processes (the :class:`~repro.parallel.processcluster.ProcessCluster`
+  backend) share one durable store: a successor process can replay a
+  SIGKILLed worker's checkpoints.
 
 Blobs are required to be ``bytes``: checkpointing is serialization, and
 keeping the wire/storage representations identical means the same codecs
 (and the same fuzz tests) cover both.
 
+Crash-atomic writes
+-------------------
+A worker can be killed *mid-write*.  File-backed saves therefore never
+touch the current generation in place: the new chain is written to a
+temporary file in the same directory, flushed and ``fsync``'d, and then
+atomically ``os.replace``'d over the real file (the directory is fsync'd
+afterwards so the rename itself is durable).  A crash at any point leaves
+either the complete old contents or the complete new contents — never a
+torn current generation.  Orphaned ``*.tmp.*`` files from a crashed
+writer are invisible to readers and overwritten/ignored thereafter.
+
 Corruption recovery
 -------------------
-Disk is not incorruptible either: truncated writes and flipped bits are
-exactly the failure a checkpoint must survive, not propagate.  Every blob
-is therefore stored inside the same CRC frame the wire uses
+Disk is not incorruptible either: flipped bits are exactly the failure a
+checkpoint must survive, not propagate.  Every blob is therefore stored
+inside the same CRC frame the wire uses
 (:mod:`~repro.robustness.framing`, sequence number = write generation),
-and the store keeps the last :data:`GENERATIONS` generations per key.  A
-read verifies the newest frame first; if the CRC rejects it — a torn or
-corrupted write — the store counts it (``corruption_detected``) and falls
-back to the previous good generation (``fallback_reads``).  Only when
-*every* kept generation is damaged does :meth:`load` raise
-:class:`~repro.errors.CheckpointError`; :meth:`get` returns ``None``,
-which consumers treat as "recompute from durable input" — degraded, never
-wrong.
+and the store keeps the last :data:`GENERATIONS` generations per key
+(length-prefixed records, newest first, in file-backed mode).  A read
+verifies the newest frame first; if the CRC rejects it the store counts
+it (``corruption_detected``) and falls back to the previous good
+generation (``fallback_reads``).  Only when *every* kept generation is
+damaged does :meth:`load` raise :class:`~repro.errors.CheckpointError`;
+:meth:`get` returns ``None``, which consumers treat as "recompute from
+durable input" — degraded, never wrong.
 """
 
 from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from urllib.parse import quote, unquote
 
 from repro.errors import CheckpointError, CodecError
 from repro.robustness.framing import decode_frame, encode_data
@@ -37,15 +63,24 @@ __all__ = ["CheckpointStore", "GENERATIONS"]
 #: Checkpoint generations kept per key (newest + one fallback).
 GENERATIONS = 2
 
+#: Length prefix for each framed generation record in a chain file.
+_RECORD_LEN = struct.Struct(">I")
+
 
 class CheckpointStore:
     """Durable ``(node_id, key) -> bytes`` storage with access counters.
 
     Values are CRC-framed; reads verify and silently fall back to the
-    previous generation on damage (see module docstring).
+    previous generation on damage.  With ``path`` set, blobs persist to
+    that directory with crash-atomic writes and are shared by every
+    store instance (and every process) opened on the same directory;
+    the access counters are always per-instance.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
         # (node_id, key) -> newest-first list of framed generations
         self._blobs: dict[tuple[int, str], list[bytes]] = {}
         self._generation = 0
@@ -54,22 +89,82 @@ class CheckpointStore:
         self.corruption_detected = 0
         self.fallback_reads = 0
 
+    # -- file-backed helpers ----------------------------------------------
+    def _file(self, node_id: int, key: str) -> Path:
+        assert self.path is not None
+        return self.path / f"{node_id}__{quote(str(key), safe='')}.ckpt"
+
+    @staticmethod
+    def _parse_records(data: bytes) -> list[bytes]:
+        """Split a chain file into framed generation records (tolerant)."""
+        records: list[bytes] = []
+        pos = 0
+        while pos + _RECORD_LEN.size <= len(data):
+            (length,) = _RECORD_LEN.unpack_from(data, pos)
+            pos += _RECORD_LEN.size
+            if length > len(data) - pos:
+                break  # torn tail: the CRC layer already covers the rest
+            records.append(data[pos : pos + length])
+            pos += length
+        return records
+
+    def _read_records(self, node_id: int, key: str) -> list[bytes] | None:
+        """The stored generation chain, or ``None`` when the key is absent."""
+        if self.path is None:
+            return self._blobs.get((node_id, key))
+        target = self._file(node_id, key)
+        try:
+            data = target.read_bytes()
+        except FileNotFoundError:
+            return None
+        return self._parse_records(data)
+
+    def _write_records(self, node_id: int, key: str, chain: list[bytes]) -> None:
+        """Atomically replace the chain file: tmp + fsync + ``os.replace``."""
+        target = self._file(node_id, key)
+        data = b"".join(_RECORD_LEN.pack(len(rec)) + rec for rec in chain)
+        tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        dir_fd = os.open(self.path, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    # -- public API --------------------------------------------------------
     def save(self, node_id: int, key: str, blob: bytes) -> None:
-        """Overwrite the checkpoint ``key`` for ``node_id``."""
+        """Overwrite the checkpoint ``key`` for ``node_id`` (crash-atomic)."""
         if not isinstance(blob, (bytes, bytearray)):
             raise CheckpointError(
                 f"checkpoints must be serialized to bytes, got {type(blob).__name__}"
             )
         self._generation += 1
         framed = encode_data(self._generation, bytes(blob))
-        chain = self._blobs.setdefault((node_id, key), [])
-        chain.insert(0, framed)
-        del chain[GENERATIONS:]
+        if self.path is None:
+            chain = self._blobs.setdefault((node_id, key), [])
+            chain.insert(0, framed)
+            del chain[GENERATIONS:]
+        else:
+            old = self._read_records(node_id, key) or []
+            self._write_records(node_id, key, [framed] + old[: GENERATIONS - 1])
         self.writes += 1
 
     def _read_chain(self, node_id: int, key: str) -> bytes | None:
         """Newest verifiable generation, or ``None`` if all are damaged."""
-        chain = self._blobs[(node_id, key)]
+        chain = self._read_records(node_id, key)
+        if chain is None:
+            return None
         for position, framed in enumerate(chain):
             try:
                 frame = decode_frame(framed)
@@ -85,13 +180,14 @@ class CheckpointStore:
     def load(self, node_id: int, key: str) -> bytes:
         """Read a checkpoint; raises :class:`CheckpointError` if absent
         or damaged beyond the kept generations."""
-        if (node_id, key) not in self._blobs:
+        chain = self._read_records(node_id, key)
+        if chain is None:
             raise CheckpointError(f"no checkpoint {key!r} for node {node_id}")
         payload = self._read_chain(node_id, key)
         if payload is None:
             raise CheckpointError(
                 f"checkpoint {key!r} for node {node_id} is corrupt in all "
-                f"{len(self._blobs[(node_id, key)])} kept generations"
+                f"{len(chain)} kept generations"
             )
         return payload
 
@@ -102,15 +198,24 @@ class CheckpointStore:
         a missing checkpoint as "recompute from the durable partition",
         so damage degrades to replay instead of surfacing wrong bytes.
         """
-        if (node_id, key) not in self._blobs:
-            return None
         return self._read_chain(node_id, key)
 
     def has(self, node_id: int, key: str) -> bool:
-        return (node_id, key) in self._blobs
+        if self.path is None:
+            return (node_id, key) in self._blobs
+        return self._file(node_id, key).exists()
 
     def keys(self) -> list[tuple[int, str]]:
-        return sorted(self._blobs)
+        if self.path is None:
+            return sorted(self._blobs)
+        out: list[tuple[int, str]] = []
+        for entry in self.path.glob("*.ckpt"):
+            node_text, _, key_text = entry.name[: -len(".ckpt")].partition("__")
+            try:
+                out.append((int(node_text), unquote(key_text)))
+            except ValueError:
+                continue  # not one of ours
+        return sorted(out)
 
     def inject_corruption(
         self, node_id: int, key: str, *, generation: int = 0, flip_byte: int = -5
@@ -120,10 +225,21 @@ class CheckpointStore:
         ``generation`` indexes newest-first; ``flip_byte`` indexes into
         the framed bytes (default lands in the payload/CRC region).
         """
-        chain = self._blobs[(node_id, key)]
+        if self.path is None:
+            chain = self._blobs[(node_id, key)]
+            framed = bytearray(chain[generation])
+            framed[flip_byte] ^= 0xFF
+            chain[generation] = bytes(framed)
+            return
+        chain = self._read_records(node_id, key)
+        if chain is None:
+            raise CheckpointError(f"no checkpoint {key!r} for node {node_id}")
         framed = bytearray(chain[generation])
         framed[flip_byte] ^= 0xFF
         chain[generation] = bytes(framed)
+        self._write_records(node_id, key, chain)
 
     def __len__(self) -> int:
-        return len(self._blobs)
+        if self.path is None:
+            return len(self._blobs)
+        return sum(1 for _ in self.path.glob("*.ckpt"))

@@ -1,0 +1,127 @@
+"""The ClusterBackend protocol and the sim/process backend registry.
+
+The contract under test: both backends run the same node program with
+the same BSP semantics and the same fault-plan injection, so distributed
+mining produces byte-identical results and identical deterministic stats
+on either one.
+"""
+
+import pytest
+
+from repro.data.generators import generate_zipf
+from repro.errors import InvalidParameterError
+from repro.parallel.backend import BACKENDS, DONE, ClusterBackend, create_backend
+from repro.parallel.distributed import mine_distributed
+from repro.parallel.faults import FaultPlan
+from repro.parallel.processcluster import ProcessCluster
+from repro.parallel.simcluster import SimCluster
+
+
+# module level: must be picklable for the process backend
+def _echo_program(ctx, superstep, state):
+    if superstep == 0:
+        ctx.broadcast(bytes([ctx.node_id]))
+        return state
+    if superstep == 1:
+        return sorted(sender for sender, _ in ctx.inbox())
+    return DONE
+
+
+class TestProtocol:
+    def test_both_backends_satisfy_the_protocol(self):
+        assert isinstance(SimCluster(2), ClusterBackend)
+        assert isinstance(ProcessCluster(2), ClusterBackend)
+
+    def test_registry_names(self):
+        assert BACKENDS == ("sim", "process")
+        assert isinstance(create_backend("sim", 2), SimCluster)
+        assert isinstance(create_backend("process", 2), ProcessCluster)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown cluster backend"):
+            create_backend("mpi", 2)
+
+    def test_sim_rejects_process_options(self):
+        with pytest.raises(InvalidParameterError, match="no extra options"):
+            create_backend("sim", 2, heartbeat_interval=0.5)
+
+    def test_done_sentinel_is_shared(self):
+        assert DONE is SimCluster.DONE
+        assert DONE is ProcessCluster.DONE
+
+
+class TestSameProgramSameResult:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_echo_program_runs_identically(self, name):
+        cluster = create_backend(name, 3)
+        final = cluster.run(_echo_program, [None, None, None])
+        assert final == [[1, 2], [0, 2], [0, 1]]
+        assert cluster.stats.messages == 6
+        assert cluster.stats.supersteps == 3
+
+
+DB = list(generate_zipf(120, 15, 5.0, seed=3))
+
+
+class TestMiningEquivalence:
+    def test_fault_free_runs_byte_identical(self):
+        sim_pairs, sim_stats, _ = mine_distributed(DB, 2, n_nodes=3)
+        proc_pairs, proc_stats, _ = mine_distributed(DB, 2, n_nodes=3, backend="process")
+        assert proc_pairs == sim_pairs
+        assert proc_stats.deterministic_summary() == sim_stats.deterministic_summary()
+
+    def test_message_faults_byte_identical(self):
+        plan = FaultPlan(
+            seed=11,
+            drop_rate=0.05,
+            corrupt_rate=0.03,
+            duplicate_rate=0.04,
+            delay_rate=0.04,
+        )
+        clean, _, _ = mine_distributed(DB, 2, n_nodes=3)
+        sim_pairs, sim_stats, _ = mine_distributed(DB, 2, n_nodes=3, fault_plan=plan)
+        proc_pairs, proc_stats, _ = mine_distributed(
+            DB, 2, n_nodes=3, fault_plan=plan, backend="process"
+        )
+        assert sim_pairs == clean
+        assert proc_pairs == clean
+        assert proc_stats.deterministic_summary() == sim_stats.deterministic_summary()
+
+    def test_process_backend_rejects_governance(self):
+        from repro.robustness.governor import MiningBudget
+
+        with pytest.raises(InvalidParameterError, match="process backend"):
+            mine_distributed(
+                DB, 2, n_nodes=3, backend="process", budget=MiningBudget(deadline=60.0)
+            )
+
+    def test_process_backend_rejects_memory_only_store(self):
+        from repro.robustness.checkpoint import CheckpointStore
+
+        with pytest.raises(InvalidParameterError, match="file-backed"):
+            mine_distributed(
+                DB, 2, n_nodes=3, backend="process", checkpoint_store=CheckpointStore()
+            )
+
+    def test_explicit_file_store_used(self, tmp_path):
+        from repro.robustness.checkpoint import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        pairs, _, _ = mine_distributed(
+            DB, 2, n_nodes=3, backend="process", checkpoint_store=store
+        )
+        sim_pairs, _, _ = mine_distributed(DB, 2, n_nodes=3)
+        assert pairs == sim_pairs
+        # durable partitions were written through the caller's store
+        assert store.has(0, "partition")
+
+
+class TestFacade:
+    def test_plt_distributed_method_registered(self):
+        from repro.core.mining import mine_frequent_itemsets
+
+        result = mine_frequent_itemsets(DB, 2, method="plt-distributed", n_nodes=3)
+        baseline = mine_frequent_itemsets(DB, 2)
+        assert {frozenset(fi.items): fi.support for fi in result} == {
+            frozenset(fi.items): fi.support for fi in baseline
+        }

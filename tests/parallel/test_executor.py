@@ -156,6 +156,28 @@ class TestHardening:
             )
         assert results == [2, 4]
 
+    def test_lost_worker_reported_as_worker_lost(self):
+        # the degraded-mode warning must say a worker was lost (taxonomy:
+        # WorkerLostError), not just that some deadline passed
+        with pytest.warns(DegradedExecutionWarning, match="worker wedged or"):
+            results = _run_batches(
+                _die_in_child, self.batches(), timeout=0.75,
+                retry=RetryPolicy(max_retries=0, base_delay=0.0, max_delay=0.0),
+                what="lost-test",
+            )
+        assert results == [2, 4]
+
+    def test_worker_lost_error_carries_batch_rank(self):
+        from repro.errors import WorkerLostError
+        from repro.parallel.executor import _batch_rank
+
+        # mining batches: ([(rank, support, prefixes), ...], min_sup, max_len)
+        assert _batch_rank(([(7, 3, {})], 2, None)) == 7
+        # top-down batches carry a vector table: no rank to report
+        assert _batch_rank(({(1, 2): 3}, 0)) is None
+        err = WorkerLostError("lost", rank=7)
+        assert err.rank == 7 and err.node_id == 7
+
     def test_worker_exception_retried_then_degrades(self):
         with pytest.warns(DegradedExecutionWarning, match="flaky worker"):
             results = _run_batches(

@@ -1,0 +1,169 @@
+"""ProcessCluster: real worker processes, real SIGKILLs, same answers.
+
+The headline property (the failover-determinism gate): SIGKILLing any
+single non-coordinator worker mid-mining must leave the surviving
+cluster producing **byte-identical** output to the fault-free run — on
+the simulator via fault injection AND on the process backend via a real
+``SIGKILL`` delivered to a real OS process.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.data.generators import generate_zipf
+from repro.errors import (
+    CrashedNodeError,
+    ParallelExecutionError,
+    UnknownItemError,
+    WorkerLostError,
+)
+from repro.parallel.distributed import mine_distributed
+from repro.parallel.faults import FaultPlan
+from repro.parallel.processcluster import ProcessCluster
+from repro.parallel.simcluster import SimCluster
+
+N_NODES = 3
+
+
+def _db(seed):
+    return list(generate_zipf(100, 12, 5.0, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# module-level programs (must be picklable)
+# ---------------------------------------------------------------------------
+def _quiet_program(ctx, superstep, state):
+    if superstep < 2:
+        return state
+    return SimCluster.DONE
+
+
+def _suicide_program(ctx, superstep, state):
+    # node 1 SIGKILLs itself mid-run: an UNSCHEDULED death the hub must
+    # detect via EOF/heartbeats, not via the fault plan
+    if ctx.node_id == 1 and superstep == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if superstep < 4:
+        return state
+    return SimCluster.DONE
+
+
+def _raising_program(ctx, superstep, state):
+    if ctx.node_id == 2 and superstep == 1:
+        raise UnknownItemError("rank 99 not in table")
+    if superstep < 3:
+        return state
+    return SimCluster.DONE
+
+
+def _chatty_program(ctx, superstep, state):
+    if superstep == 0:
+        ctx.broadcast(b"ping-" + bytes([ctx.node_id]))
+        return state
+    if superstep == 1:
+        return len(ctx.inbox())
+    return SimCluster.DONE
+
+
+# ---------------------------------------------------------------------------
+# the failover-determinism gate
+# ---------------------------------------------------------------------------
+class TestFailoverDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("victim", [1, 2])
+    def test_sigkill_any_worker_yields_fault_free_output(self, seed, victim):
+        db = _db(seed)
+        plan = FaultPlan(seed=seed, crashes={victim: 3})
+        clean, _, _ = mine_distributed(db, 2, n_nodes=N_NODES)
+        sim_pairs, sim_stats, _ = mine_distributed(
+            db, 2, n_nodes=N_NODES, fault_plan=plan
+        )
+        proc_pairs, proc_stats, _ = mine_distributed(
+            db, 2, n_nodes=N_NODES, fault_plan=plan, backend="process"
+        )
+        assert sim_pairs == clean
+        assert proc_pairs == clean
+        assert sim_stats.crashed_nodes == [victim]
+        assert proc_stats.crashed_nodes == [victim]
+        # the real kill and the simulated crash walk the same protocol
+        assert proc_stats.deterministic_summary() == sim_stats.deterministic_summary()
+
+    def test_failover_counters_surface_the_recovery(self):
+        db = _db(0)
+        plan = FaultPlan(seed=0, crashes={1: 3})
+        _, stats, _ = mine_distributed(
+            db, 2, n_nodes=N_NODES, fault_plan=plan, backend="process"
+        )
+        live = stats.liveness_summary()
+        assert stats.failovers == 1
+        assert live["workers_declared_dead"] >= 1
+        assert live["ranks_resharded"] >= 1
+        assert live["supersteps_replayed"] >= 1
+        assert live["heartbeats_sent"] >= 1
+
+    def test_coordinator_kill_is_unrecoverable(self):
+        db = _db(0)
+        plan = FaultPlan(seed=0, crashes={0: 3})
+        with pytest.raises(CrashedNodeError):
+            mine_distributed(db, 2, n_nodes=N_NODES, fault_plan=plan, backend="process")
+
+
+# ---------------------------------------------------------------------------
+# the backend by itself
+# ---------------------------------------------------------------------------
+class TestProcessCluster:
+    def test_messages_cross_real_process_boundaries(self):
+        cluster = ProcessCluster(N_NODES)
+        final = cluster.run(_chatty_program, [None] * N_NODES)
+        assert final == [N_NODES - 1] * N_NODES
+        assert cluster.stats.messages == N_NODES * (N_NODES - 1)
+
+    def test_scheduled_crash_is_a_real_kill(self):
+        cluster = ProcessCluster(N_NODES, fault_plan=FaultPlan(seed=0, crashes={1: 1}))
+        final = cluster.run(_quiet_program, [0, 1, 2])
+        assert cluster.stats.crashed_nodes == [1]
+        # a killed process's volatile state is genuinely unrecoverable
+        assert final[1] is None
+        assert final[0] == 0 and final[2] == 2
+        # scheduled kills are not "detected" deaths
+        assert cluster.stats.workers_declared_dead == 0
+
+    def test_unscheduled_death_detected_and_fenced(self):
+        cluster = ProcessCluster(N_NODES)
+        final = cluster.run(_suicide_program, [None] * N_NODES)
+        assert cluster.stats.crashed_nodes == [1]
+        assert cluster.stats.workers_declared_dead == 1
+        assert final[1] is None
+
+    def test_worker_exception_maps_to_taxonomy(self):
+        cluster = ProcessCluster(N_NODES)
+        with pytest.raises(ParallelExecutionError) as err:
+            cluster.run(_raising_program, [None] * N_NODES)
+        assert err.value.node_id == 2
+        assert err.value.superstep == 1
+        assert "rank 99" in str(err.value)
+
+    def test_all_nodes_crashed_raises(self):
+        plan = FaultPlan(seed=0, crashes={0: 1, 1: 1, 2: 1})
+        cluster = ProcessCluster(N_NODES, fault_plan=plan)
+        with pytest.raises(CrashedNodeError, match="all 3 nodes crashed"):
+            cluster.run(_quiet_program, [None] * N_NODES)
+
+    def test_single_shot(self):
+        cluster = ProcessCluster(2)
+        cluster.run(_quiet_program, [None, None])
+        with pytest.raises(ParallelExecutionError, match="single-shot"):
+            cluster.run(_quiet_program, [None, None])
+
+    def test_state_count_validated(self):
+        with pytest.raises(ParallelExecutionError, match="expected 2"):
+            ProcessCluster(2).run(_quiet_program, [None])
+
+    def test_worker_lost_error_fields(self):
+        err = WorkerLostError("gone", rank=3, superstep=7, exitcode=-9)
+        assert isinstance(err, ParallelExecutionError)
+        assert err.rank == 3 and err.node_id == 3
+        assert err.superstep == 7
+        assert err.exitcode == -9

@@ -154,9 +154,24 @@ def test_summary_keys():
         "failovers",
         "checkpoint_writes",
         "checkpoint_reads",
+        # liveness & failover
+        "workers_declared_dead",
+        "ranks_resharded",
+        "supersteps_replayed",
+        # timing-dependent (excluded from deterministic_summary)
+        "heartbeats_sent",
+        "heartbeats_missed",
         # wall-clock (excluded from deterministic_summary)
         "total_compute_s",
         "modelled_parallel_s",
+    }
+    liveness = cluster.stats.liveness_summary()
+    assert set(liveness) == {
+        "heartbeats_sent",
+        "heartbeats_missed",
+        "workers_declared_dead",
+        "ranks_resharded",
+        "supersteps_replayed",
     }
 
 

@@ -120,3 +120,97 @@ class TestCorruptionRecovery:
         store.inject_corruption(0, "a")
         assert store.get(0, "a") is None
         assert store.load(0, "b") == b"B"
+
+
+class TestFileBacked:
+    """The crash-atomic on-disk mode shared by real worker processes."""
+
+    def test_roundtrip_and_overwrite(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(2, "slices", b"blob")
+        assert store.load(2, "slices") == b"blob"
+        store.save(2, "slices", b"blob2")
+        assert store.load(2, "slices") == b"blob2"
+        assert len(store) == 1
+
+    def test_has_keys_and_quoted_key_names(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(1, "b", b"")
+        store.save(0, "a/slash spaced", b"x")
+        assert store.has(1, "b") and not store.has(1, "a")
+        assert store.keys() == [(0, "a/slash spaced"), (1, "b")]
+        assert store.load(0, "a/slash spaced") == b"x"
+
+    def test_shared_between_instances(self, tmp_path):
+        # two instances on one directory model two processes sharing
+        # stable storage: writes by one are immediately visible to the
+        # other, because every file-mode read goes to disk
+        writer = CheckpointStore(tmp_path)
+        reader = CheckpointStore(tmp_path)
+        writer.save(0, "partition", b"durable")
+        assert reader.load(0, "partition") == b"durable"
+        writer.save(0, "partition", b"durable-v2")
+        assert reader.load(0, "partition") == b"durable-v2"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(4):
+            store.save(0, "k", b"v%d" % i)
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_failed_replace_leaves_old_value_intact(self, tmp_path, monkeypatch):
+        import os as _os
+
+        store = CheckpointStore(tmp_path)
+        store.save(0, "k", b"old")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(OSError):
+            store.save(0, "k", b"new")
+        monkeypatch.undo()
+        assert store.load(0, "k") == b"old"
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_orphaned_tmp_file_is_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, "k", b"good")
+        # a writer killed mid-write leaves a garbage tmp file behind
+        (tmp_path / "0__k.ckpt.tmp.99999").write_bytes(b"\x00garbage")
+        assert store.load(0, "k") == b"good"
+        assert store.keys() == [(0, "k")]
+
+    def test_torn_tail_falls_back_to_previous_generation(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, "k", b"old")
+        store.save(0, "k", b"new")
+        target = store._file(0, "k")
+        data = target.read_bytes()
+        # corrupt the newest record in place (simulates media damage)
+        store.inject_corruption(0, "k", generation=0)
+        assert store.load(0, "k") == b"old"
+        assert store.corruption_detected == 1
+        assert store.fallback_reads == 1
+        # and a physically truncated newest record is also survivable
+        target.write_bytes(data[:10])
+        fresh = CheckpointStore(tmp_path)
+        assert fresh.get(0, "k") in (None, b"old")  # never wrong bytes
+
+    def test_all_generations_corrupt_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, "k", b"old")
+        store.save(0, "k", b"new")
+        store.inject_corruption(0, "k", generation=0)
+        store.inject_corruption(0, "k", generation=1)
+        with pytest.raises(CheckpointError, match="corrupt in all 2"):
+            store.load(0, "k")
+
+    def test_store_is_picklable(self, tmp_path):
+        import pickle
+
+        store = CheckpointStore(tmp_path)
+        store.save(0, "k", b"v")
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.load(0, "k") == b"v"

@@ -69,6 +69,7 @@ from repro.perf.counters import COUNTERS as _COUNTERS
 __all__ = [
     "mine_conditional",
     "mine_conditional_block",
+    "mine_conditional_flat_range",
     "conditional_database",
     "build_conditional_buckets",
     "build_conditional_path_buckets",
@@ -560,6 +561,153 @@ def mine_conditional_block(
 _PAIR_MATRIX_MAX_CELLS = 2_000_000
 
 
+def _pair_support_matrix(arrays, width: int):
+    """Dense pairwise co-occurrence counts over length-grouped matrices.
+
+    ``matrix[j, k]`` for ``j >= k`` is the exact support of ``{k, j}``
+    (and of ``{j}`` on the diagonal) — the local-frequency table the
+    whole vectorised top level runs on.  Range restrictions never change
+    these counts, so the matrix can be computed once and shared (the shm
+    driver precomputes it into the segment rather than paying the
+    bincount in every worker).
+    """
+    cells = width * width
+    total = _np.zeros(cells)
+    for length, (mat, ifreqs) in arrays.items():
+        freqs = ifreqs.astype(_np.float64)
+        if length == 1:
+            codes = (mat[:, 0] * width + mat[:, 0]).ravel()
+            total += _np.bincount(codes, weights=freqs, minlength=cells)
+            continue
+        iidx, kidx = _np.tril_indices(length)
+        codes = (mat[:, iidx] * width + mat[:, kidx]).ravel()
+        weights = _np.repeat(freqs, len(iidx))
+        total += _np.bincount(codes, weights=weights, minlength=cells)
+    return total.reshape(width, width)
+
+
+def _matrix_mine(
+    arrays,
+    max_rank: int,
+    lo: int,
+    hi: int,
+    min_support: int,
+    emit: Emit,
+    max_len: int | None,
+    governor=None,
+    pair_support=None,
+) -> None:
+    """Core of the vectorised top level over length-grouped path matrices.
+
+    ``arrays`` maps path length -> ``(mat, ifreqs)`` where ``mat`` is an
+    int64 ``(n, length)`` matrix of stored rank paths and ``ifreqs`` the
+    matching frequency column (the shape :meth:`FlatPLT.paths_by_length`
+    and :func:`_mine_top_matrix` both produce).  Mines every frequent
+    itemset whose *maximal* rank lies in ``[lo, hi)`` — itemsets partition
+    exactly by maximal rank, so disjoint ranges concatenate into the full
+    answer (the shared-memory workers' decomposition).  ``pair_support``
+    accepts a precomputed :func:`_pair_support_matrix` (the shm workers
+    read it straight off the shared segment); when ``None`` it is
+    computed here.
+    """
+    width = max_rank + 1
+    if pair_support is None:
+        pair_support = _pair_support_matrix(arrays, width)
+
+    counters = _COUNTERS
+    restricted = lo > 1 or hi < width
+    # vectorised projection: every stored path truncated at every column
+    # c >= 2 is a conditional-structure entry for the rank at that column
+    # (columns 0 and 1 yield projections shorter than two ranks, whose
+    # only information — first-level support — the matrix already holds).
+    # One 2D gather per (length, column) evaluates the local-frequency
+    # filter for every terminal rank at once, so prefixes with fewer than
+    # two surviving ranks never reach Python at all.
+    subs: dict[int, PathBuckets] = {}
+    subs_get = subs.get
+    if max_len is None or max_len >= 3:
+        for length, (mat, ifreqs) in arrays.items():
+            if length < 3:
+                continue
+            flist = ifreqs.tolist()
+            for c in range(2, length):
+                jcol = mat[:, c]
+                prefix = mat[:, :c]
+                if restricted:
+                    # structures for out-of-range terminal ranks are never
+                    # consumed here — drop their rows before the (much
+                    # heavier) pair-support gather, so a range worker's
+                    # cost scales with its slice, not the whole database
+                    inr = _np.nonzero((jcol >= lo) & (jcol < hi))[0]
+                    if not inr.size:
+                        if governor is not None:
+                            governor.tick()
+                        continue
+                    jcol = jcol[inr]
+                    prefix = prefix[inr]
+                keepm = pair_support[jcol[:, None], prefix] >= min_support
+                want = keepm.sum(axis=1) >= 2
+                sel = _np.nonzero(want)[0]
+                if governor is not None:
+                    governor.tick(max(1, int(sel.size)))
+                if not sel.size:
+                    continue
+                if counters.enabled:
+                    counters.add("cond_work_items_merged", int(sel.size))
+                pre = prefix[sel].tolist()
+                flags = keepm[sel].tolist()
+                js = jcol[sel].tolist()
+                rsel = (inr[sel] if restricted else sel).tolist()
+                for vals, flag, j, ridx in zip(pre, flags, js, rsel):
+                    kept = tuple(_compress(vals, flag))
+                    freq = flist[ridx]
+                    sub = subs_get(j)
+                    if sub is None:
+                        subs[j] = {kept[-1]: {kept: freq}}
+                        continue
+                    key = kept[-1]
+                    sb = sub.get(key)
+                    if sb is None:
+                        sub[key] = {kept: freq}
+                    else:
+                        sb[kept] = sb.get(kept, 0) + freq
+
+    diag = pair_support.diagonal()
+    for j in range(hi - 1, lo - 1, -1):
+        support = int(diag[j])
+        if support < min_support:
+            continue
+        if governor is not None:
+            governor.progress["mining_rank"] = j
+            governor.tick()
+        if counters.enabled:
+            counters.add("cond_buckets_touched")
+        emit((j,), support)
+        if max_len is not None and max_len < 2:
+            continue
+        # rank 0 does not exist, so its row cell is always zero and can
+        # never pass the >= min_support test (min_support >= 1)
+        row = pair_support[j]
+        head = row[:j]
+        frequent = _np.nonzero(head >= min_support)[0]
+        if frequent.size == 0:
+            continue
+        sub_order = frequent[::-1].tolist()
+        row_list = row.tolist()
+        # 2-itemsets come straight from the matrix: row[r] IS the exact
+        # support of {r, j}
+        for r in sub_order:
+            emit((r, j), int(row_list[r]))
+        sub = subs.pop(j, None)
+        if sub:
+            if counters.enabled:
+                counters.add("cond_structures_built")
+            _mine_paths(
+                sub, sub_order, (j,), min_support, emit, max_len, row_list,
+                governor=governor,
+            )
+
+
 def _mine_top_matrix(
     plt: PLT,
     min_support: int,
@@ -597,104 +745,147 @@ def _mine_top_matrix(
     width = max_rank + 1
     if width * width > _PAIR_MATRIX_MAX_CELLS:
         return False
+    arrays = {
+        length: (
+            _np.array([p for p, _ in entries], dtype=_np.int64),
+            _np.array([f for _, f in entries], dtype=_np.int64),
+        )
+        for length, entries in by_len.items()
+    }
+    _matrix_mine(
+        arrays, max_rank, 1, width, min_support, emit, max_len, governor=governor
+    )
+    return True
 
-    cells = width * width
-    total = _np.zeros(cells)
-    arrays: dict[int, tuple["_np.ndarray", "_np.ndarray"]] = {}
-    for length, entries in by_len.items():
-        mat = _np.array([p for p, _ in entries], dtype=_np.int64)
-        ifreqs = _np.array([f for _, f in entries], dtype=_np.int64)
-        freqs = ifreqs.astype(_np.float64)
-        arrays[length] = (mat, ifreqs)
-        if length == 1:
-            codes = (mat[:, 0] * width + mat[:, 0]).ravel()
-            total += _np.bincount(codes, weights=freqs, minlength=cells)
-            continue
-        iidx, kidx = _np.tril_indices(length)
-        codes = (mat[:, iidx] * width + mat[:, kidx]).ravel()
-        weights = _np.repeat(freqs, len(iidx))
-        total += _np.bincount(codes, weights=weights, minlength=cells)
-    pair_support = total.reshape(width, width)
 
-    counters = _COUNTERS
-    # vectorised projection: every stored path truncated at every column
-    # c >= 2 is a conditional-structure entry for the rank at that column
-    # (columns 0 and 1 yield projections shorter than two ranks, whose
-    # only information — first-level support — the matrix already holds).
-    # One 2D gather per (length, column) evaluates the local-frequency
-    # filter for every terminal rank at once, so prefixes with fewer than
-    # two surviving ranks never reach Python at all.
-    subs: dict[int, PathBuckets] = {}
-    subs_get = subs.get
-    if max_len is None or max_len >= 3:
-        for length, (mat, ifreqs) in arrays.items():
-            if length < 3:
-                continue
-            flist = ifreqs.tolist()
-            for c in range(2, length):
-                jcol = mat[:, c]
-                prefix = mat[:, :c]
-                keepm = pair_support[jcol[:, None], prefix] >= min_support
-                sel = _np.nonzero(keepm.sum(axis=1) >= 2)[0]
-                if governor is not None:
-                    governor.tick(max(1, int(sel.size)))
-                if not sel.size:
-                    continue
-                if counters.enabled:
-                    counters.add("cond_work_items_merged", int(sel.size))
-                pre = prefix[sel].tolist()
-                flags = keepm[sel].tolist()
-                js = jcol[sel].tolist()
-                rsel = sel.tolist()
-                for vals, flag, j, ridx in zip(pre, flags, js, rsel):
-                    kept = tuple(_compress(vals, flag))
-                    freq = flist[ridx]
-                    sub = subs_get(j)
-                    if sub is None:
-                        subs[j] = {kept[-1]: {kept: freq}}
-                        continue
-                    key = kept[-1]
-                    sb = sub.get(key)
-                    if sb is None:
-                        sub[key] = {kept: freq}
-                    else:
-                        sb[kept] = sb.get(kept, 0) + freq
+def _mine_flat_matrix(
+    flat,
+    lo: int,
+    hi: int,
+    min_support: int,
+    emit: Emit,
+    max_len: int | None,
+    governor=None,
+) -> bool:
+    """Vectorised range mining over a FlatPLT; False when inapplicable.
 
-    diag = pair_support.diagonal()
-    for j in range(max_rank, 0, -1):
-        support = int(diag[j])
-        if support < min_support:
+    The length-grouped matrices come straight off the flat columns (a few
+    NumPy gathers — no RankPath tuples are materialised for the group
+    step), so shared-memory workers pay array views, not decode loops.
+    """
+    arrays = flat.paths_by_length()
+    if arrays is None:
+        return False
+    width = flat.max_rank + 1
+    if width * width > _PAIR_MATRIX_MAX_CELLS:
+        return False
+    if not arrays:
+        return True
+    _matrix_mine(
+        arrays,
+        flat.max_rank,
+        lo,
+        hi,
+        min_support,
+        emit,
+        max_len,
+        governor=governor,
+        pair_support=flat.pair_support_matrix(),
+    )
+    return True
+
+
+def _consume_path_bucket_from(
+    bucket: dict[RankPath, int], buckets: PathBuckets, lo: int
+) -> tuple[dict[RankPath, int], int]:
+    """:func:`_consume_path_bucket` variant for range-restricted sweeps.
+
+    Prefix migrations whose destination key falls below ``lo`` are
+    dropped — the range miner never consumes those buckets, so feeding
+    them is pure waste.  ``CD_j`` still receives *every* prefix
+    (conditional supports must stay exact regardless of the range).
+    """
+    support = 0
+    cd: dict[RankPath, int] = {}
+    cd_get = cd.get
+    buckets_get = buckets.get
+    for path, freq in bucket.items():
+        support += freq
+        prefix = path[:-1]
+        if prefix:
+            key = prefix[-1]
+            if key >= lo:
+                parent = buckets_get(key)
+                if parent is None:
+                    buckets[key] = {prefix: freq}
+                else:
+                    parent[prefix] = parent.get(prefix, 0) + freq
+            cd[prefix] = cd_get(prefix, 0) + freq
+    return cd, support
+
+
+def mine_conditional_flat_range(
+    flat,
+    lo: int,
+    hi: int,
+    min_support: int,
+    emit: Emit,
+    max_len: int | None = None,
+    governor=None,
+) -> None:
+    """Mine every frequent itemset whose maximal rank lies in ``[lo, hi)``.
+
+    Operates directly on a :class:`~repro.core.flat.FlatPLT`'s columns —
+    the worker side of the shared-memory transport.  Itemsets partition
+    exactly by their maximal (top-level) rank, so disjoint ranges mined by
+    different workers concatenate into the complete answer with no
+    reconciliation, and each range's counts are exact because the sweep
+    still *migrates* prefixes from every bucket above ``lo`` (consuming
+    a rank ``>= hi`` contributes its prefixes without emitting).
+
+    Prefers the vectorised co-occurrence matrix restricted to the range;
+    falls back to a bucket sweep that materialises path dicts only for
+    sum-index keys ``>= lo`` (lower keys can never be consumed here).
+    """
+    if min_support < 1:
+        raise InvalidSupportError(
+            f"absolute min_support must be >= 1, got {min_support}"
+        )
+    lo = max(1, lo)
+    hi = min(hi, flat.max_rank + 1)
+    if lo >= hi or flat.n_paths == 0:
+        return
+    if _mine_flat_matrix(flat, lo, hi, min_support, emit, max_len, governor=governor):
+        return
+    ranks_col, off, freqs_col = flat.ranks, flat.path_offsets, flat.freqs
+    keys, boff = flat.bucket_keys, flat.bucket_offsets
+    buckets: PathBuckets = {}
+    for b in range(flat.n_buckets):
+        key = keys[b]
+        if key < lo:
+            break  # bucket keys are stored descending
+        bucket: dict[RankPath, int] = {}
+        for p in range(boff[b], boff[b + 1]):
+            bucket[tuple(ranks_col[off[p] : off[p + 1]])] = freqs_col[p]
+        buckets[key] = bucket
+    for j in range(flat.max_rank, lo - 1, -1):
+        bucket = buckets.pop(j, None)
+        if bucket is None:
             continue
         if governor is not None:
             governor.progress["mining_rank"] = j
-            governor.tick()
-        if counters.enabled:
-            counters.add("cond_buckets_touched")
+            governor.tick(len(bucket))
+        cd, support = _consume_path_bucket_from(bucket, buckets, lo)
+        if j >= hi or support < min_support:
+            continue
         emit((j,), support)
-        if max_len is not None and max_len < 2:
-            continue
-        # rank 0 does not exist, so its row cell is always zero and can
-        # never pass the >= min_support test (min_support >= 1)
-        row = pair_support[j]
-        head = row[:j]
-        frequent = _np.nonzero(head >= min_support)[0]
-        if frequent.size == 0:
-            continue
-        sub_order = frequent[::-1].tolist()
-        row_list = row.tolist()
-        # 2-itemsets come straight from the matrix: row[r] IS the exact
-        # support of {r, j}
-        for r in sub_order:
-            emit((r, j), int(row_list[r]))
-        sub = subs.pop(j, None)
-        if sub:
-            if counters.enabled:
-                counters.add("cond_structures_built")
-            _mine_paths(
-                sub, sub_order, (j,), min_support, emit, max_len, row_list,
-                governor=governor,
-            )
-    return True
+        if cd and (max_len is None or max_len > 1):
+            sub, sub_order = _build_path_buckets(cd, min_support)
+            if sub:
+                _mine_paths(
+                    sub, sub_order, (j,), min_support, emit, max_len,
+                    governor=governor,
+                )
 
 
 def mine_conditional(

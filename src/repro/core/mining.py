@@ -425,7 +425,9 @@ def _mine_plt_parallel(transactions, abs_support, order, max_len, **kwargs):
     if governor is not None:
         governor.admit(plt, method="conditional")
     parallel_kwargs = {
-        key: kwargs[key] for key in ("timeout", "retry") if key in kwargs
+        key: kwargs[key]
+        for key in ("timeout", "retry", "transport")
+        if key in kwargs
     }
     table = plt.rank_table
     try:

@@ -262,6 +262,17 @@ class PLT:
         for bucket in self._rank_paths.values():
             yield from bucket.items()
 
+    def iter_rank_path_buckets(self) -> Iterator[tuple[int, dict[RankPath, int]]]:
+        """``(max rank, bucket)`` pairs in *descending* key order.
+
+        Zero-copy view over the interned rank-path index — the columnar
+        lowering (:class:`repro.core.flat.FlatPLT`) walks it without paying
+        the deep copy :meth:`rank_path_index` makes for the consuming
+        miners.  Callers must not mutate the yielded buckets.
+        """
+        for key in sorted(self._rank_paths, reverse=True):
+            yield key, self._rank_paths[key]
+
     def vectors(self) -> dict[PositionVector, int]:
         """Flat copy of the aggregated vector table."""
         return {vec: f for bucket in self._partitions.values() for vec, f in bucket.items()}

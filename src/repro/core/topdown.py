@@ -68,6 +68,7 @@ from repro.perf.counters import COUNTERS as _COUNTERS
 __all__ = [
     "topdown_subset_frequencies",
     "topdown_subset_path_frequencies",
+    "topdown_flat_slice",
     "mine_topdown",
     "estimate_topdown_work",
     "DEFAULT_WORK_LIMIT",
@@ -139,6 +140,49 @@ def _subset_byte_frequencies(plt: PLT, governor=None) -> dict[int, dict[bytes, i
     :func:`_decode_path` (ideally after support filtering, so only
     survivors pay the decode).
     """
+
+    def packed():
+        for path, freq in plt.iter_rank_paths():
+            yield array("I", path).tobytes(), freq
+
+    return _subset_byte_frequencies_packed(packed(), governor=governor)
+
+
+def topdown_flat_slice(
+    flat, start: int, end: int, *, governor=None, singletons: bool = True
+) -> dict[int, dict[bytes, int]]:
+    """Top-down engine over stored paths ``[start, end)`` of a FlatPLT.
+
+    The flat ``ranks`` column uses the engine's own key encoding, so a
+    seed is one ``tobytes()`` slice off shared memory — no RankPath tuple
+    is ever materialised.  Returns the packed per-length table (partial
+    sums; slices over the same structure merge by addition).
+
+    Workers on the shared-memory transport pass ``singletons=False``:
+    their partial length-1 sums are redundant — the driver reconstitutes
+    that level exactly from :meth:`FlatPLT.rank_supports` — and dropping
+    them cuts the widest level of the lattice out of every result pickle.
+    """
+    off, ranks, freqs = flat.path_offsets, flat.ranks, flat.freqs
+
+    def packed():
+        for p in range(start, end):
+            yield ranks[off[p] : off[p + 1]].tobytes(), freqs[p]
+
+    counts = _subset_byte_frequencies_packed(packed(), governor=governor)
+    if not singletons:
+        counts.pop(1, None)
+    return counts
+
+
+def _subset_byte_frequencies_packed(
+    packed_pairs, governor=None
+) -> dict[int, dict[bytes, int]]:
+    """Engine core, seeded from an iterable of ``(packed path, freq)``.
+
+    Packed paths must be distinct (both sources — the PLT's interned
+    index and a FlatPLT path slice — guarantee it).
+    """
     counters = _COUNTERS
     counts: dict[int, dict[bytes, int]] = defaultdict(dict)
     if governor is not None:
@@ -157,10 +201,9 @@ def _subset_byte_frequencies(plt: PLT, governor=None) -> dict[int, dict[bytes, i
 
     isz = _RANK_ITEMSIZE
     top = 0
-    for path, freq in plt.iter_rank_paths():
-        length = len(path)
-        pb = array("I", path).tobytes()
-        counts[length][pb] = freq  # stored paths are distinct
+    for pb, freq in packed_pairs:
+        length = len(pb) // isz
+        counts[length][pb] = freq  # packed paths are distinct
         if length >= 2:
             chain = chain_work[length]
             chain[pb] = chain.get(pb, 0) + freq

@@ -104,6 +104,11 @@ register("T20.I6.D2K", _quest(2_000, 20, 6, 500, seed=103))
 register("DENSE-30", lambda: generate_dense(1_500, 30, 12, seed=201))
 register("DENSE-50", lambda: generate_dense(2_000, 50, 15, seed=202))
 register("DENSE-75", lambda: generate_dense(2_000, 75, 18, seed=203))
+# 5k transactions over a narrow alphabet: big enough to satisfy the
+# parallel bench's transaction floor, dense enough that the top-down
+# lattice (and thus the worker payload on the pickle transport) is the
+# dominant cost rather than PLT construction.
+register("DENSE-16.D5K", lambda: generate_dense(5_000, 16, 7, seed=204))
 
 # Null models (B4, B8)
 register("ZIPF-200", lambda: generate_zipf(5_000, 200, 8.0, seed=301))

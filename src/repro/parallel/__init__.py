@@ -8,6 +8,11 @@ from repro.parallel.count_distribution import (
 from repro.parallel.distributed import mine_distributed, owner_of_rank
 from repro.parallel.executor import default_workers, mine_parallel, topdown_parallel
 from repro.parallel.faults import FaultPlan
+from repro.parallel.shm import (
+    SharedMemoryExecutor,
+    mine_parallel_shm,
+    topdown_parallel_shm,
+)
 from repro.parallel.processcluster import ProcessCluster
 from repro.parallel.simcluster import ClusterStats, NodeContext, SimCluster
 from repro.parallel.partitioner import (
@@ -26,6 +31,9 @@ __all__ = [
     "mine_distributed",
     "owner_of_rank",
     "FaultPlan",
+    "SharedMemoryExecutor",
+    "mine_parallel_shm",
+    "topdown_parallel_shm",
     "SimCluster",
     "ProcessCluster",
     "ClusterBackend",

@@ -17,19 +17,32 @@ so results and code paths stay testable without process overhead.  The
 pool uses the default start method; tasks and results are plain
 picklable dicts/tuples.
 
+Both drivers take ``transport="pickle"`` (ship each task's conditional
+database / vector slice through the pool pipe — the default) or
+``transport="shm"`` (lower the PLT once into shared-memory columns and
+dispatch index ranges; see :mod:`repro.parallel.shm`).  Output is
+identical either way; the shm transport exists purely to eliminate the
+serialisation copy that dominates pickle dispatch on non-trivial
+databases.  Dispatch volume is measured on both transports through the
+``ipc_bytes_sent`` perf counter when collection is enabled.
+
 Failure handling (see ``docs/FAULT_TOLERANCE.md``): every batch result is
 collected with a per-batch **timeout** instead of a blocking ``pool.map``
 — a wedged or killed worker can no longer hang the caller forever.
-Failed or timed-out batches are retried on a *fresh* pool per the
-:class:`~repro.robustness.retry.RetryPolicy`; leaving the ``with pool:``
-block terminates the old pool, reaping any stuck workers.  Batches that
-still fail after the retry budget run in-process sequentially — degraded
-but correct — with a :class:`~repro.errors.DegradedExecutionWarning`.
+Failed or timed-out batches are retried per the
+:class:`~repro.robustness.retry.RetryPolicy`; the pool is reused across
+rounds while it is known-healthy (a worker that merely *raised* is back
+on the task queue) and rebuilt only when a round saw a timeout or a torn
+pipe — evidence of wedged or dead processes that ``terminate()`` must
+reap.  Batches that still fail after the retry budget run in-process
+sequentially — degraded but correct — with a
+:class:`~repro.errors.DegradedExecutionWarning`.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import warnings
 from collections.abc import Callable, Sequence
@@ -42,11 +55,13 @@ from repro.errors import (
     BudgetExceeded,
     Cancelled,
     DegradedExecutionWarning,
+    InvalidParameterError,
     MiningInterrupted,
     ParallelExecutionError,
     TopDownExplosionError,
     WorkerLostError,
 )
+from repro.perf.counters import COUNTERS as _COUNTERS
 from repro.parallel.partitioner import (
     ConditionalTask,
     conditional_tasks,
@@ -197,21 +212,32 @@ def _run_batches(
     retry: RetryPolicy | None,
     what: str,
     governor: ResourceGovernor | None = None,
+    pool_factory: Callable | None = None,
 ) -> list:
     """Run ``worker(batch)`` for every batch on worker processes, reliably.
 
     Results are collected with a per-batch deadline via ``AsyncResult.get``
-    (``pool.map`` would block forever on a wedged worker).  Batches that
-    fail or time out are retried — each attempt on a **fresh** pool, since
-    the old one may hold stuck or dead processes; ``with pool:`` terminates
-    it on exit, reaping them.  Whatever survives the retry budget runs
-    in-process sequentially under a :class:`DegradedExecutionWarning`; an
-    error even then is a genuine bug in the batch and is re-raised as
-    :class:`ParallelExecutionError`.
+    (``pool.map`` would block forever on a wedged worker).  Failed or
+    timed-out batches are retried; one pool is **reused across retry
+    rounds** while it is known-healthy — a worker that merely raised an
+    exception is already back on the task queue, so respawning the whole
+    pool would only pay fork-and-import again.  The pool is rebuilt when a
+    round observed a timeout or a torn result pipe (a worker wedged in a
+    batch, or dead): ``terminate()`` reaps the old processes first.
+    Whatever survives the retry budget runs in-process sequentially under
+    a :class:`DegradedExecutionWarning`; an error even then is a genuine
+    bug in the batch and is re-raised as :class:`ParallelExecutionError`.
+
+    ``pool_factory`` (``n_processes -> pool``) lets transports customise
+    pool construction (the shm transport installs an initializer that
+    attaches workers to the shared segment); the default is a plain
+    ``mp.Pool``.  When perf counters are enabled, every dispatched batch's
+    pickled size is charged to ``ipc_bytes_sent`` — re-sent batches count
+    again, because they are in fact sent again.
 
     With a ``governor``, the result wait is sliced so the driver observes
     its cancellation token and deadline between waits; a trip terminates
-    the pool (via the ``with`` block) and raises with the results already
+    the pool (via the ``finally``) and raises with the results already
     collected attached as ``raw_results``.
 
     Returns results in batch order.
@@ -220,23 +246,40 @@ def _run_batches(
 
     if retry is None:
         retry = DEFAULT_EXECUTOR_RETRY
+    if pool_factory is None:
+        def pool_factory(n_processes: int):
+            return mp.Pool(processes=n_processes)
     results: list = [None] * len(batches)
     remaining = list(range(len(batches)))
     last_error: BaseException | None = None
-    for attempt in range(retry.max_retries + 1):
-        if not remaining:
-            return results
-        if attempt:
-            pause = retry.delay(attempt, key=what)
-            if pause:
-                time.sleep(pause)
-        failed: list[int] = []
-        try:
-            pool = mp.Pool(processes=len(remaining))
-        except Exception as exc:  # pragma: no cover - resource exhaustion
-            last_error = exc
-            continue
-        with pool:
+    pool = None
+    pool_dirty = False
+    try:
+        for attempt in range(retry.max_retries + 1):
+            if not remaining:
+                break
+            if attempt:
+                pause = retry.delay(attempt, key=what)
+                if pause:
+                    time.sleep(pause)
+            if pool_dirty and pool is not None:
+                pool.terminate()
+                pool.join()
+                pool = None
+            if pool is None:
+                try:
+                    pool = pool_factory(len(remaining))
+                except Exception as exc:  # pragma: no cover - resource exhaustion
+                    last_error = exc
+                    continue
+                pool_dirty = False
+            failed: list[int] = []
+            if _COUNTERS.enabled:
+                for i in remaining:
+                    _COUNTERS.add(
+                        "ipc_bytes_sent",
+                        len(pickle.dumps(batches[i], pickle.HIGHEST_PROTOCOL)),
+                    )
             handles = [(i, pool.apply_async(worker, (batches[i],))) for i in remaining]
             deadline = None if timeout is None else time.monotonic() + timeout
             for i, handle in handles:
@@ -259,6 +302,7 @@ def _run_batches(
                         if governor is not None and (budget is None or budget > 0):
                             continue
                         failed.append(i)
+                        pool_dirty = True  # the worker is still wedged in it
                         # a killed pool worker never errors — its result
                         # just never arrives, so the deadline is also the
                         # worker-loss detector
@@ -272,6 +316,7 @@ def _run_batches(
                     except (EOFError, ConnectionError, OSError) as exc:
                         # the worker died mid-result (pipe torn down)
                         failed.append(i)
+                        pool_dirty = True
                         last_error = WorkerLostError(
                             f"{what}: worker running batch {i} died before "
                             f"returning a result: {exc!r}",
@@ -279,10 +324,15 @@ def _run_batches(
                         )
                         break
                     except Exception as exc:
+                        # the worker survived (it raised) — pool stays usable
                         failed.append(i)
                         last_error = exc
                         break
-        remaining = failed
+            remaining = failed
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
     if remaining:
         warnings.warn(
             f"{what}: {len(remaining)} of {len(batches)} batches failed on "
@@ -304,6 +354,13 @@ def _run_batches(
 # ---------------------------------------------------------------------------
 # drivers
 # ---------------------------------------------------------------------------
+def _check_transport(transport: str) -> None:
+    if transport not in ("pickle", "shm"):
+        raise InvalidParameterError(
+            f"unknown transport {transport!r}: expected 'pickle' or 'shm'"
+        )
+
+
 def mine_parallel(
     plt: PLT,
     min_support: int | None = None,
@@ -313,12 +370,17 @@ def mine_parallel(
     timeout: float | None = DEFAULT_BATCH_TIMEOUT,
     retry: RetryPolicy | None = None,
     governor: ResourceGovernor | None = None,
+    transport: str = "pickle",
 ) -> list[tuple[tuple[int, ...], int]]:
     """Parallel conditional mining; same output as ``mine_conditional``.
 
     ``timeout`` bounds each batch attempt (seconds; ``None`` disables) and
-    ``retry`` sets how many fresh-pool retries failed batches get before
-    the in-process fallback.
+    ``retry`` sets how many pool retries failed batches get before the
+    in-process fallback.  ``transport="shm"`` dispatches rank ranges over
+    a shared-memory :class:`~repro.core.flat.FlatPLT` instead of pickling
+    conditional databases (identical output; see
+    :mod:`repro.parallel.shm`); single-worker and trivial inputs run
+    in-process on either transport.
 
     With a ``governor``: workers receive a budget copy carrying the
     *remaining* deadline and trip themselves; the driver additionally
@@ -331,6 +393,19 @@ def mine_parallel(
         min_support = plt.min_support
     if n_workers is None:
         n_workers = default_workers()
+    _check_transport(transport)
+    if transport == "shm" and n_workers > 1 and plt.n_vectors() > 1:
+        from repro.parallel.shm import mine_parallel_shm
+
+        return mine_parallel_shm(
+            plt,
+            min_support,
+            n_workers=n_workers,
+            max_len=max_len,
+            timeout=timeout,
+            retry=retry,
+            governor=governor,
+        )
     tasks = conditional_tasks(plt, min_support)
     if not tasks:
         return []
@@ -371,12 +446,29 @@ def mine_parallel(
             governor=governor,
         )
     except MiningInterrupted as exc:
-        pairs: list[tuple[tuple[int, ...], int]] = []
-        for entry in getattr(exc, "raw_results", []):
-            pairs.extend(entry[1])
-        exc.partial = _trim_to_cap(pairs, governor)
+        exc.partial = _trim_to_cap(_pairs_from_raw(exc), governor)
         raise
-    results = []
+    return _merge_governed_parts(parts, governor, "mine_parallel")
+
+
+def _pairs_from_raw(exc: MiningInterrupted) -> list[tuple[tuple[int, ...], int]]:
+    """Salvage mined pairs from the ``(status, pairs, reason)`` results a
+    driver-side trip had already collected before raising."""
+    pairs: list[tuple[tuple[int, ...], int]] = []
+    for entry in getattr(exc, "raw_results", []):
+        pairs.extend(entry[1])
+    return pairs
+
+
+def _merge_governed_parts(
+    parts: list, governor: ResourceGovernor, what: str
+) -> list[tuple[tuple[int, ...], int]]:
+    """Merge governed worker returns; enforce the cap; raise on any trip.
+
+    Shared by both transports, so budget semantics cannot drift between
+    them: same trim, same ``reason`` precedence, same exception class.
+    """
+    results: list[tuple[tuple[int, ...], int]] = []
     stop_reason: str | None = None
     for status, part, reason in parts:
         results.extend(part)
@@ -391,7 +483,7 @@ def mine_parallel(
     if stop_reason is not None:
         cls = Cancelled if stop_reason == "cancelled" else BudgetExceeded
         raise cls(
-            f"mine_parallel: budget exhausted in worker processes ({stop_reason})",
+            f"{what}: budget exhausted in worker processes ({stop_reason})",
             reason=stop_reason,
             partial=results,
         )
@@ -444,10 +536,13 @@ def topdown_parallel(
     timeout: float | None = DEFAULT_BATCH_TIMEOUT,
     retry: RetryPolicy | None = None,
     governor: ResourceGovernor | None = None,
+    transport: str = "pickle",
 ) -> dict[int, dict[PositionVector, int]]:
     """Parallel top-down pass; same output as ``topdown_subset_frequencies``.
 
-    ``timeout``/``retry`` behave as in :func:`mine_parallel`.
+    ``timeout``/``retry``/``transport`` behave as in :func:`mine_parallel`
+    (``"shm"`` dispatches stored-path slices over a shared FlatPLT instead
+    of pickled vector tables).
 
     Governance is driver-level only, and a trip raises with **no**
     partial attached: each worker's table holds partial *sums* for
@@ -457,6 +552,7 @@ def topdown_parallel(
     """
     if n_workers is None:
         n_workers = default_workers()
+    _check_transport(transport)
     if work_limit is not None:
         estimate = estimate_topdown_work(plt)
         if estimate > work_limit:
@@ -467,6 +563,16 @@ def topdown_parallel(
     if governor is not None:
         governor.start()
         governor.check_now()
+    if transport == "shm" and n_workers > 1 and plt.n_vectors() > 1:
+        from repro.parallel.shm import topdown_parallel_shm
+
+        return topdown_parallel_shm(
+            plt,
+            n_workers=n_workers,
+            timeout=timeout,
+            retry=retry,
+            governor=governor,
+        )
     slices = [s for s in split_vectors(plt, n_workers) if s]
     if len(slices) <= 1 or n_workers <= 1:
         if governor is None:

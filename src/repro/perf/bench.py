@@ -8,16 +8,26 @@ same prebuilt PLT.  Every workload is verified (the two generations must
 emit identical ``(itemset, support)`` sets) before it is timed, so a
 benchmark number can never come from a wrong answer.
 
-The JSON written to ``BENCH_PR2.json`` records per-workload wall-clock
-for both generations, the speedup ratio, and the optimized engine's
-phase counters.  The *ratio* is the tracked quantity: both generations
-run in the same process on the same machine, so it is hardware-
-independent enough for CI to regress against (``--compare`` fails when a
-workload's current ratio drops more than ``REGRESSION_TOLERANCE`` below
-the committed baseline).
+The ``parallel-*`` workloads compare the two multiprocessing transports
+on the same PLT instead: classic per-task pickling against the zero-copy
+shared-memory columns (:mod:`repro.parallel.shm`).  Both are verified
+against the single-process miner before timing, and the report also
+records ``ipc_bytes_sent`` per transport so CI can gate the copy
+elimination itself, not just the wall clock
+(:func:`ipc_gate_problems`).
+
+The JSON written to ``BENCH_PR7.json`` records per-workload wall-clock
+for both generations (or transports), the speedup ratio, and the
+optimized engine's phase counters.  The *ratio* is the tracked quantity:
+both sides run on the same machine, so it is hardware-independent enough
+for CI to regress against (``--compare`` fails when a workload's current
+ratio drops more than ``REGRESSION_TOLERANCE`` below the committed
+baseline).
 
 ``--quick`` runs the one-workload-per-group subset that the ``bench-
-smoke`` CI job uses; ``--repeat`` controls the best-of noise filter.
+smoke`` CI job uses; ``--repeat`` controls the best-of noise filter;
+``--transport`` restricts the parallel workloads to one transport (the
+ipc gate only applies when both run).
 """
 
 from __future__ import annotations
@@ -38,12 +48,15 @@ __all__ = [
     "DEFAULT_OUTPUT",
     "REGRESSION_TOLERANCE",
     "MIN_GATE_SECONDS",
+    "IPC_REDUCTION_FACTOR",
+    "PARALLEL_WORKLOAD_WORKERS",
     "run_bench",
     "compare_against_baseline",
+    "ipc_gate_problems",
     "main",
 ]
 
-DEFAULT_OUTPUT = "BENCH_PR2.json"
+DEFAULT_OUTPUT = "BENCH_PR7.json"
 
 #: A workload "regresses" when its current legacy/optimized ratio falls
 #: more than this fraction below the committed baseline ratio.
@@ -55,12 +68,23 @@ REGRESSION_TOLERANCE = 0.25
 #: a micro-workload flake would fail CI without any real regression.
 MIN_GATE_SECONDS = 0.010
 
+#: The shm transport must ship less than this fraction of the pickle
+#: transport's ``ipc_bytes_sent`` on every parallel workload — the gate
+#: that keeps the transport actually zero-copy as the dispatch protocol
+#: evolves.
+IPC_REDUCTION_FACTOR = 0.1
+
+#: Pool size for the ``parallel-*`` workloads.  Pinned (not
+#: ``default_workers()``) so the transport comparison exercises a real
+#: multi-worker dispatch even on small CI boxes.
+PARALLEL_WORKLOAD_WORKERS = 2
+
 
 @dataclass(frozen=True)
 class Workload:
     """One pinned (miner, dataset, support) cell of the benchmark matrix."""
 
-    kind: str  # "conditional" | "topdown"
+    kind: str  # "conditional" | "topdown" | "parallel-cond" | "parallel-topdown"
     dataset: str  # repro.data.datasets name
     min_support: int  # absolute count
     quick: bool  # part of the --quick smoke subset
@@ -83,6 +107,9 @@ WORKLOADS: tuple[Workload, ...] = (
     Workload("topdown", "DENSE-30", 150, True),
     Workload("topdown", "DENSE-30", 75, False),
     Workload("topdown", "DENSE-30", 30, False),
+    Workload("parallel-cond", "T10.I4.D5K", 25, True),
+    Workload("parallel-cond", "T10.I4.D5K", 50, False),
+    Workload("parallel-topdown", "DENSE-16.D5K", 250, True),
 )
 
 
@@ -143,34 +170,149 @@ def run_workload(workload: Workload, repeat: int) -> dict:
     }
 
 
+def run_parallel_workload(
+    workload: Workload, repeat: int, transports: tuple[str, ...]
+) -> dict:
+    """Time one parallel cell on the requested transports.
+
+    Every transport's output is verified against the single-process miner
+    first, so the byte-identical-results contract is re-proven on each
+    bench run, not just in the test suite.
+    """
+    from repro.core.conditional import mine_conditional
+    from repro.core.plt import PLT
+    from repro.core.topdown import topdown_subset_frequencies
+    from repro.data.datasets import load
+    from repro.parallel.executor import mine_parallel, topdown_parallel
+
+    db = load(workload.dataset)
+    ms = workload.min_support
+    plt = PLT.from_transactions(db, min_support=ms)
+    workers = PARALLEL_WORKLOAD_WORKERS
+
+    if workload.kind == "parallel-cond":
+        canonical = sorted(mine_conditional(plt, ms))
+        n_itemsets = len(canonical)
+
+        def run(transport):
+            return mine_parallel(
+                plt, ms, n_workers=workers, transport=transport
+            )
+
+        def check(transport, result):
+            if sorted(result) != canonical:
+                raise AssertionError(
+                    f"{workload.name}: {transport} transport disagrees with "
+                    f"the single-process miner "
+                    f"({len(result)} vs {n_itemsets} itemsets)"
+                )
+
+    elif workload.kind == "parallel-topdown":
+        canonical = topdown_subset_frequencies(plt)
+        n_itemsets = sum(len(bucket) for bucket in canonical.values())
+
+        def run(transport):
+            return topdown_parallel(plt, n_workers=workers, transport=transport)
+
+        def check(transport, result):
+            if result != canonical:
+                raise AssertionError(
+                    f"{workload.name}: {transport} transport disagrees with "
+                    f"the single-process top-down pass"
+                )
+
+    else:
+        raise ValueError(f"unknown parallel workload kind {workload.kind!r}")
+
+    record = {
+        "name": workload.name,
+        "kind": workload.kind,
+        "dataset": workload.dataset,
+        "min_support": ms,
+        "transactions": len(db),
+        "itemsets": n_itemsets,
+        "n_workers": workers,
+        "ipc_bytes_sent": {},
+    }
+    for transport in transports:
+        check(transport, run(transport))
+        with collecting():
+            run(transport)
+            counters = COUNTERS.snapshot()
+        record["ipc_bytes_sent"][transport] = counters.get("ipc_bytes_sent", 0)
+        record[f"{transport}_s"], _ = best_of(run, transport, repeat=repeat)
+    if "pickle" in transports and "shm" in transports:
+        shm_s = record["shm_s"]
+        record["speedup"] = (
+            record["pickle_s"] / shm_s if shm_s else float("inf")
+        )
+        sent = record["ipc_bytes_sent"]
+        record["ipc_reduction"] = (
+            1.0 - sent["shm"] / sent["pickle"] if sent["pickle"] else 0.0
+        )
+    return record
+
+
 def _geomean(values: list[float]) -> float:
     return math.prod(values) ** (1.0 / len(values)) if values else 0.0
 
 
-def run_bench(*, quick: bool = False, repeat: int = 3) -> dict:
+def _describe(record: dict) -> str:
+    if record["kind"].startswith("parallel-"):
+        parts = [
+            f"  {transport} {record[f'{transport}_s'] * 1e3:8.1f} ms"
+            for transport in ("pickle", "shm")
+            if f"{transport}_s" in record
+        ]
+        if "speedup" in record:
+            parts.append(f"  speedup {record['speedup']:.2f}x")
+        if "ipc_reduction" in record:
+            parts.append(f"  ipc -{record['ipc_reduction']:.1%}")
+        return f"  {record['name']}:" + "".join(parts)
+    return (
+        f"  {record['name']}: legacy {record['legacy_s'] * 1e3:8.1f} ms"
+        f"  optimized {record['optimized_s'] * 1e3:8.1f} ms"
+        f"  speedup {record['speedup']:.2f}x"
+    )
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    repeat: int = 3,
+    transports: tuple[str, ...] = ("pickle", "shm"),
+) -> dict:
     """Run the (full or quick) matrix and return the report document."""
     records = []
     for workload in WORKLOADS:
         if quick and not workload.quick:
             continue
-        record = run_workload(workload, repeat)
+        if workload.kind.startswith("parallel-"):
+            record = run_parallel_workload(workload, repeat, transports)
+        else:
+            record = run_workload(workload, repeat)
         records.append(record)
-        print(
-            f"  {record['name']}: legacy {record['legacy_s'] * 1e3:8.1f} ms"
-            f"  optimized {record['optimized_s'] * 1e3:8.1f} ms"
-            f"  speedup {record['speedup']:.2f}x",
-            file=sys.stderr,
-        )
+        print(_describe(record), file=sys.stderr)
     summary = {
         f"{kind}_speedup": round(
-            _geomean([r["speedup"] for r in records if r["kind"] == kind]), 3
+            _geomean(
+                [r["speedup"] for r in records if r["kind"] == kind]
+            ),
+            3,
         )
         for kind in ("conditional", "topdown")
         if any(r["kind"] == kind for r in records)
     }
+    parallel_speedups = [
+        r["speedup"]
+        for r in records
+        if r["kind"].startswith("parallel-") and "speedup" in r
+    ]
+    if parallel_speedups:
+        summary["parallel_shm_speedup"] = round(_geomean(parallel_speedups), 3)
     return {
-        "schema": 1,
-        "pr": "PR2",
+        "schema": 2,
+        "pr": "PR7",
         "quick": quick,
         "repeat": repeat,
         "python": platform.python_version(),
@@ -193,16 +335,18 @@ def compare_against_baseline(
     problems = []
     for record in report["workloads"]:
         base = base_by_name.get(record["name"])
-        if base is None:
+        if base is None or "speedup" not in record or "speedup" not in base:
             continue
-        # documents without timing fields stay gated (ratio-only baselines)
-        timings = (
-            record.get("legacy_s", math.inf),
-            record.get("optimized_s", math.inf),
-            base.get("legacy_s", math.inf),
-            base.get("optimized_s", math.inf),
-        )
-        if min(timings) < MIN_GATE_SECONDS:
+        # documents without timing fields stay gated (ratio-only
+        # baselines); any ``*_s`` wall-clock key counts, so the check
+        # covers legacy/optimized and pickle/shm records alike
+        timings = [
+            value
+            for doc in (record, base)
+            for key, value in doc.items()
+            if key.endswith("_s")
+        ]
+        if timings and min(timings) < MIN_GATE_SECONDS:
             continue
         floor = base["speedup"] * (1.0 - tolerance)
         if record["speedup"] < floor:
@@ -214,19 +358,51 @@ def compare_against_baseline(
     return problems
 
 
+def ipc_gate_problems(
+    report: dict, factor: float = IPC_REDUCTION_FACTOR
+) -> list[str]:
+    """One message per parallel workload whose shm dispatch traffic is
+    not under ``factor`` of the pickle transport's.
+
+    Only records that measured *both* transports are gated; a
+    single-transport run has nothing to compare.
+    """
+    problems = []
+    for record in report.get("workloads", ()):
+        sent = record.get("ipc_bytes_sent") or {}
+        if "pickle" not in sent or "shm" not in sent:
+            continue
+        limit = factor * sent["pickle"]
+        if sent["shm"] >= limit:
+            problems.append(
+                f"{record['name']}: shm sent {sent['shm']} bytes, "
+                f"expected < {limit:.0f} ({factor:.0%} of pickle's "
+                f"{sent['pickle']})"
+            )
+    return problems
+
+
 def main(
     *,
     quick: bool = False,
     repeat: int | None = None,
     output: str | None = None,
     compare: str | None = None,
+    transport: str = "both",
 ) -> int:
     """Driver behind ``python -m repro bench``; returns an exit status."""
     if repeat is None:
         repeat = 2 if quick else 3
-    report = run_bench(quick=quick, repeat=repeat)
+    transports = ("pickle", "shm") if transport == "both" else (transport,)
+    report = run_bench(quick=quick, repeat=repeat, transports=transports)
     for key, value in report["summary"].items():
         print(f"{key}: {value}x", file=sys.stderr)
+
+    ipc_problems = ipc_gate_problems(report)
+    for problem in ipc_problems:
+        print(f"IPC GATE {problem}", file=sys.stderr)
+    if ipc_problems:
+        return 1
 
     if compare is not None:
         baseline = json.loads(Path(compare).read_text())

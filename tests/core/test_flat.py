@@ -1,0 +1,165 @@
+"""Tests for the columnar FlatPLT lowering and its shared-memory form."""
+
+import os
+
+import pytest
+
+from repro.core.flat import FlatPLT
+from repro.core.plt import PLT
+from tests.conftest import random_database
+
+
+def _reference_paths(plt):
+    """The interned index as {path: freq}, plus per-rank support sums."""
+    paths = {}
+    supports = {}
+    for path, freq in plt.iter_rank_paths():
+        paths[path] = paths.get(path, 0) + freq
+        for rank in path:
+            supports[rank] = supports.get(rank, 0) + freq
+    return paths, supports
+
+
+class TestLowering:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_trip_matches_plt(self, seed):
+        db = random_database(seed + 900, max_items=12, max_transactions=60)
+        plt = PLT.from_transactions(db, 2)
+        flat = FlatPLT.from_plt(plt)
+        want, _ = _reference_paths(plt)
+        got = {}
+        for path, freq in flat.iter_paths():
+            got[path] = got.get(path, 0) + freq
+        assert got == want
+        assert flat.n_paths == len(want)
+        assert flat.max_rank == plt.max_rank()
+        assert flat.min_support == plt.min_support
+        assert flat.n_transactions == plt.n_transactions
+
+    def test_buckets_are_descending_and_consistent(self):
+        db = random_database(903, max_items=10, max_transactions=50)
+        plt = PLT.from_transactions(db, 2)
+        flat = FlatPLT.from_plt(plt)
+        keys = list(flat.bucket_keys)
+        assert keys == sorted(keys, reverse=True)
+        # every path in bucket b must end with the bucket's key
+        for b, key in enumerate(keys):
+            for p in range(flat.bucket_offsets[b], flat.bucket_offsets[b + 1]):
+                assert flat.path(p)[-1] == key
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rank_supports(self, seed):
+        db = random_database(seed + 910, max_items=11, max_transactions=55)
+        plt = PLT.from_transactions(db, 2)
+        flat = FlatPLT.from_plt(plt)
+        _, want = _reference_paths(plt)
+        sup = flat.rank_supports()
+        assert {r: s for r, s in enumerate(sup) if s} == want
+
+    def test_empty_plt(self):
+        flat = FlatPLT.from_plt(PLT.from_transactions([], 1))
+        assert flat.n_paths == 0 and flat.n_cells == 0 and flat.n_buckets == 0
+        assert flat.rank_supports() == [0] * (flat.max_rank + 1)
+        assert flat.paths_by_length() in (None, {})
+
+    def test_packed_path_is_engine_encoding(self):
+        from array import array
+
+        db = random_database(904, max_items=9, max_transactions=40)
+        plt = PLT.from_transactions(db, 2)
+        flat = FlatPLT.from_plt(plt)
+        for p in range(flat.n_paths):
+            assert flat.packed_path(p) == array("I", flat.path(p)).tobytes()
+
+
+class TestNoNumpyFallback:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_scalar_paths_match_vectorized(self, seed, monkeypatch):
+        db = random_database(seed + 920, max_items=10, max_transactions=50)
+        plt = PLT.from_transactions(db, 2)
+        vec = FlatPLT.from_plt(plt)
+        supports = vec.rank_supports()
+        costs = vec.rank_costs()
+        import repro.core.flat as flat_mod
+
+        monkeypatch.setattr(flat_mod, "_np", None)
+        scalar = FlatPLT.from_plt(plt)
+        assert scalar.rank_supports() == supports
+        assert scalar.rank_costs() == costs
+        assert scalar.as_numpy() is None
+        assert scalar.paths_by_length() is None
+        assert scalar.pair_support_matrix() is None
+        assert scalar.compute_pair_support() is False
+
+
+class TestSharedMemory:
+    def test_shared_twin_matches_and_cleans_up(self):
+        db = random_database(930, max_items=12, max_transactions=60)
+        plt = PLT.from_transactions(db, 2)
+        flat = FlatPLT.from_plt(plt)
+        shared = flat.to_shared_memory()
+        name = shared.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        assert dict(shared.flat.iter_paths()) == dict(flat.iter_paths())
+
+        attached = FlatPLT.attach(shared.meta)
+        assert dict(attached.iter_paths()) == dict(flat.iter_paths())
+        assert attached.rank_supports() == flat.rank_supports()
+        attached.detach()
+
+        shared.close()
+        shared.unlink()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        # idempotent
+        shared.close()
+        shared.unlink()
+
+    def test_pair_support_travels_through_the_segment(self):
+        db = random_database(931, max_items=10, max_transactions=50)
+        plt = PLT.from_transactions(db, 2)
+        flat = FlatPLT.from_plt(plt)
+        assert flat.pair_support_matrix() is None
+        assert flat.compute_pair_support() is True
+        mat = flat.pair_support_matrix()
+        assert mat is not None
+        # diagonal == rank supports (pair_support[j, j] = support({j}))
+        sup = flat.rank_supports()
+        assert [int(v) for v in mat.diagonal()] == sup
+
+        shared = flat.to_shared_memory()
+        try:
+            attached = FlatPLT.attach(shared.meta)
+            amat = attached.pair_support_matrix()
+            assert amat is not None and (amat == mat).all()
+            del amat  # buffer export must die before the mapping closes
+            attached.detach()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_pair_support_respects_cell_cap(self):
+        db = random_database(932, max_items=10, max_transactions=40)
+        flat = FlatPLT.from_plt(PLT.from_transactions(db, 2))
+        assert flat.compute_pair_support(max_cells=1) is False
+        assert flat.pair_support is None
+
+    def test_empty_plt_shares(self):
+        flat = FlatPLT.from_plt(PLT.from_transactions([], 1))
+        shared = flat.to_shared_memory()
+        try:
+            attached = FlatPLT.attach(shared.meta)
+            assert attached.n_paths == 0
+            attached.detach()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_segment_names_are_scannable(self):
+        db = random_database(933, max_items=8, max_transactions=30)
+        flat = FlatPLT.from_plt(PLT.from_transactions(db, 2))
+        shared = flat.to_shared_memory()
+        try:
+            assert shared.name.startswith("plt_shm_")
+        finally:
+            shared.close()
+            shared.unlink()

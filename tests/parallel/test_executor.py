@@ -210,3 +210,63 @@ class TestDefaults:
     def test_default_workers_bounds(self):
         w = default_workers()
         assert 1 <= w <= 8
+
+
+class _CountingPoolFactory:
+    """Wraps the default pool factory and counts constructions."""
+
+    def __init__(self):
+        import multiprocessing as mp
+
+        self._mp = mp
+        self.count = 0
+
+    def __call__(self, n_processes):
+        self.count += 1
+        return self._mp.Pool(processes=n_processes)
+
+
+class TestPoolReuse:
+    """One pool must serve every retry round unless a worker died.
+
+    Regression guard for the per-round ``mp.Pool`` churn ``_run_batches``
+    used to exhibit: spawning a fresh pool per attempt paid fork+teardown
+    on every retry even when the incumbent workers were perfectly
+    healthy.
+    """
+
+    def batches(self, n=2):
+        return [(os.getpid(), v) for v in range(1, n + 1)]
+
+    def test_healthy_run_builds_one_pool(self):
+        factory = _CountingPoolFactory()
+        assert _run_batches(
+            _double, self.batches(3), timeout=30.0, retry=NO_WAIT,
+            what="count-test", pool_factory=factory,
+        ) == [2, 4, 6]
+        assert factory.count == 1
+
+    def test_worker_exception_reuses_the_pool(self):
+        # a raise inside a worker leaves the pool healthy: both the retry
+        # round and the first round must run in the SAME pool
+        factory = _CountingPoolFactory()
+        with pytest.warns(DegradedExecutionWarning, match="flaky worker"):
+            results = _run_batches(
+                _raise_in_child, self.batches(), timeout=30.0, retry=NO_WAIT,
+                what="reuse-test", pool_factory=factory,
+            )
+        assert results == [2, 4]
+        assert factory.count == 1
+
+    def test_dead_worker_forces_a_fresh_pool(self):
+        # a SIGKILLed/exited worker poisons the pool: the retry round must
+        # build a new one instead of dispatching into a broken pool
+        factory = _CountingPoolFactory()
+        with pytest.warns(DegradedExecutionWarning):
+            results = _run_batches(
+                _die_in_child, self.batches(), timeout=0.75,
+                retry=RetryPolicy(max_retries=1, base_delay=0.0, max_delay=0.0),
+                what="dead-pool-test", pool_factory=factory,
+            )
+        assert results == [2, 4]
+        assert factory.count == 2

@@ -5,11 +5,14 @@ import json
 import pytest
 
 from repro.perf.bench import (
+    IPC_REDUCTION_FACTOR,
     REGRESSION_TOLERANCE,
     WORKLOADS,
     Workload,
     compare_against_baseline,
+    ipc_gate_problems,
     main,
+    run_parallel_workload,
     run_workload,
 )
 
@@ -24,9 +27,22 @@ class TestWorkloadMatrix:
         quick_groups = {(w.kind, w.dataset) for w in WORKLOADS if w.quick}
         assert quick_groups == groups
 
-    def test_both_kinds_present(self):
+    def test_all_kinds_present(self):
         kinds = {w.kind for w in WORKLOADS}
-        assert kinds == {"conditional", "topdown"}
+        assert kinds == {
+            "conditional",
+            "topdown",
+            "parallel-cond",
+            "parallel-topdown",
+        }
+
+    def test_parallel_workloads_have_enough_transactions(self):
+        # the transport-comparison claim is only meaningful at scale
+        from repro.data.datasets import load
+
+        for w in WORKLOADS:
+            if w.kind.startswith("parallel-"):
+                assert len(load(w.dataset)) >= 5_000
 
     def test_name_format(self):
         w = Workload("conditional", "T10.I4.D5K", 100, True)
@@ -36,6 +52,9 @@ class TestWorkloadMatrix:
         bad = Workload("sideways", "T10.I4.D5K", 100, False)
         with pytest.raises(ValueError):
             run_workload(bad, repeat=1)
+        bad_parallel = Workload("parallel-sideways", "T10.I4.D5K", 100, False)
+        with pytest.raises(ValueError):
+            run_parallel_workload(bad_parallel, 1, ("pickle", "shm"))
 
 
 class TestRunWorkload:
@@ -49,6 +68,50 @@ class TestRunWorkload:
         assert record["optimized_s"] >= 0.0
         assert record["speedup"] > 0.0
         assert isinstance(record["counters"], dict)
+
+
+class TestRunParallelWorkload:
+    def test_record_shape_both_transports(self):
+        w = Workload("parallel-cond", "paper-example", 2, False)
+        record = run_parallel_workload(w, 1, ("pickle", "shm"))
+        assert record["itemsets"] > 0
+        assert record["pickle_s"] >= 0.0 and record["shm_s"] >= 0.0
+        assert record["speedup"] > 0.0
+        assert set(record["ipc_bytes_sent"]) == {"pickle", "shm"}
+
+    def test_single_transport_skips_comparison_fields(self):
+        w = Workload("parallel-cond", "paper-example", 2, False)
+        record = run_parallel_workload(w, 1, ("shm",))
+        assert "shm_s" in record and "pickle_s" not in record
+        assert "speedup" not in record and "ipc_reduction" not in record
+
+
+class TestIpcGate:
+    @staticmethod
+    def _doc(pickle_bytes, shm_bytes):
+        return {
+            "workloads": [{
+                "name": "parallel-cond/X@1",
+                "ipc_bytes_sent": {"pickle": pickle_bytes, "shm": shm_bytes},
+            }]
+        }
+
+    def test_passes_under_factor(self):
+        assert ipc_gate_problems(self._doc(100_000, 900)) == []
+
+    def test_fails_at_factor(self):
+        doc = self._doc(100_000, int(100_000 * IPC_REDUCTION_FACTOR))
+        problems = ipc_gate_problems(doc)
+        assert len(problems) == 1 and "parallel-cond/X@1" in problems[0]
+
+    def test_single_transport_records_not_gated(self):
+        doc = {
+            "workloads": [
+                {"name": "parallel-cond/X@1", "ipc_bytes_sent": {"shm": 5}},
+                {"name": "conditional/Y@1"},
+            ]
+        }
+        assert ipc_gate_problems(doc) == []
 
 
 class TestCompare:
@@ -97,6 +160,22 @@ class TestCompare:
         base, now = doc(2.0, 0.0005), doc(0.2, 0.0005)
         assert compare_against_baseline(now, base) == []
         # the same swing on real timings is still a regression
+        base, now = doc(2.0, 0.5), doc(0.2, 0.5)
+        assert compare_against_baseline(now, base) != []
+
+    def test_parallel_records_gate_on_transport_timings(self):
+        # the micro-workload exclusion reads *any* `*_s` key, so the
+        # pickle/shm records participate with no special-casing
+        def doc(speedup, seconds):
+            return {
+                "workloads": [{
+                    "name": "parallel-cond/X@25", "speedup": speedup,
+                    "pickle_s": seconds, "shm_s": seconds,
+                }]
+            }
+
+        base, now = doc(2.0, 0.0005), doc(0.2, 0.0005)
+        assert compare_against_baseline(now, base) == []
         base, now = doc(2.0, 0.5), doc(0.2, 0.5)
         assert compare_against_baseline(now, base) != []
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI smoke test for the pattern-serving daemon.
+
+Starts ``python -m repro serve`` on a generated fixture database, runs a
+scripted client session — a cache miss, a cache hit, a budget trip, and a
+deliberately malformed frame — then shuts the daemon down with SIGTERM
+and checks it exits cleanly.  Any failed step exits nonzero; every wait
+is hard-bounded so a wedged daemon fails the job instead of hanging it.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+STARTUP_TIMEOUT = 30.0
+SHUTDOWN_TIMEOUT = 10.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    from repro.data.generators import generate_uniform
+    from repro.data.io import write_dat
+    from repro.robustness.framing import encode_data
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import MAX_FRAME
+
+    tmp = Path(tempfile.mkdtemp(prefix="serve_smoke_"))
+    dat = tmp / "fixture.dat"
+    db = list(generate_uniform(300, 40, 4, seed=3))
+    write_dat(db, dat)
+
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--db",
+            str(dat),
+            "--min-support",
+            "4",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # -- startup contract: a READY line within the hard timeout -------
+        info: dict = {}
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                fail(f"daemon exited before READY (rc={proc.poll()})")
+            print(line, end="")
+            if line.startswith("READY "):
+                for field in line.split()[1:]:
+                    key, _, value = field.partition("=")
+                    info[key] = value
+                break
+        if "port" not in info:
+            fail(f"no READY line within {STARTUP_TIMEOUT}s")
+        port = int(info["port"])
+
+        with ServeClient(port=port) as client:
+            if client.ping() is not True:
+                fail("ping did not pong")
+
+            # -- miss, then hit ------------------------------------------
+            env = client.topk(1, k=5)
+            if not env["ok"] or env["source"] != "miss":
+                fail(f"first topk should be a cache miss: {env}")
+            env = client.topk(1, k=5)
+            if not env["ok"] or env["source"] != "hit":
+                fail(f"second topk should be a cache hit: {env}")
+            print(f"cache miss/hit OK ({len(env['result']['itemsets'])} itemsets)")
+
+            # -- budget trip ---------------------------------------------
+            # an item the cache has not seen yet, so the budget really binds
+            env = client.topk(2, k=None, budget={"max_itemsets": 1})
+            if not env["ok"]:
+                fail(f"budgeted topk errored: {env}")
+            if env["complete"] is not False or env.get("stop_reason") != "max_itemsets":
+                fail(f"budget trip not marked: {env}")
+            if len(env["result"]["itemsets"]) > 1:
+                fail(f"budget cap exceeded: {env['result']}")
+            print(
+                "budget envelope OK "
+                f"(complete={env['complete']}, stop_reason={env['stop_reason']})"
+            )
+
+            stats = client.stats()
+            if stats["cache"]["hits"] < 1 or stats["cache"]["misses"] < 1:
+                fail(f"stats counters wrong: {stats['cache']}")
+
+        # -- malformed frame: errors that connection, daemon survives ----
+        with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+            frame = bytearray(encode_data(1, b'{"op": "ping"}'))
+            frame[-1] ^= 0xFF  # break the CRC
+            sock.sendall(struct.pack(">I", len(frame)) + bytes(frame))
+            sock.settimeout(10.0)
+            try:
+                sock.recv(4096)  # error answer or slammed door; both fine
+            except OSError:
+                pass
+        with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+            sock.sendall(struct.pack(">I", MAX_FRAME + 1))
+            try:
+                sock.recv(4096)
+            except OSError:
+                pass
+        with ServeClient(port=port, timeout=10.0) as client:
+            if client.ping() is not True:
+                fail("daemon wedged after malformed frames")
+        print("malformed-frame containment OK")
+
+        # -- clean shutdown on SIGTERM -----------------------------------
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            fail(f"daemon ignored SIGTERM for {SHUTDOWN_TIMEOUT}s")
+        if rc != 0:
+            fail(f"daemon exited rc={rc} on SIGTERM")
+        print("shutdown OK")
+        print("serve smoke: all checks passed")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -30,10 +30,25 @@ from repro.core.mining import mine_frequent_itemsets
 from repro.core.rank import sort_key
 from repro.errors import ReproError
 
-__all__ = ["ClassRule", "CBAClassifier"]
+__all__ = ["ClassRule", "CBAClassifier", "first_matching_rule"]
 
 Item = Hashable
 _CLASS = "__class__"
+
+
+def first_matching_rule(rules, features: frozenset):
+    """First rule (in list order) whose antecedent is contained in ``features``.
+
+    The CBA-CB classification step, factored out so other consumers of a
+    ranked rule list — the serving daemon's recommendation endpoint — can
+    reuse it.  Works on anything exposing an ``antecedent`` iterable
+    (:class:`ClassRule`, :class:`repro.rules.generation.Rule`); returns
+    ``None`` when nothing matches.
+    """
+    for rule in rules:
+        if frozenset(rule.antecedent) <= features:
+            return rule
+    return None
 
 
 @dataclass(frozen=True)
@@ -169,10 +184,8 @@ class CBAClassifier:
         if not self._fitted:
             raise ReproError("classifier is not fitted")
         features = frozenset(record)
-        for rule in self.rules:
-            if rule.matches(features):
-                return rule.label
-        return self.default_label
+        rule = first_matching_rule(self.rules, features)
+        return rule.label if rule is not None else self.default_label
 
     def predict(self, records: Iterable[Iterable[Item]]) -> list:
         return [self.predict_one(r) for r in records]

@@ -10,6 +10,7 @@ Subcommands
 ``datasets``  list the built-in benchmark workloads
 ``bench``     time the optimized kernels against the frozen references
 ``chaos``     run distributed mining under injected faults and verify it
+``serve``     long-lived pattern-serving daemon (framed JSON over TCP)
 
 All commands read/write the FIMI ``.dat`` format (gzip by extension).
 Exit status is 0 on success, 2 on bad arguments, 1 on runtime errors.
@@ -220,6 +221,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster backend: sim (in-process simulator, default) or "
         "process (real worker processes over localhost TCP; --crash "
         "becomes a real SIGKILL)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the pattern-serving daemon on a dataset or PLT store",
+    )
+    p_serve.add_argument(
+        "--db",
+        "--input",
+        dest="input",
+        default=None,
+        help=".dat or .dat.gz transaction file to build the index from",
+    )
+    p_serve.add_argument(
+        "--store",
+        default=None,
+        help="serve a pre-built PLT store file instead of raw transactions",
+    )
+    p_serve.add_argument(
+        "--min-support",
+        type=_support_value,
+        default=None,
+        help="build threshold (required with --db; the store's own with --store)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one; see READY line)"
+    )
+    p_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        help="bounded LRU entries for conditional/rule answers (0 disables)",
+    )
+    p_serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable in-flight deduplication of identical queries",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="concurrent governed queries before shedding with 'overloaded'",
+    )
+    p_serve.add_argument(
+        "--deadline-cap",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-query wall-clock ceiling (clamps client budgets)",
+    )
+    p_serve.add_argument(
+        "--itemset-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard per-query emitted-itemset ceiling",
+    )
+    p_serve.add_argument(
+        "--memory-cap",
+        type=_size_value,
+        default=None,
+        metavar="BYTES",
+        help="hard per-query mining-memory ceiling (k/m/g suffixes ok)",
     )
     return parser
 
@@ -487,6 +553,63 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import PatternEngine, PatternServer, ServingIndex
+
+    if (args.input is None) == (args.store is None):
+        raise ReproError("serve requires exactly one of --db/--input or --store")
+    if args.store is not None:
+        if args.min_support is not None:
+            raise ReproError("--min-support conflicts with --store (the store has its own)")
+        index = ServingIndex.from_store(args.store)
+    else:
+        if args.min_support is None:
+            raise ReproError("--min-support is required with --db/--input")
+        from repro.data.io import read_dat
+
+        index = ServingIndex.from_transactions(read_dat(args.input), args.min_support)
+
+    engine = PatternEngine(
+        index,
+        cache_size=args.cache_size,
+        coalesce=not args.no_coalesce,
+        max_inflight=args.max_inflight,
+        deadline_cap=args.deadline_cap,
+        itemset_cap=args.itemset_cap,
+        memory_cap=args.memory_cap,
+    )
+    server = PatternServer(engine, host=args.host, port=args.port)
+    server.start()
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    # the READY line is the machine-readable startup contract: supervisors
+    # (tests, CI) wait for it and read the bound port off it
+    print(
+        f"READY host={server.host} port={server.port} "
+        f"items={len(index.rank_table)} paths={index.postings.n_paths()} "
+        f"min_support={index.min_support} n_transactions={index.n_transactions}",
+        flush=True,
+    )
+    while not stop.is_set():
+        stop.wait(0.2)
+    server.stop()
+    stats = engine.stats()
+    print(
+        f"stopped after {stats['queries']} queries "
+        f"({stats['cache']['hits']} cache hits)",
+        flush=True,
+    )
+    return 0
+
+
 _COMMANDS = {
     "mine": _cmd_mine,
     "rules": _cmd_rules,
@@ -496,6 +619,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
 }
 
 

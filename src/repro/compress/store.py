@@ -201,6 +201,22 @@ class PLTStore:
             raise CodecError(f"{self._path}: bucket {s} has trailing bytes")
         return out
 
+    def iter_rank_paths(self):
+        """Stream ``(rank path, frequency)`` pairs bucket by bucket.
+
+        Each sum bucket is read from disk once, decoded, converted to
+        cumulative-sum rank paths and yielded — resident memory holds one
+        bucket at a time.  This is the serving layer's load path: a
+        :class:`~repro.serve.engine.ServingIndex` is built straight off
+        the stream without materialising the full vector table first.
+        Buckets arrive in descending sum order (the mining order).
+        """
+        from itertools import accumulate
+
+        for s in self.sums():
+            for vec, freq in self.read_bucket(s).items():
+                yield tuple(accumulate(vec)), freq
+
     def to_plt(self) -> PLT:
         """Load the whole structure into memory (for small stores)."""
         vectors: dict[PositionVector, int] = {}

@@ -26,6 +26,9 @@ __all__ = [
     "BudgetExceeded",
     "Cancelled",
     "AdmissionRejected",
+    "ServeError",
+    "ServeProtocolError",
+    "ServeOverloadedError",
     "DegradedExecutionWarning",
 ]
 
@@ -211,6 +214,47 @@ class AdmissionRejected(ReproError, RuntimeError):
         super().__init__(message)
         self.estimate = estimate
         self.budget = budget
+
+
+class ServeError(ReproError, RuntimeError):
+    """A pattern-serving request could not be answered.
+
+    Base class for the serving daemon's failure modes.  Carries a
+    machine-readable ``code`` (``"bad_request"``, ``"protocol"``,
+    ``"overloaded"``, ``"budget"``, ``"internal"``) that the wire
+    protocol surfaces in the error envelope.
+    """
+
+    code = "internal"
+
+    def __init__(self, message: str, *, code: str | None = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class ServeProtocolError(ServeError):
+    """A client frame violated the serving wire protocol.
+
+    Distinct from :class:`CodecError` (a *damaged* frame): this covers
+    structurally hostile input — oversized length prefixes, non-DATA
+    frames, payloads that are not valid request JSON.  The server answers
+    the offending connection with an error envelope where possible and
+    closes it; other connections are unaffected.
+    """
+
+    code = "protocol"
+
+
+class ServeOverloadedError(ServeError):
+    """Admission control refused a query: too many in flight.
+
+    The serving daemon bounds concurrent mining work; a request arriving
+    with every admission slot taken is rejected immediately (load
+    shedding) rather than queued indefinitely.
+    """
+
+    code = "overloaded"
 
 
 class DegradedExecutionWarning(RuntimeWarning):

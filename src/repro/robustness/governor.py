@@ -137,6 +137,35 @@ class MiningBudget:
             check_interval=self.check_interval,
         )
 
+    def clamp(
+        self,
+        *,
+        deadline_cap: float | None = None,
+        itemset_cap: int | None = None,
+        memory_cap: int | None = None,
+    ) -> "MiningBudget":
+        """A copy with each axis bounded by a server-side cap.
+
+        ``None`` caps leave the axis alone; a ``None`` axis with a cap set
+        takes the cap (an unbounded *request* must not defeat a bounded
+        *server*).  The serving daemon's admission control uses this to
+        fold per-query client budgets into its own operator-set limits.
+        """
+
+        def cap_axis(value, cap):
+            if cap is None:
+                return value
+            if value is None:
+                return cap
+            return min(value, cap)
+
+        return MiningBudget(
+            deadline=cap_axis(self.deadline, deadline_cap),
+            max_itemsets=cap_axis(self.max_itemsets, itemset_cap),
+            memory_budget=cap_axis(self.memory_budget, memory_cap),
+            check_interval=self.check_interval,
+        )
+
 
 class CancellationToken:
     """Thread-safe cooperative cancellation flag.

@@ -1,0 +1,43 @@
+"""Pattern serving: a long-lived daemon answering itemset queries.
+
+Build (or load) a compressed PLT once, then answer frequency checks,
+per-item conditional top-k mining, and rule/recommendation lookups over
+a framed JSON socket protocol — each query under its own resource
+budget, with memoization and in-flight coalescing.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.cache` — bounded LRU + singleflight coalescing;
+* :mod:`repro.serve.admission` — per-query governors, budget clamping,
+  bounded concurrency;
+* :mod:`repro.serve.engine` — the transport-free query engine
+  (:class:`ServingIndex` + :class:`PatternEngine`);
+* :mod:`repro.serve.protocol` — length-prefixed CRC'd JSON framing;
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — the TCP
+  daemon and its blocking client.
+
+Start one from the command line with ``python -m repro serve``.
+"""
+
+from repro.serve.admission import AdmissionController, budget_from_request, budget_signature
+from repro.serve.cache import CacheStats, ServingCache
+from repro.serve.client import ServeClient
+from repro.serve.engine import PatternEngine, ServingIndex, serialize_rule
+from repro.serve.protocol import MAX_FRAME, encode_message, decode_message
+from repro.serve.server import PatternServer
+
+__all__ = [
+    "AdmissionController",
+    "budget_from_request",
+    "budget_signature",
+    "CacheStats",
+    "ServingCache",
+    "ServeClient",
+    "PatternEngine",
+    "ServingIndex",
+    "serialize_rule",
+    "MAX_FRAME",
+    "encode_message",
+    "decode_message",
+    "PatternServer",
+]

@@ -1,0 +1,169 @@
+"""Per-query admission control for the pattern-serving daemon.
+
+Every query runs under its *own* :class:`~repro.robustness.governor.
+ResourceGovernor` — governors are single-run objects, so budgets and
+cancellation can never leak between concurrent queries.  Admission folds
+three inputs into that governor:
+
+1. the client's requested budget (``{"deadline": ..., "max_itemsets":
+   ...}`` in the request envelope),
+2. the server's per-query defaults (applied when the client asked for
+   nothing), and
+3. the server's hard caps (:meth:`MiningBudget.clamp` — a client cannot
+   request *more* than the operator allows).
+
+Concurrency is bounded by a counting semaphore: a query arriving with
+every slot taken is rejected immediately with
+:class:`~repro.errors.ServeOverloadedError` (shed load, don't queue
+unboundedly) — the client sees an ``overloaded`` error envelope and can
+retry.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import InvalidParameterError, ServeOverloadedError, ServeProtocolError
+from repro.robustness.governor import CancellationToken, MiningBudget, ResourceGovernor
+
+__all__ = ["AdmissionController", "budget_from_request", "budget_signature"]
+
+
+def budget_from_request(spec: dict | None) -> MiningBudget | None:
+    """Parse a request envelope's ``budget`` object into a MiningBudget.
+
+    ``None``/empty means "no client budget".  Unknown keys and invalid
+    values raise :class:`~repro.errors.ServeProtocolError` so the client
+    gets a ``bad_request`` answer instead of a silently ignored limit.
+    """
+    if not spec:
+        return None
+    if not isinstance(spec, dict):
+        raise ServeProtocolError(
+            f"budget must be an object, got {type(spec).__name__}", code="bad_request"
+        )
+    unknown = set(spec) - {"deadline", "max_itemsets", "memory_budget"}
+    if unknown:
+        raise ServeProtocolError(
+            f"unknown budget fields: {', '.join(sorted(unknown))}", code="bad_request"
+        )
+    try:
+        return MiningBudget(
+            deadline=spec.get("deadline"),
+            max_itemsets=spec.get("max_itemsets"),
+            memory_budget=spec.get("memory_budget"),
+        )
+    except InvalidParameterError as exc:
+        raise ServeProtocolError(f"invalid budget: {exc}", code="bad_request") from exc
+
+
+def budget_signature(budget: MiningBudget | None) -> tuple:
+    """Hashable identity of a budget, for coalescing flight keys.
+
+    Queries coalesce only when their *effective* budgets agree — a
+    tiny-budget query must never receive (or donate) another budget's
+    partial answer.
+    """
+    if budget is None or budget.unlimited():
+        return ()
+    return (budget.deadline, budget.max_itemsets, budget.memory_budget)
+
+
+class AdmissionController:
+    """Bounded-concurrency gate building one governor per admitted query.
+
+    Parameters
+    ----------
+    max_inflight:
+        Concurrent governed queries allowed; further arrivals are shed
+        with :class:`~repro.errors.ServeOverloadedError`.
+    default_budget:
+        Applied when a request carries no budget of its own.
+    deadline_cap, itemset_cap, memory_cap:
+        Hard per-query ceilings folded over whatever the client asked for
+        (see :meth:`~repro.robustness.governor.MiningBudget.clamp`).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 8,
+        default_budget: MiningBudget | None = None,
+        deadline_cap: float | None = None,
+        itemset_cap: int | None = None,
+        memory_cap: int | None = None,
+    ):
+        if max_inflight < 1:
+            raise InvalidParameterError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.default_budget = default_budget
+        self.deadline_cap = deadline_cap
+        self.itemset_cap = itemset_cap
+        self.memory_cap = memory_cap
+        self._slots = threading.BoundedSemaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+    def effective_budget(self, requested: MiningBudget | None) -> MiningBudget | None:
+        """The budget a query will actually run under (caps folded in)."""
+        budget = requested if requested is not None else self.default_budget
+        if (
+            self.deadline_cap is None
+            and self.itemset_cap is None
+            and self.memory_cap is None
+        ):
+            return budget
+        base = budget if budget is not None else MiningBudget()
+        return base.clamp(
+            deadline_cap=self.deadline_cap,
+            itemset_cap=self.itemset_cap,
+            memory_cap=self.memory_cap,
+        )
+
+    @contextmanager
+    def admit(
+        self,
+        requested: MiningBudget | None = None,
+        cancel: CancellationToken | None = None,
+    ):
+        """Admit one query; yields its armed governor (or ``None``).
+
+        ``None`` is yielded when no budget axis and no cancellation token
+        applies — the mining hot loops then skip governance entirely.
+        Raises :class:`~repro.errors.ServeOverloadedError` without
+        blocking when every slot is taken.
+        """
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self._rejected += 1
+            raise ServeOverloadedError(
+                f"server overloaded: {self.max_inflight} queries already in flight"
+            )
+        with self._lock:
+            self._admitted += 1
+            self._inflight += 1
+        try:
+            budget = self.effective_budget(requested)
+            if (budget is None or budget.unlimited()) and cancel is None:
+                yield None
+            else:
+                yield ResourceGovernor(budget, cancel).start()
+        finally:
+            with self._lock:
+                self._inflight -= 1
+            self._slots.release()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+            }

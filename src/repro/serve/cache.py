@@ -1,0 +1,196 @@
+"""Bounded LRU result cache with in-flight query coalescing.
+
+The serving daemon's answer to "millions of users ask the same few
+questions": conditional-mining results are memoized in a bounded LRU
+keyed by ``(item, min_support)``, and *identical in-flight* queries are
+coalesced — while one thread mines a conditional database, every other
+thread asking the same question parks on the leader's flight and receives
+the same answer object, so a conditional database is mined at most once
+per batch window regardless of concurrency.
+
+Two keys, deliberately distinct:
+
+* the **store key** identifies the answer (``(op, item, min_support)``) —
+  budgets are *not* part of it, because a complete cached answer
+  satisfies any budget;
+* the **flight key** identifies the computation and *does* include the
+  budget signature — a tiny-budget leader must never hand its partial
+  answer to a generously-budgeted waiter (cross-query budget leakage).
+
+Only **complete** results are stored: a computation that stopped on a
+budget trip returns its partial envelope to the queries that coalesced
+onto it, but poisons nothing.  The counters satisfy the invariant
+``hits + misses + coalesced == lookups`` at any quiescent point.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "ServingCache"]
+
+
+class CacheStats:
+    """Immutable snapshot of a :class:`ServingCache`'s counters."""
+
+    __slots__ = ("hits", "misses", "coalesced", "evictions", "size", "capacity")
+
+    def __init__(self, hits, misses, coalesced, evictions, size, capacity):
+        self.hits = hits
+        self.misses = misses
+        self.coalesced = coalesced
+        self.evictions = evictions
+        self.size = size
+        self.capacity = capacity
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.coalesced
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "lookups": self.lookups,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"coalesced={self.coalesced}, evictions={self.evictions}, "
+            f"size={self.size}/{self.capacity})"
+        )
+
+
+class _Flight:
+    """One in-progress computation other threads can park on."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class ServingCache:
+    """Thread-safe LRU + singleflight for the pattern-serving engine.
+
+    ``capacity == 0`` disables memoization entirely (every query
+    recomputes) without disabling coalescing — in-flight dedup is a
+    correctness-preserving load-shedding measure independent of storage.
+    ``coalesce=False`` additionally turns off in-flight dedup (each query
+    computes on its own thread; used by tests to compare modes).
+    """
+
+    def __init__(self, capacity: int = 128, *, coalesce: bool = True):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.coalesce = coalesce
+        self._store: OrderedDict[Hashable, Any] = OrderedDict()
+        self._flights: dict[Hashable, _Flight] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._coalesced = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self,
+        store_key: Hashable,
+        compute: Callable[[], tuple[Any, bool]],
+        *,
+        flight_key: Hashable = None,
+    ) -> tuple[Any, str]:
+        """Return ``(value, source)`` with ``source`` in hit/miss/coalesced.
+
+        ``compute`` must return ``(value, cacheable)`` — a budget-tripped
+        partial answer sets ``cacheable=False`` and is returned without
+        being stored.  ``flight_key`` defaults to ``store_key``; pass a
+        budget-qualified key so differently-budgeted identical queries
+        never coalesce onto each other.
+        """
+        if flight_key is None:
+            flight_key = store_key
+        with self._lock:
+            if self.capacity > 0:
+                try:
+                    value = self._store[store_key]
+                except KeyError:
+                    pass
+                else:
+                    self._store.move_to_end(store_key)
+                    self._hits += 1
+                    return value, "hit"
+            flight = self._flights.get(flight_key) if self.coalesce else None
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                if self.coalesce:
+                    self._flights[flight_key] = flight
+                self._misses += 1
+            else:
+                self._coalesced += 1
+        if not leader:
+            # park on the in-flight leader; it always completes the event
+            # in a finally block, so this wait is bounded by the leader's
+            # own (budgeted) computation
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, "coalesced"
+        try:
+            value, cacheable = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        else:
+            flight.value = value
+            if cacheable and self.capacity > 0:
+                with self._lock:
+                    self._store[store_key] = value
+                    self._store.move_to_end(store_key)
+                    while len(self._store) > self.capacity:
+                        self._store.popitem(last=False)
+                        self._evictions += 1
+            return value, "miss"
+        finally:
+            if self.coalesce:
+                with self._lock:
+                    self._flights.pop(flight_key, None)
+            flight.done.set()
+
+    # ------------------------------------------------------------------
+    def peek(self, store_key: Hashable) -> Any | None:
+        """Cached value without touching counters or recency (tests)."""
+        with self._lock:
+            return self._store.get(store_key)
+
+    def invalidate(self) -> None:
+        """Drop every stored entry (counters survive)."""
+        with self._lock:
+            self._store.clear()
+
+    def inflight(self) -> int:
+        """Number of computations currently in flight."""
+        with self._lock:
+            return len(self._flights)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                self._hits,
+                self._misses,
+                self._coalesced,
+                self._evictions,
+                len(self._store),
+                self.capacity,
+            )

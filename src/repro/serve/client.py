@@ -1,0 +1,143 @@
+"""A minimal blocking client for the pattern-serving daemon.
+
+One :class:`ServeClient` wraps one TCP connection and speaks the framed
+JSON protocol (:mod:`repro.serve.protocol`).  Typed helpers mirror the
+engine's endpoints; :meth:`request` sends any raw dict for tests that
+need to probe malformed or unknown operations.
+
+The client is intentionally dumb: no retries, no pooling, no pipelining
+— a failed read raises, and the caller decides.  Sequence numbers are
+monotonically assigned per connection and checked against the response
+echo, so a desynchronised stream is detected immediately.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ServeError, ServeProtocolError
+from repro.serve.protocol import read_message, write_message
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking request/response client; usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request dict, return the response envelope dict."""
+        self._seq += 1
+        write_message(self._sock, self._seq, payload)
+        message = read_message(self._sock)
+        if message is None:
+            raise ServeProtocolError("server closed the connection before answering")
+        seq, envelope = message
+        # seq 0 is the server's out-of-band answer to an unparseable frame
+        if seq not in (self._seq, 0):
+            raise ServeProtocolError(
+                f"response out of sequence: sent {self._seq}, got {seq}"
+            )
+        return envelope
+
+    def check(self, payload: dict) -> dict:
+        """Like :meth:`request` but raises :class:`ServeError` on ok=false."""
+        envelope = self.request(payload)
+        if not envelope.get("ok"):
+            raise ServeError(
+                envelope.get("error", "request failed"),
+                code=envelope.get("code", "internal"),
+            )
+        return envelope
+
+    # ------------------------------------------------------------------
+    # typed endpoint helpers
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return self.check({"op": "ping"})["result"]["pong"]
+
+    def frequency(self, items, *, min_support=None, budget=None) -> dict:
+        payload = {"op": "frequency", "items": list(items)}
+        if min_support is not None:
+            payload["min_support"] = min_support
+        if budget is not None:
+            payload["budget"] = budget
+        return self.request(payload)
+
+    def topk(self, item, *, k=10, min_support=None, budget=None) -> dict:
+        payload = {"op": "topk", "item": item, "k": k}
+        if min_support is not None:
+            payload["min_support"] = min_support
+        if budget is not None:
+            payload["budget"] = budget
+        return self.request(payload)
+
+    def rules(
+        self, *, min_support=None, min_confidence=0.5, min_lift=None, limit=50, budget=None
+    ) -> dict:
+        payload = {
+            "op": "rules",
+            "min_confidence": min_confidence,
+            "limit": limit,
+        }
+        if min_support is not None:
+            payload["min_support"] = min_support
+        if min_lift is not None:
+            payload["min_lift"] = min_lift
+        if budget is not None:
+            payload["budget"] = budget
+        return self.request(payload)
+
+    def recommend(
+        self,
+        basket,
+        *,
+        min_support=None,
+        min_confidence=0.5,
+        min_lift=None,
+        top=5,
+        budget=None,
+    ) -> dict:
+        payload = {
+            "op": "recommend",
+            "basket": list(basket),
+            "min_confidence": min_confidence,
+            "top": top,
+        }
+        if min_support is not None:
+            payload["min_support"] = min_support
+        if min_lift is not None:
+            payload["min_lift"] = min_lift
+        if budget is not None:
+            payload["budget"] = budget
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.check({"op": "stats"})["result"]
+
+    # ------------------------------------------------------------------
+    def send_raw(self, data: bytes) -> None:
+        """Push raw bytes down the socket (protocol fuzz tests)."""
+        self._sock.sendall(data)
+
+    def read_envelope(self):
+        """Read one message off the socket without sending (fuzz tests)."""
+        return read_message(self._sock)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,116 @@
+"""The serving daemon's wire protocol: length-prefixed CRC'd JSON.
+
+One message on the wire is::
+
+    length   4 bytes, big-endian — byte count of the frame that follows
+    frame    a :mod:`repro.robustness.framing` DATA frame whose payload
+             is one UTF-8 JSON document (request or response envelope)
+
+The outer length prefix makes the stream self-delimiting (a socket
+reader knows exactly how many bytes to collect before parsing); the
+inner CRC frame detects corruption of everything after the prefix, so a
+flipped bit yields a clean :class:`~repro.errors.CodecError` instead of
+a wrong answer.  Request and response reuse the DATA frame's ``seq``
+field: a response echoes the sequence number of the request it answers,
+which lets a client correlate pipelined queries.
+
+Hard limits: a length prefix of zero, or larger than :data:`MAX_FRAME`,
+is structurally hostile and raises
+:class:`~repro.errors.ServeProtocolError` before any allocation — a
+4-byte prefix can claim 4 GiB, and the daemon must not try to honour
+that.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.errors import ServeProtocolError
+from repro.robustness import framing
+
+__all__ = [
+    "MAX_FRAME",
+    "encode_message",
+    "decode_message",
+    "read_message",
+    "write_message",
+]
+
+#: Upper bound on one framed message (prefix excluded).  Far above any
+#: legitimate request and comfortably above the largest response page.
+MAX_FRAME = 1 << 20
+
+_PREFIX = struct.Struct(">I")
+
+
+def encode_message(seq: int, obj) -> bytes:
+    """Serialize one request/response object to its on-wire bytes."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    frame = framing.encode_data(seq, payload)
+    if len(frame) > MAX_FRAME:
+        raise ServeProtocolError(
+            f"message of {len(frame)} bytes exceeds the {MAX_FRAME} byte frame cap"
+        )
+    return _PREFIX.pack(len(frame)) + frame
+
+
+def decode_message(frame_bytes: bytes) -> tuple[int, object]:
+    """Parse the framed part of a message; returns ``(seq, obj)``.
+
+    Raises :class:`~repro.errors.CodecError` for damaged frames and
+    :class:`~repro.errors.ServeProtocolError` for structurally wrong ones
+    (non-DATA kind, payload that is not valid JSON).
+    """
+    frame = framing.decode_frame(frame_bytes)
+    if frame.kind != framing.DATA:
+        raise ServeProtocolError(
+            f"expected a DATA frame, got kind {frame.kind}"
+        )
+    try:
+        obj = json.loads(frame.payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    return frame.seq, obj
+
+
+def _recv_exact(sock: socket.socket, n: int, *, eof_ok: bool = False) -> bytes | None:
+    """Read exactly ``n`` bytes from a socket.
+
+    ``eof_ok`` permits a clean EOF *before the first byte* (the peer
+    closed between messages) — signalled as ``None``.  EOF mid-read is
+    always a protocol error: the peer died inside a message.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ServeProtocolError(
+                f"connection closed mid-message ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> tuple[int, object] | None:
+    """Read one complete message; ``None`` on clean EOF at a boundary."""
+    prefix = _recv_exact(sock, _PREFIX.size, eof_ok=True)
+    if prefix is None:
+        return None
+    (length,) = _PREFIX.unpack(prefix)
+    if length == 0 or length > MAX_FRAME:
+        raise ServeProtocolError(
+            f"frame length {length} outside (0, {MAX_FRAME}]"
+        )
+    frame_bytes = _recv_exact(sock, length)
+    return decode_message(frame_bytes)
+
+
+def write_message(sock: socket.socket, seq: int, obj) -> None:
+    """Send one complete message."""
+    sock.sendall(encode_message(seq, obj))

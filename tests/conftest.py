@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from types import SimpleNamespace
 
 import pytest
 
@@ -63,3 +71,129 @@ def random_database(
 @pytest.fixture
 def small_random_db() -> list[frozenset]:
     return random_database(12345)
+
+
+# ---------------------------------------------------------------------------
+# serving-daemon process fixture
+# ---------------------------------------------------------------------------
+_SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Hard ceilings: a daemon that cannot announce READY / exit within these
+#: is a bug, and the fixture fails the test instead of hanging the suite.
+SERVE_STARTUP_TIMEOUT = 30.0
+SERVE_SHUTDOWN_TIMEOUT = 10.0
+
+
+def _shm_segments() -> set:
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {f for f in os.listdir("/dev/shm") if f.startswith("plt_shm_")}
+
+
+@pytest.fixture
+def serve_daemon(tmp_path):
+    """Factory launching real ``python -m repro serve`` daemons.
+
+    Yields ``launch(db, min_support, ...) -> handle`` where the handle has
+    ``.port``, ``.proc``, ``.info`` (the parsed READY line) and
+    ``.output()``.  Startup blocks (with a hard timeout) until the daemon
+    prints its READY line; teardown SIGTERMs every launched daemon and
+    *asserts* that each exits within the shutdown timeout (no leaked
+    processes) and that no ``/dev/shm`` segment appeared and survived.
+    """
+    launched: list[SimpleNamespace] = []
+    shm_before = _shm_segments()
+
+    def launch(
+        db=None,
+        min_support=2,
+        *,
+        store=None,
+        extra_args=(),
+        startup_timeout=SERVE_STARTUP_TIMEOUT,
+    ):
+        if (db is None) == (store is None):
+            raise ValueError("launch() needs exactly one of db= or store=")
+        if store is not None:
+            cmd = [sys.executable, "-m", "repro", "serve", "--store", str(store)]
+        else:
+            from repro.data.io import write_dat
+
+            dat = tmp_path / f"serve_{len(launched)}.dat"
+            write_dat(db, dat)
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--db",
+                str(dat),
+                "--min-support",
+                str(min_support),
+            ]
+        cmd += list(extra_args)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        lines: list[str] = []
+        info: dict = {}
+        seen_ready = threading.Event()
+
+        def pump():
+            for line in proc.stdout:
+                lines.append(line)
+                if line.startswith("READY "):
+                    for field in line.split()[1:]:
+                        key, _, value = field.partition("=")
+                        info[key] = value
+                    seen_ready.set()
+            seen_ready.set()  # EOF: unblock the waiter; failure shows below
+
+        reader = threading.Thread(target=pump, daemon=True)
+        reader.start()
+        handle = SimpleNamespace(
+            proc=proc,
+            info=info,
+            port=None,
+            output=lambda: "".join(lines),
+        )
+        launched.append(handle)
+        deadline = time.monotonic() + startup_timeout
+        while time.monotonic() < deadline:
+            if seen_ready.wait(0.2) and ("port" in info or proc.poll() is not None):
+                break
+        if "port" not in info:
+            proc.kill()
+            proc.wait()
+            raise AssertionError(
+                f"daemon failed to announce READY within {startup_timeout}s; "
+                f"output:\n{''.join(lines)}"
+            )
+        handle.port = int(info["port"])
+        return handle
+
+    yield launch
+
+    leaked = []
+    for handle in launched:
+        proc = handle.proc
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(SERVE_SHUTDOWN_TIMEOUT)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                leaked.append(handle)
+    assert not leaked, (
+        f"{len(leaked)} daemon(s) ignored SIGTERM for {SERVE_SHUTDOWN_TIMEOUT}s "
+        f"and had to be killed; output of first:\n{leaked[0].output()}"
+    )
+    shm_leaked = _shm_segments() - shm_before
+    assert not shm_leaked, f"daemon leaked /dev/shm segments: {sorted(shm_leaked)}"

@@ -1,0 +1,287 @@
+"""Unit tests for the serving cache, coalescing, and admission control."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    InvalidParameterError,
+    ServeOverloadedError,
+    ServeProtocolError,
+)
+from repro.robustness.governor import MiningBudget
+from repro.serve.admission import (
+    AdmissionController,
+    budget_from_request,
+    budget_signature,
+)
+from repro.serve.cache import ServingCache
+
+
+def _const(value, cacheable=True):
+    return lambda: (value, cacheable)
+
+
+class TestServingCacheBasics:
+    def test_miss_then_hit(self):
+        cache = ServingCache(4)
+        value, source = cache.get_or_compute("a", _const(1))
+        assert (value, source) == (1, "miss")
+        value, source = cache.get_or_compute("a", _const(999))
+        assert (value, source) == (1, "hit")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.lookups == 2
+
+    def test_uncacheable_results_are_returned_but_not_stored(self):
+        cache = ServingCache(4)
+        value, source = cache.get_or_compute("a", _const("partial", cacheable=False))
+        assert (value, source) == ("partial", "miss")
+        assert cache.peek("a") is None
+        value, source = cache.get_or_compute("a", _const("full"))
+        assert (value, source) == ("full", "miss")
+        assert cache.peek("a") == "full"
+
+    def test_lru_eviction_order(self):
+        cache = ServingCache(2)
+        cache.get_or_compute("a", _const(1))
+        cache.get_or_compute("b", _const(2))
+        cache.get_or_compute("a", _const(0))  # refresh a's recency (hit)
+        cache.get_or_compute("c", _const(3))  # evicts b, the LRU entry
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+        assert cache.peek("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_capacity_zero_disables_storage_only(self):
+        cache = ServingCache(0)
+        for _ in range(3):
+            value, source = cache.get_or_compute("a", _const(1))
+            assert (value, source) == (1, "miss")
+        stats = cache.stats()
+        assert stats.misses == 3 and stats.hits == 0 and stats.size == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ServingCache(-1)
+
+    def test_invalidate_keeps_counters(self):
+        cache = ServingCache(4)
+        cache.get_or_compute("a", _const(1))
+        cache.get_or_compute("a", _const(1))
+        cache.invalidate()
+        assert cache.peek("a") is None
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 0
+
+    def test_compute_error_propagates_and_caches_nothing(self):
+        cache = ServingCache(4)
+
+        def boom():
+            raise RuntimeError("compute failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("a", boom)
+        assert cache.peek("a") is None
+        assert cache.inflight() == 0
+        # the key is not poisoned: a later compute succeeds
+        assert cache.get_or_compute("a", _const(1)) == (1, "miss")
+
+
+class TestCoalescing:
+    def _start_leader(self, cache, key, release, value="answer"):
+        entered = threading.Event()
+
+        def compute():
+            entered.set()
+            assert release.wait(30.0)
+            return value, True
+
+        result: list = []
+
+        def leader():
+            result.append(cache.get_or_compute(key, compute))
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        assert entered.wait(15.0)
+        return thread, result
+
+    def test_waiters_receive_leader_value(self):
+        cache = ServingCache(4)
+        release = threading.Event()
+        leader_thread, leader_result = self._start_leader(cache, "k", release)
+        waiter_results: list = []
+
+        def waiter():
+            waiter_results.append(cache.get_or_compute("k", _const("WRONG")))
+
+        waiters = [threading.Thread(target=waiter) for _ in range(3)]
+        for t in waiters:
+            t.start()
+        for _ in range(300):
+            if cache.stats().coalesced == 3:
+                break
+            threading.Event().wait(0.05)
+        release.set()
+        leader_thread.join(30.0)
+        for t in waiters:
+            t.join(30.0)
+        assert leader_result == [("answer", "miss")]
+        assert waiter_results == [("answer", "coalesced")] * 3
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.coalesced == 3
+        assert stats.lookups == stats.hits + stats.misses + stats.coalesced
+
+    def test_leader_error_propagates_to_waiters(self):
+        cache = ServingCache(4)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def failing():
+            entered.set()
+            assert release.wait(30.0)
+            raise RuntimeError("leader died")
+
+        errors: list = []
+
+        def leader():
+            try:
+                cache.get_or_compute("k", failing)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        def waiter():
+            try:
+                cache.get_or_compute("k", _const("unused"))
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        lt = threading.Thread(target=leader)
+        lt.start()
+        assert entered.wait(15.0)
+        wt = threading.Thread(target=waiter)
+        wt.start()
+        for _ in range(300):
+            if cache.stats().coalesced == 1:
+                break
+            threading.Event().wait(0.05)
+        release.set()
+        lt.join(30.0)
+        wt.join(30.0)
+        assert len(errors) == 2
+        assert all(str(e) == "leader died" for e in errors)
+        assert cache.inflight() == 0
+
+    def test_distinct_flight_keys_do_not_coalesce(self):
+        cache = ServingCache(0)  # storage off isolates flight behavior
+        release = threading.Event()
+        release.set()
+        a = cache.get_or_compute("k", _const(1), flight_key=("k", "budget-a"))
+        b = cache.get_or_compute("k", _const(2), flight_key=("k", "budget-b"))
+        assert a == (1, "miss") and b == (2, "miss")
+        assert cache.stats().coalesced == 0
+
+    def test_coalesce_disabled(self):
+        cache = ServingCache(0, coalesce=False)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow():
+            entered.set()
+            assert release.wait(30.0)
+            return "slow", True
+
+        results: list = []
+        lt = threading.Thread(
+            target=lambda: results.append(cache.get_or_compute("k", slow))
+        )
+        lt.start()
+        assert entered.wait(15.0)
+        # with coalescing off a concurrent identical query computes alone
+        assert cache.get_or_compute("k", _const("fast")) == ("fast", "miss")
+        release.set()
+        lt.join(30.0)
+        assert cache.stats().coalesced == 0 and cache.stats().misses == 2
+
+
+class TestBudgetParsing:
+    def test_none_and_empty_mean_no_budget(self):
+        assert budget_from_request(None) is None
+        assert budget_from_request({}) is None
+
+    def test_valid_budget_fields(self):
+        budget = budget_from_request({"deadline": 1.5, "max_itemsets": 10})
+        assert budget.deadline == 1.5
+        assert budget.max_itemsets == 10
+        assert budget.memory_budget is None
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServeProtocolError) as exc_info:
+            budget_from_request({"max_items": 5})
+        assert exc_info.value.code == "bad_request"
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServeProtocolError):
+            budget_from_request("1.5")
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ServeProtocolError):
+            budget_from_request({"max_itemsets": -1})
+
+    def test_signature_distinguishes_budgets(self):
+        assert budget_signature(None) == ()
+        assert budget_signature(MiningBudget()) == ()
+        a = budget_signature(MiningBudget(max_itemsets=1))
+        b = budget_signature(MiningBudget(max_itemsets=2))
+        assert a != b != ()
+
+
+class TestAdmissionController:
+    def test_unlimited_query_gets_no_governor(self):
+        admission = AdmissionController()
+        with admission.admit(None) as governor:
+            assert governor is None
+
+    def test_budgeted_query_gets_armed_governor(self):
+        admission = AdmissionController()
+        with admission.admit(MiningBudget(max_itemsets=5)) as governor:
+            assert governor is not None
+            governor.note_itemsets(3)  # under the cap: fine
+
+    def test_caps_clamp_client_budgets(self):
+        admission = AdmissionController(itemset_cap=10)
+        assert admission.effective_budget(MiningBudget(max_itemsets=50)).max_itemsets == 10
+        assert admission.effective_budget(MiningBudget(max_itemsets=5)).max_itemsets == 5
+        assert admission.effective_budget(None).max_itemsets == 10
+
+    def test_default_budget_applies_only_without_request(self):
+        admission = AdmissionController(default_budget=MiningBudget(max_itemsets=7))
+        assert admission.effective_budget(None).max_itemsets == 7
+        assert admission.effective_budget(MiningBudget(max_itemsets=3)).max_itemsets == 3
+
+    def test_overload_is_immediate_not_queued(self):
+        admission = AdmissionController(max_inflight=1)
+        with admission.admit(None):
+            with pytest.raises(ServeOverloadedError):
+                with admission.admit(None):
+                    pass  # pragma: no cover
+        # slot released: admission works again
+        with admission.admit(None):
+            pass
+        stats = admission.stats()
+        assert stats["admitted"] == 2 and stats["rejected"] == 1
+        assert stats["inflight"] == 0
+
+    def test_slot_released_on_compute_error(self):
+        admission = AdmissionController(max_inflight=1)
+        with pytest.raises(RuntimeError):
+            with admission.admit(None):
+                raise RuntimeError("query exploded")
+        with admission.admit(None) as governor:
+            assert governor is None
+
+    def test_max_inflight_validated(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(max_inflight=0)

@@ -11,6 +11,7 @@ Subcommands
 ``bench``     time the optimized kernels against the frozen references
 ``chaos``     run distributed mining under injected faults and verify it
 ``serve``     long-lived pattern-serving daemon (framed JSON over TCP)
+``stream``    one-pass bounded-memory sketch ingestion with snapshots
 
 All commands read/write the FIMI ``.dat`` format (gzip by extension).
 Exit status is 0 on success, 2 on bad arguments, 1 on runtime errors.
@@ -101,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_mine.add_argument(
         "--degrade",
-        choices=["sampling", "topk"],
+        choices=["sampling", "topk", "sketch"],
         default=None,
         help="on budget exhaustion fall back to an approximate strategy "
         "instead of returning a partial result",
@@ -286,6 +287,89 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BYTES",
         help="hard per-query mining-memory ceiling (k/m/g suffixes ok)",
+    )
+    p_serve.add_argument(
+        "--sketch",
+        action="store_true",
+        help="serve sketch estimates from fixed memory instead of the exact "
+        "index (one ingest pass over --db, never materialises the PLT; "
+        "answers via sketch_frequency/sketch_topk/sketch_frequent)",
+    )
+    p_serve.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.005,
+        help="sketch additive-error rate for --sketch (bound = eps * updates)",
+    )
+    p_serve.add_argument(
+        "--delta",
+        type=float,
+        default=0.01,
+        help="sketch error-bound failure probability for --sketch",
+    )
+    p_serve.add_argument(
+        "--hh-capacity",
+        type=int,
+        default=256,
+        help="heavy-hitter slots per space-saving summary for --sketch",
+    )
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="ingest a transaction stream into a bounded-memory sketch",
+    )
+    p_stream.add_argument(
+        "--input",
+        default="-",
+        help=".dat/.dat.gz file, or '-' for stdin (single pass, unseekable ok)",
+    )
+    p_stream.add_argument(
+        "--epsilon", type=float, default=0.005,
+        help="additive-error rate: estimates overshoot by <= eps * updates",
+    )
+    p_stream.add_argument(
+        "--delta", type=float, default=0.01,
+        help="probability the error bound fails (per query)",
+    )
+    p_stream.add_argument(
+        "--capacity", type=int, default=256,
+        help="heavy-hitter slots per space-saving summary",
+    )
+    p_stream.add_argument("--seed", type=int, default=0, help="hash-family seed")
+    p_stream.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="sliding-window mode: cover only the last N transactions",
+    )
+    p_stream.add_argument(
+        "--buckets", type=int, default=4,
+        help="window generations (eviction granularity; --window only)",
+    )
+    p_stream.add_argument(
+        "--exact-tail", type=int, default=0, metavar="N",
+        help="also mine the last N transactions exactly (--window only)",
+    )
+    p_stream.add_argument(
+        "--top", type=int, default=10, help="heavy hitters in each report"
+    )
+    p_stream.add_argument(
+        "--report-every", type=int, default=0, metavar="N",
+        help="print a heavy-hitter report every N transactions (0: final only)",
+    )
+    p_stream.add_argument(
+        "--min-support", type=_support_value, default=None,
+        help="also print every monitored itemset estimated at/above this",
+    )
+    p_stream.add_argument(
+        "--snapshot", default=None, metavar="DIR",
+        help="persist the sketch into a CheckpointStore directory "
+        "(at each report and at end of stream)",
+    )
+    p_stream.add_argument(
+        "--restore", default=None, metavar="DIR",
+        help="resume from the sketch snapshotted in DIR before ingesting",
+    )
+    p_stream.add_argument(
+        "--json", action="store_true", help="machine-readable final report"
     )
     return parser
 
@@ -557,11 +641,36 @@ def _cmd_serve(args) -> int:
     import signal
     import threading
 
-    from repro.serve import PatternEngine, PatternServer, ServingIndex
+    from repro.serve import PatternEngine, PatternServer, ServingIndex, SketchEngine
 
-    if (args.input is None) == (args.store is None):
+    if args.sketch:
+        if args.store is not None:
+            raise ReproError(
+                "--sketch ingests raw transactions; it cannot serve a --store"
+            )
+        if args.input is None:
+            raise ReproError("--sketch requires --db/--input")
+        from repro.data.io import ParseReport, iter_dat_lines
+        from repro.stream import StreamSummary
+
+        summary = StreamSummary(
+            epsilon=args.epsilon, delta=args.delta, capacity=args.hh_capacity
+        )
+        report = ParseReport(path=str(args.input))
+        # one pass, no TransactionDatabase: the sketch is the whole state
+        for transaction in iter_dat_lines(args.input, report=report):
+            summary.push(transaction)
+        engine = SketchEngine(summary)
+        ready = (
+            f"READY host={{host}} port={{port}} engine=sketch "
+            f"items={len(summary.registry)} "
+            f"n_transactions={summary.n_transactions} "
+            f"epsilon={summary.epsilon} error_bound={summary.error_bound(1)} "
+            f"memory_bytes={summary.memory_bytes()}"
+        )
+    elif (args.input is None) == (args.store is None):
         raise ReproError("serve requires exactly one of --db/--input or --store")
-    if args.store is not None:
+    elif args.store is not None:
         if args.min_support is not None:
             raise ReproError("--min-support conflicts with --store (the store has its own)")
         index = ServingIndex.from_store(args.store)
@@ -572,15 +681,21 @@ def _cmd_serve(args) -> int:
 
         index = ServingIndex.from_transactions(read_dat(args.input), args.min_support)
 
-    engine = PatternEngine(
-        index,
-        cache_size=args.cache_size,
-        coalesce=not args.no_coalesce,
-        max_inflight=args.max_inflight,
-        deadline_cap=args.deadline_cap,
-        itemset_cap=args.itemset_cap,
-        memory_cap=args.memory_cap,
-    )
+    if not args.sketch:
+        engine = PatternEngine(
+            index,
+            cache_size=args.cache_size,
+            coalesce=not args.no_coalesce,
+            max_inflight=args.max_inflight,
+            deadline_cap=args.deadline_cap,
+            itemset_cap=args.itemset_cap,
+            memory_cap=args.memory_cap,
+        )
+        ready = (
+            f"READY host={{host}} port={{port}} "
+            f"items={len(index.rank_table)} paths={index.postings.n_paths()} "
+            f"min_support={index.min_support} n_transactions={index.n_transactions}"
+        )
     server = PatternServer(engine, host=args.host, port=args.port)
     server.start()
     stop = threading.Event()
@@ -592,21 +707,150 @@ def _cmd_serve(args) -> int:
     signal.signal(signal.SIGINT, _on_signal)
     # the READY line is the machine-readable startup contract: supervisors
     # (tests, CI) wait for it and read the bound port off it
-    print(
-        f"READY host={server.host} port={server.port} "
-        f"items={len(index.rank_table)} paths={index.postings.n_paths()} "
-        f"min_support={index.min_support} n_transactions={index.n_transactions}",
-        flush=True,
-    )
+    print(ready.format(host=server.host, port=server.port), flush=True)
     while not stop.is_set():
         stop.wait(0.2)
     server.stop()
     stats = engine.stats()
-    print(
-        f"stopped after {stats['queries']} queries "
-        f"({stats['cache']['hits']} cache hits)",
-        flush=True,
+    if args.sketch:
+        print(
+            f"stopped after {sum(stats['ops'].values())} queries "
+            f"(sketch, {stats['memory_bytes']} bytes resident)",
+            flush=True,
+        )
+    else:
+        print(
+            f"stopped after {stats['queries']} queries "
+            f"({stats['cache']['hits']} cache hits)",
+            flush=True,
+        )
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import json as jsonlib
+
+    from repro.data.io import ParseReport, iter_dat_lines, iter_dat_stream
+    from repro.robustness.checkpoint import CheckpointStore
+    from repro.stream import (
+        SlidingWindowSketch,
+        StreamIngestor,
+        StreamSummary,
+        load_sketch,
+        sketch_digest,
     )
+
+    windowed_flags = args.exact_tail or args.buckets != 4
+    if args.window is None and windowed_flags:
+        raise ReproError("--buckets/--exact-tail require --window")
+    if args.restore is not None:
+        sketch = load_sketch(CheckpointStore(args.restore))
+    elif args.window is not None:
+        sketch = SlidingWindowSketch(
+            args.window,
+            buckets=args.buckets,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            capacity=args.capacity,
+            seed=args.seed,
+            exact_tail=args.exact_tail,
+        )
+    else:
+        sketch = StreamSummary(
+            epsilon=args.epsilon,
+            delta=args.delta,
+            capacity=args.capacity,
+            seed=args.seed,
+        )
+
+    def _top_entries(sk, k):
+        return [
+            {"items": list(fi.items), "estimate": fi.support}
+            for fi in sorted(sk.top_k(k), key=lambda fi: -fi.support)
+        ]
+
+    def _on_report(sk, n):
+        if args.json:
+            return  # quiet until the final machine-readable report
+        hitters = ", ".join(
+            f"{' '.join(str(i) for i in e['items'])}:{e['estimate']}"
+            for e in _top_entries(sk, args.top)
+        )
+        print(f"# {n} transactions in, top-{args.top}: {hitters}", flush=True)
+
+    ingestor = StreamIngestor(
+        sketch,
+        report_every=args.report_every,
+        on_report=_on_report,
+        checkpoint=CheckpointStore(args.snapshot) if args.snapshot else None,
+    )
+    report = ParseReport(path=str(args.input))
+    if args.input == "-":
+        transactions = iter_dat_stream(
+            sys.stdin.buffer, report=report, label="<stdin>"
+        )
+    else:
+        transactions = iter_dat_lines(args.input, report=report)
+    ingestor.run(transactions)
+
+    windowed = isinstance(sketch, SlidingWindowSketch)
+    final = {
+        "ingested": ingestor.n_ingested,
+        "n_transactions": sketch.covered() if windowed else sketch.n_transactions,
+        "n_items": len(sketch.registry),
+        "windowed": windowed,
+        "epsilon": sketch.epsilon,
+        "delta": sketch.delta,
+        "error_bound": sketch.error_bound(1),
+        "pair_error_bound": sketch.error_bound(2),
+        "memory_bytes": sketch.memory_bytes(),
+        "snapshots": ingestor.n_snapshots,
+        "digest": sketch_digest(sketch),
+        "top": _top_entries(sketch, args.top),
+        "parse": {
+            "lines": report.n_lines,
+            "transactions": report.n_transactions,
+            "skipped": report.n_skipped,
+            "truncated": report.truncated,
+        },
+    }
+    if windowed:
+        final["window"] = sketch.window
+        final["n_seen"] = sketch.n_seen
+    if args.min_support is not None:
+        frequent = sketch.as_result(args.min_support)
+        final["min_support"] = frequent.min_support
+        final["frequent"] = [
+            {"items": list(fi.items), "estimate": fi.support} for fi in frequent
+        ]
+    if args.json:
+        print(jsonlib.dumps(final, sort_keys=True), flush=True)
+    else:
+        scope = (
+            f"window {final['n_transactions']}/{final.get('n_seen', 0)} seen"
+            if windowed
+            else f"{final['n_transactions']} transactions"
+        )
+        print(
+            f"# ingested {final['ingested']} ({scope}), "
+            f"{final['n_items']} distinct items, "
+            f"~{final['memory_bytes']} sketch bytes, "
+            f"item bound +{final['error_bound']}"
+        )
+        if not report.ok():
+            print(
+                f"# parse: skipped={report.n_skipped} truncated={report.truncated}"
+            )
+        for entry in final["top"]:
+            label = " ".join(str(i) for i in entry["items"])
+            print(f"{label}\t<={entry['estimate']}")
+        if "frequent" in final:
+            print(f"# >= {final['min_support']} estimated support:")
+            for entry in final["frequent"]:
+                label = " ".join(str(i) for i in entry["items"])
+                print(f"{label}\t<={entry['estimate']}")
+        if args.snapshot:
+            print(f"# snapshot: {args.snapshot} digest={final['digest']}")
     return 0
 
 
@@ -620,6 +864,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
 }
 
 

@@ -48,7 +48,14 @@ class IncrementalPLT:
     2
     """
 
-    __slots__ = ("_item_to_rank", "_items", "_vectors", "_n_transactions", "_item_counts")
+    __slots__ = (
+        "_item_to_rank",
+        "_items",
+        "_vectors",
+        "_n_transactions",
+        "_item_counts",
+        "_n_empty",
+    )
 
     def __init__(self, transactions: Iterable[Iterable[Item]] = ()):
         self._item_to_rank: dict[Item, int] = {}
@@ -56,6 +63,7 @@ class IncrementalPLT:
         self._vectors: dict[tuple[int, ...], int] = {}
         self._item_counts: dict[Item, int] = {}
         self._n_transactions = 0
+        self._n_empty = 0
         for t in transactions:
             self.add_transaction(t)
 
@@ -90,6 +98,8 @@ class IncrementalPLT:
             self._item_counts[item] = self._item_counts.get(item, 0) + 1
         if vec:
             self._vectors[vec] = self._vectors.get(vec, 0) + 1
+        else:
+            self._n_empty += 1
 
     def add_transactions(self, transactions: Iterable[Iterable[Item]]) -> None:
         for t in transactions:
@@ -114,8 +124,12 @@ class IncrementalPLT:
                 self._vectors[vec] = remaining
             else:
                 del self._vectors[vec]
-        elif self._n_transactions == 0:
-            raise ReproError("cannot remove from an empty structure")
+        else:
+            # empty transactions are their own multiset bucket: removing
+            # one that was never stored must raise, not skew the count
+            if self._n_empty == 0:
+                raise ReproError("cannot remove empty transaction: none stored")
+            self._n_empty -= 1
         self._n_transactions -= 1
         for item in items:
             count = self._item_counts[item] - 1

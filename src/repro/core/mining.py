@@ -515,6 +515,28 @@ def _degrade(
             f"(budget stop: {reason})"
         )
         info = {"fallback": "topk", "k": policy.k, "stop_reason": reason}
+    elif policy.fallback == "sketch":
+        from repro.stream.summary import StreamSummary
+
+        summary = StreamSummary(
+            epsilon=policy.epsilon,
+            delta=policy.delta,
+            capacity=policy.hh_capacity,
+            seed=policy.seed,
+        )
+        for t in transactions:
+            summary.push(t)
+        sketched = summary.as_result(abs_support, method=method + "+approx-sketch")
+        itemsets = list(sketched)
+        disclaimer = (
+            f"approximate result: supports are one-sided count-min estimates "
+            f"(never below the true support, above it by at most "
+            f"{summary.error_bound(1)} for items / {summary.error_bound(2)} "
+            f"for pairs w.p. >= {1.0 - policy.delta:g}); only monitored 1- "
+            f"and 2-itemsets are enumerated (budget stop: {reason})"
+        )
+        info = dict(sketched.info or {})
+        info["stop_reason"] = reason
     else:
         rng = random.Random(policy.seed)
         size = max(1, round(n * policy.sample_fraction))

@@ -44,6 +44,7 @@ __all__ = [
     "read_basket_csv_report",
     "write_basket_csv",
     "iter_dat_lines",
+    "iter_dat_stream",
 ]
 
 #: Cap on per-line error messages kept in a :class:`ParseReport` — the
@@ -114,6 +115,43 @@ def _is_garbage(line: str) -> bool:
     return "�" in line or "\x00" in line
 
 
+def _iter_dat_fh(
+    fh: TextIO, label: str, strict: bool, report: ParseReport
+) -> Iterator[tuple[Hashable, ...]]:
+    """The shared ``.dat`` parse loop over an already-open text handle.
+
+    Reads strictly forward — never seeks — so the same loop serves
+    rewindable files and one-shot streams (stdin, sockets) alike.
+    """
+    lines = iter(fh)
+    while True:
+        try:
+            line = next(lines)
+        except StopIteration:
+            break
+        except (EOFError, OSError) as exc:
+            if strict:
+                raise DatasetError(
+                    f"{label}: stream truncated or corrupt: {exc}"
+                ) from exc
+            report.truncated = True
+            report.record(f"stream truncated or corrupt: {exc}")
+            break
+        report.n_lines += 1
+        if _is_garbage(line):
+            if strict:
+                raise DatasetError(
+                    f"{label}:{report.n_lines}: line contains undecodable bytes"
+                )
+            report.record(f"line {report.n_lines}: undecodable bytes")
+            continue
+        tokens = line.split()
+        if not tokens:
+            continue
+        report.n_transactions += 1
+        yield tuple(_parse_token(tok) for tok in tokens)
+
+
 def iter_dat_lines(
     path: str | Path,
     *,
@@ -136,33 +174,86 @@ def iter_dat_lines(
     except OSError as exc:
         raise DatasetError(f"cannot read {path}: {exc}") from exc
     with fh:
-        lines = iter(fh)
-        while True:
-            try:
-                line = next(lines)
-            except StopIteration:
-                break
-            except (EOFError, OSError) as exc:
-                if strict:
-                    raise DatasetError(
-                        f"{path}: stream truncated or corrupt: {exc}"
-                    ) from exc
-                report.truncated = True
-                report.record(f"stream truncated or corrupt: {exc}")
-                break
-            report.n_lines += 1
-            if _is_garbage(line):
-                if strict:
-                    raise DatasetError(
-                        f"{path}:{report.n_lines}: line contains undecodable bytes"
-                    )
-                report.record(f"line {report.n_lines}: undecodable bytes")
-                continue
-            tokens = line.split()
-            if not tokens:
-                continue
-            report.n_transactions += 1
-            yield tuple(_parse_token(tok) for tok in tokens)
+        yield from _iter_dat_fh(fh, str(path), strict, report)
+
+
+class _ConcatReader(io.RawIOBase):
+    """A forward-only raw reader that replays consumed head bytes first.
+
+    Gzip detection on an unseekable stream must *consume* the two magic
+    bytes to look at them; this shim splices them back in front of the
+    remaining stream so the decoder sees the byte sequence intact —
+    without ever calling ``seek``.
+    """
+
+    def __init__(self, head: bytes, stream):
+        self._head = head
+        self._stream = stream
+
+    def readable(self) -> bool:
+        return True
+
+    def readinto(self, buffer) -> int:
+        if self._head:
+            n = min(len(buffer), len(self._head))
+            buffer[:n] = self._head[:n]
+            self._head = self._head[n:]
+            return n
+        data = self._stream.read(len(buffer))
+        if not data:
+            return 0
+        buffer[: len(data)] = data
+        return len(data)
+
+
+#: Gzip member magic — the two bytes peeked for stream auto-detection.
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def iter_dat_stream(
+    stream,
+    *,
+    strict: bool = False,
+    report: ParseReport | None = None,
+    compression: str = "auto",
+    label: str = "<stream>",
+) -> Iterator[tuple[Hashable, ...]]:
+    """Stream transactions from an **unseekable** file object, single pass.
+
+    Accepts a text-mode or binary-mode stream (``sys.stdin``,
+    ``sys.stdin.buffer``, a socket ``makefile``, a pipe).  The stream is
+    read strictly forward — never seeked, never rewound, never buffered
+    whole — so arbitrarily long feeds ingest in constant memory.
+
+    ``compression`` applies to binary streams: ``"auto"`` (default)
+    peeks two bytes for the gzip magic and splices them back, ``"gzip"``
+    forces decompression, ``"none"`` forces plain text.  Text-mode
+    streams are already decoded and are consumed as-is.  Semantics match
+    :func:`iter_dat_lines`: tolerant by default with every defect counted
+    in ``report`` (truncated gzip ends iteration with
+    ``report.truncated``), ``strict=True`` raises on the first defect.
+    """
+    if compression not in ("auto", "gzip", "none"):
+        raise DatasetError(
+            f"compression must be 'auto', 'gzip' or 'none', got {compression!r}"
+        )
+    if report is None:
+        report = ParseReport(path=label)
+    probe = stream.read(0)
+    if isinstance(probe, str):
+        # already-decoded text: compression is the transport's business
+        yield from _iter_dat_fh(stream, label, strict, report)
+        return
+    if compression == "auto":
+        head = stream.read(len(_GZIP_MAGIC))
+        gzipped = head.startswith(_GZIP_MAGIC)
+    else:
+        head = b""
+        gzipped = compression == "gzip"
+    raw = io.BufferedReader(_ConcatReader(head, stream))
+    binary = gzip.GzipFile(fileobj=raw, mode="rb") if gzipped else raw
+    fh = io.TextIOWrapper(binary, encoding="utf-8", errors="replace")
+    yield from _iter_dat_fh(fh, label, strict, report)
 
 
 def read_dat(path: str | Path, *, strict: bool = False) -> TransactionDatabase:

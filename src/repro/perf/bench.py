@@ -16,7 +16,14 @@ records ``ipc_bytes_sent`` per transport so CI can gate the copy
 elimination itself, not just the wall clock
 (:func:`ipc_gate_problems`).
 
-The JSON written to ``BENCH_PR7.json`` records per-workload wall-clock
+The ``stream-ingest`` workload times the one-pass sketch frontend
+(:mod:`repro.stream`) over a full dataset and records its ingest
+throughput and final sketch footprint.  It has no legacy counterpart, so
+it carries no ``speedup`` and the ratio gate skips it; instead
+:func:`stream_gate_problems` fails the run whenever the sketch outgrows
+its pinned byte budget — the bounded-memory promise, enforced in CI.
+
+The JSON written to ``BENCH_PR9.json`` records per-workload wall-clock
 for both generations (or transports), the speedup ratio, and the
 optimized engine's phase counters.  The *ratio* is the tracked quantity:
 both sides run on the same machine, so it is hardware-independent enough
@@ -50,13 +57,15 @@ __all__ = [
     "MIN_GATE_SECONDS",
     "IPC_REDUCTION_FACTOR",
     "PARALLEL_WORKLOAD_WORKERS",
+    "STREAM_SKETCH_BUDGET",
     "run_bench",
     "compare_against_baseline",
     "ipc_gate_problems",
+    "stream_gate_problems",
     "main",
 ]
 
-DEFAULT_OUTPUT = "BENCH_PR7.json"
+DEFAULT_OUTPUT = "BENCH_PR9.json"
 
 #: A workload "regresses" when its current legacy/optimized ratio falls
 #: more than this fraction below the committed baseline ratio.
@@ -78,6 +87,10 @@ IPC_REDUCTION_FACTOR = 0.1
 #: ``default_workers()``) so the transport comparison exercises a real
 #: multi-worker dispatch even on small CI boxes.
 PARALLEL_WORKLOAD_WORKERS = 2
+
+#: The ``stream-ingest`` workload's sketch must finish under this many
+#: bytes regardless of stream length — the bounded-memory gate.
+STREAM_SKETCH_BUDGET = 256 * 1024
 
 
 @dataclass(frozen=True)
@@ -110,6 +123,7 @@ WORKLOADS: tuple[Workload, ...] = (
     Workload("parallel-cond", "T10.I4.D5K", 25, True),
     Workload("parallel-cond", "T10.I4.D5K", 50, False),
     Workload("parallel-topdown", "DENSE-16.D5K", 250, True),
+    Workload("stream-ingest", "T10.I4.D5K", 0, True),
 )
 
 
@@ -253,11 +267,53 @@ def run_parallel_workload(
     return record
 
 
+def run_stream_workload(workload: Workload, repeat: int) -> dict:
+    """Time the one-pass sketch ingest; record throughput and footprint.
+
+    There is no legacy generation to ratio against, so the record carries
+    no ``speedup`` (the regression gate skips it); ``sketch_bytes`` vs
+    ``sketch_budget`` is what :func:`stream_gate_problems` enforces.
+    """
+    from repro.data.datasets import load
+    from repro.stream import StreamSummary
+
+    db = load(workload.dataset)
+    transactions = [tuple(t) for t in db]
+
+    def ingest():
+        summary = StreamSummary(epsilon=0.005, delta=0.01, capacity=256, seed=0)
+        for t in transactions:
+            summary.push(t)
+        return summary
+
+    sketch_bytes = ingest().memory_bytes()
+    ingest_s, _ = best_of(ingest, repeat=repeat)
+    return {
+        "name": workload.name,
+        "kind": workload.kind,
+        "dataset": workload.dataset,
+        "min_support": workload.min_support,
+        "transactions": len(transactions),
+        "ingest_s": ingest_s,
+        "throughput_tps": (
+            len(transactions) / ingest_s if ingest_s else float("inf")
+        ),
+        "sketch_bytes": sketch_bytes,
+        "sketch_budget": STREAM_SKETCH_BUDGET,
+    }
+
+
 def _geomean(values: list[float]) -> float:
     return math.prod(values) ** (1.0 / len(values)) if values else 0.0
 
 
 def _describe(record: dict) -> str:
+    if record["kind"] == "stream-ingest":
+        return (
+            f"  {record['name']}: ingest {record['ingest_s'] * 1e3:8.1f} ms"
+            f"  {record['throughput_tps']:9.0f} tx/s"
+            f"  sketch {record['sketch_bytes']} / {record['sketch_budget']} B"
+        )
     if record["kind"].startswith("parallel-"):
         parts = [
             f"  {transport} {record[f'{transport}_s'] * 1e3:8.1f} ms"
@@ -289,6 +345,8 @@ def run_bench(
             continue
         if workload.kind.startswith("parallel-"):
             record = run_parallel_workload(workload, repeat, transports)
+        elif workload.kind == "stream-ingest":
+            record = run_stream_workload(workload, repeat)
         else:
             record = run_workload(workload, repeat)
         records.append(record)
@@ -312,7 +370,7 @@ def run_bench(
         summary["parallel_shm_speedup"] = round(_geomean(parallel_speedups), 3)
     return {
         "schema": 2,
-        "pr": "PR7",
+        "pr": "PR9",
         "quick": quick,
         "repeat": repeat,
         "python": platform.python_version(),
@@ -382,6 +440,27 @@ def ipc_gate_problems(
     return problems
 
 
+def stream_gate_problems(report: dict) -> list[str]:
+    """One message per ``stream-ingest`` workload whose final sketch
+    exceeds its pinned byte budget.
+
+    Unlike the ratio gate this is absolute and machine-independent: the
+    sketch's footprint is a function of (epsilon, delta, capacity) alone,
+    so any growth means the bounded-memory contract itself broke.
+    """
+    problems = []
+    for record in report.get("workloads", ()):
+        if record.get("kind") != "stream-ingest":
+            continue
+        budget = record.get("sketch_budget", STREAM_SKETCH_BUDGET)
+        if record["sketch_bytes"] > budget:
+            problems.append(
+                f"{record['name']}: sketch grew to {record['sketch_bytes']} "
+                f"bytes, budget is {budget}"
+            )
+    return problems
+
+
 def main(
     *,
     quick: bool = False,
@@ -402,6 +481,12 @@ def main(
     for problem in ipc_problems:
         print(f"IPC GATE {problem}", file=sys.stderr)
     if ipc_problems:
+        return 1
+
+    stream_problems = stream_gate_problems(report)
+    for problem in stream_problems:
+        print(f"STREAM GATE {problem}", file=sys.stderr)
+    if stream_problems:
         return 1
 
     if compare is not None:

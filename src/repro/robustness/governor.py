@@ -218,6 +218,14 @@ class DegradationPolicy:
       reported supports are **estimates**.
     * ``"topk"`` — run the exact top-``k`` miner.  Supports are exact but
       only the ``k`` most frequent itemsets are returned.
+    * ``"sketch"`` — one fixed-memory pass through the transactions with
+      a :class:`~repro.stream.summary.StreamSummary` (conservative
+      count-min + space-saving heavy hitters over PLT ranks).  Supports
+      are one-sided estimates (never below the true support, above it by
+      at most ``epsilon * N`` w.p. ``>= 1 - delta``) and only 1- and
+      2-itemsets are enumerated — but memory is bounded by ``epsilon``/
+      ``hh_capacity`` alone, independent of the database, which is the
+      mode to pick when the budget trip *was* memory.
 
     Either way the result is flagged ``approximate`` and carries a
     human-readable disclaimer — callers can never mistake a degraded
@@ -228,12 +236,15 @@ class DegradationPolicy:
     sample_fraction: float = 0.1
     k: int = 200
     seed: int = 0
+    epsilon: float = 0.005
+    delta: float = 0.01
+    hh_capacity: int = 256
 
     def __post_init__(self) -> None:
-        if self.fallback not in ("sampling", "topk"):
+        if self.fallback not in ("sampling", "topk", "sketch"):
             raise InvalidParameterError(
                 f"unknown degradation fallback {self.fallback!r}; "
-                "expected 'sampling' or 'topk'"
+                "expected 'sampling', 'topk' or 'sketch'"
             )
         if not 0 < self.sample_fraction <= 1:
             raise InvalidParameterError(
@@ -241,6 +252,16 @@ class DegradationPolicy:
             )
         if self.k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        if not 0 < self.epsilon < 1:
+            raise InvalidParameterError(
+                f"epsilon must be in (0, 1), got {self.epsilon}"
+            )
+        if not 0 < self.delta < 1:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {self.delta}")
+        if self.hh_capacity < 1:
+            raise InvalidParameterError(
+                f"hh_capacity must be >= 1, got {self.hh_capacity}"
+            )
 
 
 def estimate_conditional_memory(plt) -> int:

@@ -25,6 +25,7 @@ from repro.serve.client import ServeClient
 from repro.serve.engine import PatternEngine, ServingIndex, serialize_rule
 from repro.serve.protocol import MAX_FRAME, encode_message, decode_message
 from repro.serve.server import PatternServer
+from repro.serve.sketch import SketchEngine
 
 __all__ = [
     "AdmissionController",
@@ -40,4 +41,5 @@ __all__ = [
     "encode_message",
     "decode_message",
     "PatternServer",
+    "SketchEngine",
 ]

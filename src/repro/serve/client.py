@@ -118,6 +118,19 @@ class ServeClient:
             payload["budget"] = budget
         return self.request(payload)
 
+    # -- sketch-engine endpoints (``repro serve --sketch``) -------------
+    def sketch_frequency(self, items, *, min_support=None) -> dict:
+        payload = {"op": "sketch_frequency", "items": list(items)}
+        if min_support is not None:
+            payload["min_support"] = min_support
+        return self.request(payload)
+
+    def sketch_topk(self, *, k=10) -> dict:
+        return self.request({"op": "sketch_topk", "k": k})
+
+    def sketch_frequent(self, min_support) -> dict:
+        return self.request({"op": "sketch_frequent", "min_support": min_support})
+
     def stats(self) -> dict:
         return self.check({"op": "stats"})["result"]
 

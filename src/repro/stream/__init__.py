@@ -1,0 +1,50 @@
+"""Bounded-memory streaming sketch tier.
+
+One-pass, fixed-memory frequency summaries over transaction streams:
+
+* :class:`~repro.stream.cms.CountMinSketch` — conservative-update
+  count-min point estimates with a one-sided (eps, delta) guarantee;
+* :class:`~repro.stream.spacesaving.SpaceSaving` — enumerable
+  heavy-hitter candidates with per-key error bounds;
+* :class:`~repro.stream.summary.StreamSummary` — the composed summary
+  over PLT ranks and rank pairs, answering frequency / top-k / frequent
+  1-2-itemset queries as labeled ``ApproximateResult``\\ s;
+* :class:`~repro.stream.window.SlidingWindowSketch` — generational
+  sliding-window variant that tracks drift, optionally composed with an
+  exact :class:`~repro.core.window.SlidingWindowPLT` tail;
+* :class:`~repro.stream.ingest.StreamIngestor` + snapshot helpers —
+  the driver that feeds a stream in and persists/restores through
+  CRC-framed :class:`~repro.robustness.checkpoint.CheckpointStore`
+  generations.
+
+See ``docs/STREAMING.md`` for guarantees and the memory model.
+"""
+
+from repro.stream.cms import CountMinSketch, pack_pair, unpack_pair
+from repro.stream.ingest import (
+    SKETCH_KEY,
+    SKETCH_NODE,
+    StreamIngestor,
+    load_sketch,
+    save_sketch,
+    sketch_digest,
+)
+from repro.stream.spacesaving import SpaceSaving
+from repro.stream.summary import RankRegistry, StreamSummary
+from repro.stream.window import SlidingWindowSketch
+
+__all__ = [
+    "CountMinSketch",
+    "SpaceSaving",
+    "RankRegistry",
+    "StreamSummary",
+    "SlidingWindowSketch",
+    "StreamIngestor",
+    "save_sketch",
+    "load_sketch",
+    "sketch_digest",
+    "SKETCH_NODE",
+    "SKETCH_KEY",
+    "pack_pair",
+    "unpack_pair",
+]

@@ -1,0 +1,153 @@
+"""Space-saving heavy-hitters summary (Metwally, Agrawal & El Abbadi).
+
+A count-min sketch answers *point* queries but cannot enumerate — "which
+itemsets are frequent?" needs the candidates held somewhere.  The
+space-saving summary keeps exactly ``capacity`` monitored keys; when a
+new key arrives with the summary full, the current minimum-count entry
+is *evicted and overwritten*: the newcomer inherits ``min_count + 1``
+with its error recorded as ``min_count``.  Invariants (for ``N`` total
+counted occurrences and ``m = capacity``):
+
+* ``count(x) >= true(x)``            — monitored counts never under-report;
+* ``count(x) - error(x) <= true(x)`` — the guaranteed-count lower bound;
+* any key with ``true(x) > N / m`` is guaranteed to be monitored, so
+  every true heavy hitter above that rate is enumerable.
+
+Keys here are PLT ranks (``int``) or rank paths (tuples of increasing
+ranks) — homogeneous and totally ordered per summary, which keeps the
+report order deterministic.
+
+The minimum is tracked with a lazy heap: increments push superseded
+entries that are skipped on pop, and the heap is rebuilt whenever the
+stale fraction grows past ``4x`` capacity, so ``add`` stays amortized
+O(log m) without a linear min-scan per eviction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Hashable
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """Bounded summary of the heaviest keys with per-key error bounds.
+
+    >>> ss = SpaceSaving(capacity=2)
+    >>> for key in (1, 1, 1, 2, 3):
+    ...     ss.add(key)
+    >>> count, error = ss.estimate(1)
+    >>> count
+    3
+    >>> len(ss) <= 2
+    True
+    """
+
+    __slots__ = ("capacity", "total", "_counts", "_errors", "_heap", "_stale")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.total = 0
+        self._counts: dict[Hashable, int] = {}
+        self._errors: dict[Hashable, int] = {}
+        self._heap: list[tuple[int, Hashable]] = []  # lazy (count, key) min-heap
+        self._stale = 0
+
+    # ------------------------------------------------------------------
+    def add(self, key: Hashable, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``key``."""
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        self.total += count
+        counts = self._counts
+        current = counts.get(key)
+        if current is not None:
+            counts[key] = current + count
+            heapq.heappush(self._heap, (current + count, key))
+            self._stale += 1
+        elif len(counts) < self.capacity:
+            counts[key] = count
+            self._errors[key] = 0
+            heapq.heappush(self._heap, (count, key))
+        else:
+            victim_count, victim = self._pop_min()
+            del counts[victim]
+            del self._errors[victim]
+            counts[key] = victim_count + count
+            self._errors[key] = victim_count
+            heapq.heappush(self._heap, (victim_count + count, key))
+        if self._stale > 4 * self.capacity:
+            self._rebuild_heap()
+
+    def _pop_min(self) -> tuple[int, Hashable]:
+        """Pop the true current minimum, skipping superseded heap entries."""
+        counts = self._counts
+        heap = self._heap
+        while heap:
+            count, key = heapq.heappop(heap)
+            if counts.get(key) == count:
+                return count, key
+            self._stale -= 1
+        # unreachable while invariants hold: every live entry is on the heap
+        raise AssertionError("space-saving heap lost a live entry")
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [(count, key) for key, count in self._counts.items()]
+        heapq.heapify(self._heap)
+        self._stale = 0
+
+    # ------------------------------------------------------------------
+    def estimate(self, key: Hashable) -> tuple[int, int] | None:
+        """``(count, error)`` for a monitored key, else ``None``.
+
+        ``count`` over-reports by at most ``error``; ``count - error`` is a
+        guaranteed lower bound on the true frequency.  ``None`` means the
+        key's true count is at most the summary's current minimum count.
+        """
+        count = self._counts.get(key)
+        if count is None:
+            return None
+        return count, self._errors[key]
+
+    def min_count(self) -> int:
+        """The smallest monitored count — an upper bound on any absent key."""
+        if not self._counts:
+            return 0
+        if len(self._counts) < self.capacity:
+            return 0
+        count, key = self._pop_min()
+        heapq.heappush(self._heap, (count, key))
+        return count
+
+    def entries(self) -> list[tuple[Hashable, int, int]]:
+        """``(key, count, error)`` rows, heaviest first, deterministic order.
+
+        Ties break on smaller error (tighter bound first), then on the key
+        itself — keys within one summary are homogeneous and comparable.
+        """
+        rows = [
+            (key, count, self._errors[key]) for key, count in self._counts.items()
+        ]
+        rows.sort(key=lambda row: (-row[1], row[2], row[0]))
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def memory_bytes(self) -> int:
+        """Rough resident estimate: two dict slots + heap entry per key."""
+        return len(self._counts) * 120 + len(self._heap) * 40
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSaving(capacity={self.capacity}, monitored={len(self._counts)}, "
+            f"total={self.total})"
+        )

@@ -142,3 +142,45 @@ class TestSnapshotThresholds:
     def test_repr(self):
         inc = IncrementalPLT([{"a"}])
         assert "IncrementalPLT" in repr(inc)
+
+
+class TestEmptyTransactionBookkeeping:
+    """Regressions for the empty-transaction multiset accounting."""
+
+    def test_add_remove_empty_cycle(self):
+        inc = IncrementalPLT()
+        inc.add_transaction(set())
+        inc.add_transaction({"a"})
+        assert inc.n_transactions == 2
+        inc.remove_transaction(set())
+        assert inc.n_transactions == 1
+        assert inc.item_support("a") == 1
+
+    def test_remove_empty_never_stored_raises(self):
+        # previously slipped through whenever the structure held any
+        # non-empty transactions, silently decrementing n_transactions
+        inc = IncrementalPLT([{"a", "b"}, {"c"}])
+        with pytest.raises(ReproError):
+            inc.remove_transaction(set())
+        assert inc.n_transactions == 2
+
+    def test_double_remove_empty_raises(self):
+        inc = IncrementalPLT()
+        inc.add_transaction(())
+        inc.remove_transaction(())
+        with pytest.raises(ReproError):
+            inc.remove_transaction(())
+        assert inc.n_transactions == 0
+
+    def test_empty_transactions_dilute_relative_support(self):
+        inc = IncrementalPLT([{"a"}, set(), set(), set()])
+        # 1 of 4 transactions contains "a": a 50% threshold excludes it
+        assert inc.snapshot(0.5).n_vectors() == 0
+        assert inc.snapshot(0.25).support_of({"a"}) == 1
+
+    def test_multiple_empties_are_a_multiset(self):
+        inc = IncrementalPLT([set(), set()])
+        inc.remove_transaction(set())
+        inc.remove_transaction(set())
+        with pytest.raises(ReproError):
+            inc.remove_transaction(set())

@@ -79,3 +79,48 @@ class TestWindowMining:
 
         w = SlidingWindowPLT(2, [{"a", "b"}, {"a"}])
         assert isinstance(w.snapshot(1), PLT)
+
+
+class TestEvictionEdgeCases:
+    """Regressions around capacity-1 windows and empty transactions."""
+
+    def test_capacity_one_window(self):
+        w = SlidingWindowPLT(1)
+        assert w.push({"a"}) is None
+        assert w.push({"b"}) == frozenset({"a"})
+        assert dict(w.mine(1)) == {("b",): 1}
+        assert len(w) == 1
+
+    def test_evict_last_occurrence_then_readd(self):
+        w = SlidingWindowPLT(2)
+        w.extend([{"a"}, {"b"}])
+        w.push({"c"})  # evicts the only "a"
+        assert dict(w.mine(1)) == {("b",): 1, ("c",): 1}
+        w.push({"a"})  # evicts "b"; "a" re-enters under its old rank
+        assert dict(w.mine(1)) == {("a",): 1, ("c",): 1}
+
+    def test_empty_transaction_cycles_through_window(self):
+        w = SlidingWindowPLT(2)
+        w.push(set())
+        w.push({"x"})
+        assert len(w) == 2
+        assert w.push({"y"}) == frozenset()  # the empty one is evicted
+        assert dict(w.mine(1)) == {("x",): 1, ("y",): 1}
+        assert len(w) == 2
+
+    def test_window_of_only_empty_transactions(self):
+        w = SlidingWindowPLT(3)
+        for _ in range(5):  # rotates: empties evict empties
+            w.push(set())
+        assert len(w) == 3
+        assert w.mine(1) == []
+        assert w.snapshot(1).n_vectors() == 0
+
+    def test_mine_on_empty_window(self):
+        assert SlidingWindowPLT(4).mine(1) == []
+
+    def test_relative_support_counts_empty_transactions(self):
+        w = SlidingWindowPLT(4)
+        w.extend([{"a"}, {"a"}, set(), set()])
+        assert dict(w.mine(0.5)) == {("a",): 2}  # 2 of 4
+        assert dict(w.mine(0.75)) == {}

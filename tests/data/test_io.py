@@ -198,3 +198,133 @@ class TestRobustParsing:
             report.record(f"err {i}")
         assert report.n_skipped == MAX_REPORT_ERRORS + 5
         assert len(report.errors) == MAX_REPORT_ERRORS
+
+
+class TestIterDatStream:
+    """iter_dat_stream: forward-only parsing of unseekable feeds."""
+
+    @staticmethod
+    def _pipe(payload: bytes):
+        """A genuinely unseekable binary stream (os.pipe read end)."""
+        import os
+
+        r, w = os.pipe()
+        os.write(w, payload)
+        os.close(w)
+        return os.fdopen(r, "rb")
+
+    def test_text_stream(self):
+        import io as _io
+
+        from repro.data.io import iter_dat_stream
+
+        txs = list(iter_dat_stream(_io.StringIO("1 2 3\n4 5\n")))
+        assert txs == [(1, 2, 3), (4, 5)]
+
+    def test_binary_pipe(self):
+        from repro.data.io import iter_dat_stream
+
+        with self._pipe(b"1 2\n3\n") as fh:
+            assert list(iter_dat_stream(fh)) == [(1, 2), (3,)]
+
+    def test_gzip_auto_detected_on_pipe(self):
+        from repro.data.io import iter_dat_stream
+
+        payload = gzip.compress(b"7 8\n9\n")
+        with self._pipe(payload) as fh:
+            assert list(iter_dat_stream(fh)) == [(7, 8), (9,)]
+
+    def test_plain_text_auto_not_misdetected(self):
+        from repro.data.io import iter_dat_stream
+
+        # first two bytes are not the gzip magic: passes through untouched
+        with self._pipe(b"10 11\n") as fh:
+            assert list(iter_dat_stream(fh)) == [(10, 11)]
+
+    def test_compression_none_skips_peek(self):
+        from repro.data.io import iter_dat_stream
+
+        with self._pipe(b"1 2\n") as fh:
+            assert list(iter_dat_stream(fh, compression="none")) == [(1, 2)]
+
+    def test_compression_gzip_forced(self):
+        from repro.data.io import iter_dat_stream
+
+        with self._pipe(gzip.compress(b"5\n")) as fh:
+            assert list(iter_dat_stream(fh, compression="gzip")) == [(5,)]
+
+    def test_bad_compression_rejected(self):
+        import io as _io
+
+        from repro.data.io import iter_dat_stream
+
+        with pytest.raises(DatasetError):
+            list(iter_dat_stream(_io.BytesIO(b""), compression="zstd"))
+
+    def test_junk_lines_counted_not_fatal(self):
+        from repro.data.io import ParseReport, iter_dat_stream
+
+        report = ParseReport(path="<test>")
+        with self._pipe(b"1 2\nnot numbers ok\n\xff\xfe\n3\n") as fh:
+            txs = list(iter_dat_stream(fh, report=report))
+        assert txs == [(1, 2), ("not", "numbers", "ok"), (3,)]
+        assert report.n_lines == 4
+        assert report.n_transactions == 3
+        assert report.n_skipped == 1  # the undecodable binary line
+
+    def test_strict_raises_on_junk(self):
+        from repro.data.io import iter_dat_stream
+
+        with self._pipe(b"1\n\x00bad\n") as fh:
+            with pytest.raises(DatasetError):
+                list(iter_dat_stream(fh, strict=True))
+
+    def test_truncated_gzip_sets_report_flag(self):
+        from repro.data.io import ParseReport, iter_dat_stream
+
+        whole = gzip.compress(b"1 2\n" * 500)
+        report = ParseReport(path="<trunc>")
+        with self._pipe(whole[: len(whole) // 2]) as fh:
+            txs = list(iter_dat_stream(fh, report=report))
+        assert report.truncated
+        # tolerant contract: everything decodable before the cut is kept
+        assert all(t == (1, 2) for t in txs)
+
+    def test_report_parity_with_file_reader(self, tmp_path):
+        from repro.data.io import ParseReport, iter_dat_lines, iter_dat_stream
+
+        payload = b"1 2 3\n\n junk\xc3(\n4\n"
+        path = tmp_path / "parity.dat"
+        path.write_bytes(payload)
+        file_report = ParseReport(path=str(path))
+        file_txs = list(iter_dat_lines(path, report=file_report))
+        stream_report = ParseReport(path="<stream>")
+        with self._pipe(payload) as fh:
+            stream_txs = list(iter_dat_stream(fh, report=stream_report))
+        assert stream_txs == file_txs
+        assert stream_report.n_lines == file_report.n_lines
+        assert stream_report.n_transactions == file_report.n_transactions
+        assert stream_report.n_skipped == file_report.n_skipped
+
+    def test_constant_memory_large_feed(self):
+        """A feed far larger than any buffer must not be slurped."""
+        import os
+
+        from repro.data.io import iter_dat_stream
+
+        r, w = os.pipe()
+        n_lines = 20000
+        writer_pid = os.fork()
+        if writer_pid == 0:  # child: drip the payload, then exit
+            os.close(r)
+            try:
+                for i in range(n_lines):
+                    os.write(w, f"{i % 50} {i % 7}\n".encode())
+            finally:
+                os.close(w)
+                os._exit(0)
+        os.close(w)
+        with os.fdopen(r, "rb") as fh:
+            count = sum(1 for _ in iter_dat_stream(fh))
+        os.waitpid(writer_pid, 0)
+        assert count == n_lines

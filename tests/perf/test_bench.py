@@ -34,6 +34,7 @@ class TestWorkloadMatrix:
             "topdown",
             "parallel-cond",
             "parallel-topdown",
+            "stream-ingest",
         }
 
     def test_parallel_workloads_have_enough_transactions(self):
@@ -194,3 +195,33 @@ class TestMain:
 
         # comparing a run against its own baseline can never regress
         assert main(quick=True, repeat=1, output=None, compare=str(out)) == 0
+
+
+class TestStreamWorkload:
+    def test_record_shape_and_budget(self):
+        from repro.perf.bench import STREAM_SKETCH_BUDGET, run_stream_workload
+
+        w = Workload("stream-ingest", "paper-example", 0, True)
+        record = run_stream_workload(w, repeat=1)
+        assert record["kind"] == "stream-ingest"
+        assert record["ingest_s"] > 0
+        assert record["throughput_tps"] > 0
+        assert 0 < record["sketch_bytes"] <= STREAM_SKETCH_BUDGET
+        assert record["sketch_budget"] == STREAM_SKETCH_BUDGET
+        # no legacy generation: the ratio gate must skip this record
+        assert "speedup" not in record
+
+    def test_stream_gate(self):
+        from repro.perf.bench import stream_gate_problems
+
+        ok = {
+            "workloads": [
+                {"name": "stream-ingest/X@0", "kind": "stream-ingest",
+                 "sketch_bytes": 100, "sketch_budget": 200},
+                {"name": "conditional/Y@1", "kind": "conditional"},
+            ]
+        }
+        assert stream_gate_problems(ok) == []
+        ok["workloads"][0]["sketch_bytes"] = 201
+        problems = stream_gate_problems(ok)
+        assert len(problems) == 1 and "stream-ingest/X@0" in problems[0]

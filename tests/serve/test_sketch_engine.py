@@ -1,0 +1,140 @@
+"""SketchEngine: envelope contract + in-process differential vs exact engine."""
+
+import random
+
+import pytest
+
+from repro.serve.engine import PatternEngine, ServingIndex
+from repro.serve.sketch import SketchEngine
+from repro.stream.summary import StreamSummary
+from repro.stream.window import SlidingWindowSketch
+
+
+def _db(seed, n=500, universe=20):
+    rng = random.Random(seed)
+    return [
+        tuple(set(rng.sample(range(universe), rng.randint(1, 6)))) for _ in range(n)
+    ]
+
+
+@pytest.fixture
+def summary():
+    s = StreamSummary(epsilon=0.01, delta=0.01, capacity=128, seed=0)
+    for t in _db(0):
+        s.push(t)
+    return s
+
+
+@pytest.fixture
+def engine(summary):
+    return SketchEngine(summary)
+
+
+class TestEnvelope:
+    def test_ping(self, engine):
+        env = engine.handle({"op": "ping"})
+        assert env["ok"] and env["result"]["pong"]
+        assert env["op"] == "ping" and env["elapsed"] >= 0
+
+    def test_sketch_answers_are_labeled(self, engine):
+        for req in (
+            {"op": "sketch_frequency", "items": [0]},
+            {"op": "sketch_topk", "k": 5},
+            {"op": "sketch_frequent", "min_support": 50},
+        ):
+            env = engine.handle(req)
+            assert env["ok"], env
+            assert env["approximate"] is True
+            assert env["complete"] is False
+            assert env["source"] == "sketch"
+            assert env["error_bound"] >= 0
+            assert "disclaimer" in env["result"]
+
+    def test_exact_ops_rejected_with_hint(self, engine):
+        for op in ("frequency", "topk", "rules", "recommend"):
+            env = engine.handle({"op": op, "items": [1]})
+            assert not env["ok"]
+            assert env["code"] == "bad_request"
+            assert "exact engine" in env["error"]
+
+    def test_unknown_op_and_malformed(self, engine):
+        assert engine.handle({"op": "nope"})["code"] == "bad_request"
+        assert engine.handle([1, 2])["code"] == "bad_request"
+        assert engine.handle({"op": "sketch_frequency"})["code"] == "bad_request"
+        assert (
+            engine.handle({"op": "sketch_frequency", "items": []})["code"]
+            == "bad_request"
+        )
+        assert engine.handle({"op": "sketch_topk", "k": 0})["code"] == "bad_request"
+        assert (
+            engine.handle({"op": "sketch_frequent"})["code"] == "bad_request"
+        )
+
+    def test_stats(self, engine):
+        engine.handle({"op": "ping"})
+        env = engine.handle({"op": "stats"})
+        assert env["ok"]
+        result = env["result"]
+        assert result["engine"] == "sketch"
+        assert result["n_transactions"] == 500
+        assert result["memory_bytes"] > 0
+        assert result["ops"]["ping"] == 1
+        # the CLI-facing accessor matches the endpoint
+        assert engine.stats()["engine"] == "sketch"
+
+    def test_windowed_summary_supported(self):
+        w = SlidingWindowSketch(100, buckets=2)
+        for t in _db(1, n=300):
+            w.push(t)
+        engine = SketchEngine(w)
+        env = engine.handle({"op": "sketch_frequency", "items": [0]})
+        assert env["ok"] and env["approximate"]
+        stats = engine.stats()
+        assert stats["windowed"] and stats["covered"] == w.covered()
+
+
+class TestDifferentialAgainstExactEngine:
+    """The smoke contract: for high-support queries the sketch daemon must
+    agree with the exact daemon within its advertised bound."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_frequency_differential(self, seed):
+        db = _db(seed)
+        exact_engine = PatternEngine(ServingIndex.from_transactions(db, 1))
+        summary = StreamSummary(epsilon=0.01, delta=0.01, capacity=128, seed=seed)
+        for t in db:
+            summary.push(t)
+        sketch_engine = SketchEngine(summary)
+
+        threshold = len(db) // 4
+        for item in range(20):
+            exact_env = exact_engine.handle({"op": "frequency", "items": [item]})
+            sketch_env = sketch_engine.handle(
+                {"op": "sketch_frequency", "items": [item], "min_support": threshold}
+            )
+            assert exact_env["ok"] and sketch_env["ok"]
+            true = exact_env["result"]["support"]
+            est = sketch_env["result"]["estimate"]
+            bound = sketch_env["result"]["error_bound"]
+            assert est >= true
+            assert est <= true + bound
+            # high-support classification must agree: the margin around the
+            # threshold exceeds the sketch's one-sided error
+            if true >= threshold + bound or true < threshold - bound:
+                assert sketch_env["result"]["frequent"] == (true >= threshold)
+
+    def test_topk_heavy_items_agree(self):
+        db = _db(42)
+        exact_engine = PatternEngine(ServingIndex.from_transactions(db, 1))
+        summary = StreamSummary(epsilon=0.005, delta=0.01, capacity=256, seed=1)
+        for t in db:
+            summary.push(t)
+        sketch_engine = SketchEngine(summary)
+
+        env = sketch_engine.handle({"op": "sketch_topk", "k": 3})
+        singles = [e for e in env["result"]["entries"] if len(e["items"]) == 1]
+        # every reported heavy single's estimate brackets its exact support
+        for entry in singles:
+            exact = exact_engine.handle({"op": "frequency", "items": entry["items"]})
+            true = exact["result"]["support"]
+            assert true <= entry["estimate"] <= true + env["error_bound"]

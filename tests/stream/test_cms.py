@@ -1,0 +1,135 @@
+"""Count-min sketch: guarantees, determinism, serialization."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import CheckpointError, InvalidParameterError
+from repro.stream.cms import CountMinSketch, pack_pair, unpack_pair
+
+
+def _stream(seed, n=5000, universe=200):
+    rng = random.Random(seed)
+    # zipf-ish: low keys heavy
+    return [min(int(rng.paretovariate(1.2)), universe) for _ in range(n)]
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_under_reports(self, seed):
+        keys = _stream(seed)
+        exact = Counter(keys)
+        cms = CountMinSketch(epsilon=0.01, delta=0.01, seed=seed)
+        for k in keys:
+            cms.add(k)
+        for k, true in exact.items():
+            assert cms.estimate(k) >= true
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_overshoot_within_bound(self, seed):
+        keys = _stream(seed)
+        exact = Counter(keys)
+        cms = CountMinSketch(epsilon=0.01, delta=0.01, seed=seed)
+        for k in keys:
+            cms.add(k)
+        bound = cms.error_bound()
+        assert bound == pytest.approx(0.01 * len(keys), abs=1)
+        # delta=0.01 permits rare overshoots; across the whole key set the
+        # overwhelming majority must hold the bound
+        over = sum(1 for k, t in exact.items() if cms.estimate(k) > t + bound)
+        assert over <= max(1, len(exact) // 50)
+
+    def test_unseen_key_estimate_is_bounded(self):
+        cms = CountMinSketch(epsilon=0.01, delta=0.01)
+        for k in range(100):
+            cms.add(k)
+        assert 0 <= cms.estimate(10**9) <= cms.error_bound()
+
+    def test_conservative_no_worse_than_vanilla(self):
+        keys = _stream(7)
+        cons = CountMinSketch(epsilon=0.02, delta=0.05, seed=3)
+        vanilla = CountMinSketch(epsilon=0.02, delta=0.05, seed=3, conservative=False)
+        for k in keys:
+            cons.add(k)
+            vanilla.add(k)
+        for k in set(keys):
+            assert cons.estimate(k) <= vanilla.estimate(k)
+
+    def test_add_returns_new_estimate(self):
+        cms = CountMinSketch(epsilon=0.1, delta=0.1)
+        assert cms.add(5) == 1
+        assert cms.add(5, 3) == 4
+
+
+class TestShapeAndValidation:
+    def test_width_depth_formula(self):
+        cms = CountMinSketch(epsilon=0.005, delta=0.01)
+        assert cms.width == 544  # ceil(e / 0.005)
+        assert cms.depth == 5  # ceil(ln 100)
+        assert cms.memory_bytes() == 8 * 544 * 5
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -1, 2])
+    def test_bad_epsilon(self, eps):
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(epsilon=eps)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5])
+    def test_bad_delta(self, delta):
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(delta=delta)
+
+    def test_bad_count(self):
+        cms = CountMinSketch()
+        with pytest.raises(InvalidParameterError):
+            cms.add(1, 0)
+
+    def test_memory_independent_of_stream_length(self):
+        cms = CountMinSketch(epsilon=0.01, delta=0.01)
+        before = cms.memory_bytes()
+        for k in range(50_000):
+            cms.add(k % 997)
+        assert cms.memory_bytes() == before
+
+
+class TestDeterminismAndSerialization:
+    def test_same_seed_same_sketch(self):
+        a = CountMinSketch(epsilon=0.01, delta=0.01, seed=9)
+        b = CountMinSketch(epsilon=0.01, delta=0.01, seed=9)
+        for k in _stream(1, n=1000):
+            a.add(k)
+            b.add(k)
+        assert a == b
+
+    def test_different_seed_different_hashes(self):
+        a = CountMinSketch(seed=1)
+        b = CountMinSketch(seed=2)
+        assert a._indexes(12345) != b._indexes(12345)
+
+    def test_round_trip_byte_identical(self):
+        cms = CountMinSketch(epsilon=0.02, delta=0.05, seed=4)
+        for k in _stream(2, n=2000):
+            cms.add(k)
+        blob = cms.to_bytes()
+        back = CountMinSketch.from_bytes(blob)
+        assert back.to_bytes() == blob
+        assert back.total == cms.total
+        for k in range(50):
+            assert back.estimate(k) == cms.estimate(k)
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(CheckpointError):
+            CountMinSketch.from_bytes(b"not a sketch")
+        blob = CountMinSketch().to_bytes()
+        with pytest.raises(CheckpointError):
+            CountMinSketch.from_bytes(blob[:-8])  # truncated body
+
+
+class TestPairPacking:
+    def test_round_trip_and_normalisation(self):
+        assert unpack_pair(pack_pair(3, 7)) == (3, 7)
+        assert pack_pair(7, 3) == pack_pair(3, 7)
+
+    def test_distinct_pairs_distinct_keys(self):
+        keys = {pack_pair(a, b) for a in range(1, 40) for b in range(a + 1, 40)}
+        assert len(keys) == 39 * 38 // 2

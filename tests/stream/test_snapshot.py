@@ -1,0 +1,139 @@
+"""Snapshot/restore through CheckpointStore: byte-identity + corruption."""
+
+import random
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.robustness.checkpoint import CheckpointStore
+from repro.stream.ingest import (
+    SKETCH_NODE,
+    SKETCH_KEY,
+    StreamIngestor,
+    load_sketch,
+    save_sketch,
+    sketch_digest,
+)
+from repro.stream.summary import StreamSummary
+from repro.stream.window import SlidingWindowSketch
+
+
+def _txs(seed, n=600):
+    rng = random.Random(seed)
+    return [
+        tuple(set(rng.sample(range(25), rng.randint(1, 6)))) for _ in range(n)
+    ]
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    return CheckpointStore(None if request.param == "memory" else tmp_path / "ckpt")
+
+
+class TestRoundTrip:
+    def test_summary_byte_identical(self, store):
+        s = StreamSummary(epsilon=0.02, capacity=32, seed=2)
+        for t in _txs(0):
+            s.push(t)
+        save_sketch(store, s)
+        back = load_sketch(store)
+        assert isinstance(back, StreamSummary)
+        assert sketch_digest(back) == sketch_digest(s)
+        assert back.as_result(0.1).as_dict() == s.as_result(0.1).as_dict()
+
+    def test_window_restores_answers(self, store):
+        w = SlidingWindowSketch(
+            150, buckets=3, epsilon=0.02, capacity=32, exact_tail=20
+        )
+        for t in _txs(1):
+            w.push(t)
+        save_sketch(store, w)
+        back = load_sketch(store)
+        assert isinstance(back, SlidingWindowSketch)
+        assert back.covered() == w.covered()
+        assert back.n_seen == w.n_seen
+        assert sketch_digest(back) == sketch_digest(w)
+        for item in range(25):
+            assert back.estimate((item,)) == w.estimate((item,))
+        assert back.mine_exact_tail(2) == w.mine_exact_tail(2)
+
+    def test_restored_sketch_continues_identically(self, store):
+        txs = _txs(2)
+        a = StreamSummary(epsilon=0.05, capacity=16, seed=7)
+        for t in txs[:300]:
+            a.push(t)
+        save_sketch(store, a)
+        b = load_sketch(store)
+        for t in txs[300:]:
+            a.push(t)
+            b.push(t)
+        assert sketch_digest(a) == sketch_digest(b)
+
+    def test_window_restored_sketch_continues_identically(self, store):
+        txs = _txs(3)
+        a = SlidingWindowSketch(100, buckets=4, epsilon=0.05, capacity=16)
+        for t in txs[:300]:
+            a.push(t)
+        save_sketch(store, a)
+        b = load_sketch(store)
+        for t in txs[300:]:
+            a.push(t)
+            b.push(t)
+        assert sketch_digest(a) == sketch_digest(b)
+        assert a.covered() == b.covered()
+
+
+class TestDurability:
+    def test_corrupt_newest_generation_falls_back(self, store):
+        s = StreamSummary(epsilon=0.05, capacity=16)
+        for t in _txs(4, n=100):
+            s.push(t)
+        save_sketch(store, s)  # generation A
+        digest_a = sketch_digest(s)
+        s.push((1, 2, 3))
+        save_sketch(store, s)  # generation B (newest)
+        store.inject_corruption(SKETCH_NODE, SKETCH_KEY, generation=0)
+        back = load_sketch(store)  # CRC rejects B, falls back to A
+        assert sketch_digest(back) == digest_a
+        assert store.fallback_reads == 1
+
+    def test_all_generations_corrupt_raises(self, store):
+        s = StreamSummary()
+        s.push(("a",))
+        save_sketch(store, s)
+        store.inject_corruption(SKETCH_NODE, SKETCH_KEY, generation=0)
+        with pytest.raises(CheckpointError):
+            load_sketch(store)
+
+    def test_missing_snapshot_raises(self, store):
+        with pytest.raises(CheckpointError):
+            load_sketch(store)
+
+
+class TestIngestor:
+    def test_report_and_snapshot_cadence(self, store):
+        reports = []
+        ing = StreamIngestor(
+            StreamSummary(epsilon=0.05, capacity=16),
+            report_every=100,
+            on_report=lambda sk, n: reports.append(n),
+            checkpoint=store,
+        )
+        fed = ing.run(iter(_txs(5, n=350)))
+        assert fed == 350
+        assert reports == [100, 200, 300]
+        # 3 cadence snapshots + 1 final
+        assert ing.n_snapshots == 4
+        assert sketch_digest(load_sketch(store)) == sketch_digest(ing.sketch)
+
+    def test_feed_without_final_snapshot(self, store):
+        ing = StreamIngestor(StreamSummary(), checkpoint=store)
+        ing.feed([("a",), ("b",)])
+        assert ing.n_snapshots == 0
+        assert not store.has(SKETCH_NODE, SKETCH_KEY)
+
+    def test_windowed_ingest(self):
+        ing = StreamIngestor(SlidingWindowSketch(50, buckets=2))
+        ing.run(iter(_txs(6, n=200)))
+        assert ing.n_ingested == 200
+        assert ing.sketch.covered() <= 50

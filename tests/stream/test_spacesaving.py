@@ -1,0 +1,109 @@
+"""Space-saving summary: Metwally invariants under adversarial streams."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.stream.spacesaving import SpaceSaving
+
+
+def _check_invariants(ss, exact):
+    n = ss.total
+    m = ss.capacity
+    assert len(ss) <= m
+    for key, count, error in ss.entries():
+        true = exact.get(key, 0)
+        assert count >= true, f"{key}: monitored count {count} < true {true}"
+        assert count - error <= true, (
+            f"{key}: guaranteed floor {count - error} > true {true}"
+        )
+    # every true heavy hitter above N/m must be monitored
+    for key, true in exact.items():
+        if true > n / m:
+            assert key in ss, f"heavy hitter {key} (true={true} > {n/m:.1f}) evicted"
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_streams(self, seed):
+        rng = random.Random(seed)
+        keys = [min(int(rng.paretovariate(1.1)), 500) for _ in range(4000)]
+        ss = SpaceSaving(capacity=32)
+        exact = Counter()
+        for k in keys:
+            ss.add(k)
+            exact[k] += 1
+        _check_invariants(ss, exact)
+
+    def test_adversarial_rotation(self):
+        # every key appears exactly once: constant eviction churn
+        ss = SpaceSaving(capacity=8)
+        exact = Counter()
+        for k in range(1000):
+            ss.add(k)
+            exact[k] += 1
+        _check_invariants(ss, exact)
+        assert len(ss) == 8
+
+    def test_weighted_adds(self):
+        ss = SpaceSaving(capacity=4)
+        exact = Counter()
+        rng = random.Random(5)
+        for _ in range(500):
+            k, w = rng.randrange(40), rng.randint(1, 9)
+            ss.add(k, w)
+            exact[k] += w
+        _check_invariants(ss, exact)
+
+    def test_under_capacity_is_exact(self):
+        ss = SpaceSaving(capacity=100)
+        for k in (1, 1, 2, 3, 3, 3):
+            ss.add(k)
+        assert ss.estimate(1) == (2, 0)
+        assert ss.estimate(3) == (3, 0)
+        assert ss.estimate(99) is None
+        assert ss.min_count() == 0
+
+
+class TestMechanics:
+    def test_eviction_inherits_min(self):
+        ss = SpaceSaving(capacity=2)
+        ss.add("a", 5)
+        ss.add("b", 3)
+        ss.add("c")  # evicts b (min=3): count=4, error=3
+        assert ss.estimate("c") == (4, 3)
+        assert ss.estimate("b") is None
+        assert ss.total == 9
+
+    def test_entries_order_deterministic(self):
+        ss = SpaceSaving(capacity=8)
+        for k, n in (("x", 3), ("y", 3), ("z", 5)):
+            ss.add(k, n)
+        assert [e[0] for e in ss.entries()] == ["z", "x", "y"]
+
+    def test_lazy_heap_rebuild(self):
+        ss = SpaceSaving(capacity=4)
+        rng = random.Random(0)
+        # many increments of monitored keys -> lots of stale heap entries
+        for _ in range(2000):
+            ss.add(rng.randrange(4))
+        assert len(ss._heap) <= 8 * ss.capacity + 4
+        exact = Counter()  # re-run exact for the invariant check
+        rng = random.Random(0)
+        for _ in range(2000):
+            exact[rng.randrange(4)] += 1
+        _check_invariants(ss, exact)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SpaceSaving(0)
+        with pytest.raises(InvalidParameterError):
+            SpaceSaving(4).add("k", 0)
+
+    def test_memory_bounded(self):
+        ss = SpaceSaving(capacity=16)
+        for k in range(100_000):
+            ss.add(k % 7919)
+        assert ss.memory_bytes() < 16 * 120 + (8 * 16 + 16) * 40

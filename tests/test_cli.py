@@ -127,6 +127,17 @@ class TestMineGoverned:
         assert "# APPROXIMATE:" in out
         assert "method=plt+approx-topk" in out
 
+    def test_degrade_sketch_labels_bounds(self, dense_file, capsys):
+        code = main(
+            ["mine", "--input", dense_file, "--min-support", "4",
+             "--max-itemsets", "10", "--degrade", "sketch"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# APPROXIMATE:" in out
+        assert "method=plt+approx-sketch" in out
+        assert "one-sided" in out
+
     def test_memory_budget_suffix_parsed(self, dense_file, capsys):
         code = main(
             ["mine", "--input", dense_file, "--min-support", "4",
@@ -335,3 +346,122 @@ class TestEncodeInfoDatasets:
         out = capsys.readouterr().out
         assert "paper-example" in out
         assert "DENSE-50" in out
+
+
+class TestStream:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        path = tmp_path / "feed.dat"
+        path.write_text("1 2\n" * 30 + "3\n" * 5)
+        return str(path)
+
+    def test_file_ingest_text_report(self, stream_file, capsys):
+        assert main(["stream", "--input", stream_file]) == 0
+        out = capsys.readouterr().out
+        assert "# ingested 35 (35 transactions)" in out
+        assert "item bound" in out
+
+    def test_json_report(self, stream_file, capsys):
+        import json
+
+        assert main(["stream", "--input", stream_file, "--json"]) == 0
+        final = json.loads(capsys.readouterr().out)
+        assert final["ingested"] == 35
+        assert final["n_items"] == 3
+        assert final["windowed"] is False
+        assert final["parse"] == {
+            "lines": 35,
+            "transactions": 35,
+            "skipped": 0,
+            "truncated": False,
+        }
+        top = {tuple(e["items"]): e["estimate"] for e in final["top"]}
+        assert top[(1, 2)] >= 30
+
+    def test_stdin_ingest(self, stream_file, capsys, monkeypatch):
+        import io
+        import json
+
+        payload = open(stream_file, "rb").read()
+        monkeypatch.setattr(
+            "sys.stdin", type("S", (), {"buffer": io.BytesIO(payload)})()
+        )
+        assert main(["stream", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["ingested"] == 35
+
+    def test_min_support_lists_frequent(self, stream_file, capsys):
+        import json
+
+        assert (
+            main(["stream", "--input", stream_file, "--json", "--min-support", "20"])
+            == 0
+        )
+        final = json.loads(capsys.readouterr().out)
+        assert final["min_support"] == 20
+        found = {tuple(e["items"]) for e in final["frequent"]}
+        assert (1, 2) in found and (3,) not in found
+
+    def test_snapshot_restore_digest_identical(self, stream_file, tmp_path, capsys):
+        import json
+
+        ckpt = str(tmp_path / "ckpt")
+        assert (
+            main(["stream", "--input", stream_file, "--json", "--snapshot", ckpt]) == 0
+        )
+        first = json.loads(capsys.readouterr().out)
+        assert first["snapshots"] >= 1
+        # restore and ingest nothing: state must be byte-identical
+        empty = tmp_path / "empty.dat"
+        empty.write_text("")
+        assert (
+            main(["stream", "--restore", ckpt, "--input", str(empty), "--json"]) == 0
+        )
+        second = json.loads(capsys.readouterr().out)
+        assert second["ingested"] == 0
+        assert second["digest"] == first["digest"]
+
+    def test_windowed_ingest(self, stream_file, capsys):
+        import json
+
+        assert (
+            main(["stream", "--input", stream_file, "--json", "--window", "10"]) == 0
+        )
+        final = json.loads(capsys.readouterr().out)
+        assert final["windowed"] is True
+        assert final["window"] == 10
+        assert final["n_seen"] == 35
+        assert final["n_transactions"] <= 10
+
+    def test_window_flags_require_window(self, stream_file, capsys):
+        assert main(["stream", "--input", stream_file, "--buckets", "2"]) == 1
+        assert "--window" in capsys.readouterr().err
+        assert main(["stream", "--input", stream_file, "--exact-tail", "5"]) == 1
+        assert "--window" in capsys.readouterr().err
+
+    def test_report_cadence(self, stream_file, capsys):
+        assert (
+            main(["stream", "--input", stream_file, "--report-every", "10"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "# 10 transactions in" in out
+        assert "# 30 transactions in" in out
+
+    def test_missing_input_is_runtime_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.dat")
+        assert main(["stream", "--input", missing]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeSketchArgs:
+    def test_sketch_rejects_store(self, dat_file, tmp_path, capsys):
+        assert (
+            main(
+                ["serve", "--db", dat_file, "--sketch", "--store", str(tmp_path / "s")]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_sketch_requires_db(self, capsys):
+        assert main(["serve", "--sketch", "--port", "0"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""CI smoke for the crash-only serving runtime.
+
+Runs the differential serve-tier chaos harness
+(:func:`repro.serve.chaos.run_serve_chaos`) for three seeds.  Each run
+supervises a real ``python -m repro serve`` worker and, per the seeded
+fault plan, SIGKILLs it three times (once *during* a snapshot write,
+leaving a torn newest generation), hangs it once (the supervisor's
+probe deadline must put it down), and cuts the client's own connection
+mid-frame twice — while every answer must stay bit-for-bit identical
+to an undisturbed in-process engine and every restart must be warm
+(rehydrated from a surviving snapshot generation, never a cold rebuild).
+
+After the runs the script asserts nothing leaked: no worker process is
+still alive and no ``/dev/shm`` segment appeared.  Every wait is
+hard-bounded; the CI job wraps the whole script in ``timeout 90``.
+
+Usage: PYTHONPATH=src python scripts/serve_chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+import tempfile
+import time
+
+SEEDS = (0, 1, 2)
+LEAK_GRACE = 5.0  # seconds for just-terminated workers to be reaped
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def worker_pids() -> set[int]:
+    """PIDs of live ``python -m repro serve`` workers (Linux /proc scan)."""
+    mine = os.getpid()
+    pids: set[int] = set()
+    if not os.path.isdir("/proc"):
+        return pids  # non-procfs platform: skip the process-leak check
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit() or int(entry) == mine:
+            continue
+        try:
+            with open(f"/proc/{entry}/cmdline", "rb") as fh:
+                cmdline = fh.read().decode(errors="replace").replace("\x00", " ")
+        except OSError:
+            continue  # raced with process exit
+        if "-m repro serve" in cmdline:
+            pids.add(int(entry))
+    return pids
+
+
+def shm_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/plt_shm_*"))
+
+
+def main() -> None:
+    from repro.serve.chaos import run_serve_chaos
+
+    shm_before = shm_segments()
+    workers_before = worker_pids()
+    start = time.monotonic()
+
+    for seed in SEEDS:
+        with tempfile.TemporaryDirectory(prefix=f"serve_chaos_{seed}_") as tmp:
+            t0 = time.monotonic()
+            report = run_serve_chaos(tmp, seed=seed)
+            elapsed = time.monotonic() - t0
+            if not report["ok"]:
+                for mismatch in report["mismatches"][:3]:
+                    print(f"MISMATCH: {mismatch}", file=sys.stderr)
+                for error in report["errors"][:3]:
+                    print(f"ERROR: {error}", file=sys.stderr)
+                fail(
+                    f"seed {seed}: chaos differential failed "
+                    f"(cold={report['cold_restarts']}, "
+                    f"digests={report['digests']}, "
+                    f"crashes={report['crashes_observed']}, "
+                    f"hang_kills={report['hang_kills']}, "
+                    f"tripped={report['supervisor']['tripped']})"
+                )
+            print(
+                f"seed {seed}: {report['n_requests']} answers bit-for-bit "
+                f"identical across {report['crashes_observed']} crashes, "
+                f"{report['hang_kills']} hang kill(s), "
+                f"{len(report['incarnations'])} incarnations, "
+                f"{report['client']['cuts_injected']} client cuts "
+                f"({elapsed:.1f}s)"
+            )
+
+    # -- leak checks: every worker dead, every shm segment gone ----------
+    leaked = worker_pids() - workers_before
+    deadline = time.monotonic() + LEAK_GRACE
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.2)
+        leaked = worker_pids() - workers_before
+    if leaked:
+        fail(f"leaked worker processes: {sorted(leaked)}")
+    shm_leaked = shm_segments() - shm_before
+    if shm_leaked:
+        fail(f"leaked /dev/shm segments: {sorted(shm_leaked)}")
+
+    total = time.monotonic() - start
+    print(
+        f"serve chaos smoke: {len(SEEDS)} seeds passed in {total:.1f}s "
+        f"(no leaked workers, no leaked shm segments)"
+    )
+
+
+if __name__ == "__main__":
+    main()

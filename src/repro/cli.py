@@ -223,6 +223,43 @@ def build_parser() -> argparse.ArgumentParser:
         "process (real worker processes over localhost TCP; --crash "
         "becomes a real SIGKILL)",
     )
+    p_chaos.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve-tier chaos instead of distributed mining: run a "
+        "supervised daemon under seeded kills/hangs/torn snapshots and "
+        "verify a ResilientClient's answers are bit-for-bit identical to "
+        "an undisturbed engine (with no --input: synthetic data at "
+        "min-support 10)",
+    )
+    p_chaos.add_argument(
+        "--requests", type=int, default=36,
+        help="scripted queries in the --serve differential workload",
+    )
+    p_chaos.add_argument(
+        "--kills", type=int, default=3,
+        help="scheduled worker SIGKILLs for --serve",
+    )
+    p_chaos.add_argument(
+        "--no-hang", action="store_true",
+        help="skip the scheduled worker hang in --serve",
+    )
+    p_chaos.add_argument(
+        "--no-torn", action="store_true",
+        help="skip the crash-mid-snapshot fault in --serve",
+    )
+    p_chaos.add_argument(
+        "--workdir", default=None,
+        help="scratch directory for --serve (default: a fresh temp dir)",
+    )
+    p_chaos.add_argument(
+        "--echo", action="store_true",
+        help="echo supervisor/worker output during --serve",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="print the full --serve chaos report as JSON",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -312,6 +349,66 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="heavy-hitter slots per space-saving summary for --sketch",
+    )
+    p_serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="DIR",
+        help="two-generation CheckpointStore directory for warm restarts: "
+        "the worker restores its index/sketch from here when possible, and "
+        "snapshots at startup, on SIGHUP, and on the --snapshot-every cadence",
+    )
+    p_serve.add_argument(
+        "--snapshot-every",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="periodic snapshot cadence (0: startup + SIGHUP only)",
+    )
+    p_serve.add_argument(
+        "--incarnation",
+        type=int,
+        default=1,
+        help="lineage number assigned by the supervisor (reported in "
+        "health/READY; scopes worker-side fault injection)",
+    )
+    p_serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run crash-recoverable: a supervisor parent probes the worker "
+        "with deadline-bounded health pings, SIGKILLs hangs, and warm-"
+        "restarts crashes from --snapshot under a backoff circuit breaker",
+    )
+    p_serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.5,
+        help="seconds between supervisor health probes (--supervise)",
+    )
+    p_serve.add_argument(
+        "--probe-deadline",
+        type=float,
+        default=2.0,
+        help="per-probe answer deadline before it counts as a miss",
+    )
+    p_serve.add_argument(
+        "--probe-misses",
+        type=int,
+        default=2,
+        help="consecutive probe misses before the worker is declared hung",
+    )
+    p_serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="consecutive restarts without a healthy probe before the "
+        "crash-loop circuit breaker trips",
+    )
+    p_serve.add_argument(
+        "--startup-deadline",
+        type=float,
+        default=30.0,
+        help="seconds a new incarnation gets to print READY",
     )
 
     p_stream = sub.add_parser(
@@ -577,8 +674,69 @@ def _cmd_bench(args) -> int:
     )
 
 
+def _serve_chaos(args) -> int:
+    """``repro chaos --serve``: supervised-daemon crash/recovery differential."""
+    import json
+    import tempfile
+
+    from repro.serve.chaos import run_serve_chaos
+
+    min_support = args.min_support
+    if args.input is None and min_support == 2:
+        min_support = 10  # the synthetic 300-transaction workload's default
+    with tempfile.TemporaryDirectory(prefix="repro-serve-chaos-") as tmp:
+        report = run_serve_chaos(
+            args.workdir or tmp,
+            seed=args.seed,
+            dataset=args.input,
+            min_support=min_support,
+            n_requests=args.requests,
+            kills=args.kills,
+            hang=not args.no_hang,
+            torn=not args.no_torn,
+            echo=args.echo,
+        )
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(f"fault plan: {json.dumps(report['plan'])}")
+        print(
+            f"incarnations: {len(report['incarnations'])} "
+            f"(expected {report['expected_incarnations']}), "
+            f"crashes: {report['crashes_observed']}, "
+            f"hang kills: {report['hang_kills']}, "
+            f"client: {json.dumps(report['client'])}"
+        )
+        if report["cold_restarts"]:
+            print(f"COLD RESTARTS (should be none): {report['cold_restarts']}")
+        for error in report["errors"]:
+            print(f"ERROR: {error}", file=sys.stderr)
+        for mismatch in report["mismatches"][:5]:
+            print(
+                f"MISMATCH at request {mismatch['index']}: "
+                f"{json.dumps(mismatch['request'])}",
+                file=sys.stderr,
+            )
+    if not report["ok"]:
+        print(
+            f"serve chaos FAILED: {len(report['mismatches'])} mismatches, "
+            f"{len(report['errors'])} errors, "
+            f"{len(report['cold_restarts'])} cold restarts",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"verified: {report['n_requests']} answers bit-for-bit identical to "
+        f"the undisturbed engine across {report['crashes_observed']} crashes"
+    )
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import json
+
+    if args.serve:
+        return _serve_chaos(args)
 
     from repro.core.mining import mine_frequent_itemsets
     from repro.core.rank import sort_key
@@ -637,11 +795,119 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+#: Serve flags consumed by the supervisor parent and not forwarded to the
+#: worker child (value = number of following value tokens to strip too).
+_SUPERVISOR_ONLY_FLAGS = {
+    "--supervise": 0,
+    "--probe-interval": 1,
+    "--probe-deadline": 1,
+    "--probe-misses": 1,
+    "--max-restarts": 1,
+    "--startup-deadline": 1,
+    "--port": 1,  # the supervisor reserves and assigns the port itself
+    "--incarnation": 1,
+}
+
+
+def _strip_supervisor_flags(argv: list[str]) -> list[str]:
+    out: list[str] = []
+    skip = 0
+    for token in argv:
+        if skip:
+            skip -= 1
+            continue
+        flag = token.split("=", 1)[0]
+        if flag in _SUPERVISOR_ONLY_FLAGS:
+            if "=" not in token:
+                skip = _SUPERVISOR_ONLY_FLAGS[flag]
+            continue
+        out.append(token)
+    return out
+
+
+def _serve_supervised(args) -> int:
+    """``repro serve --supervise``: the crash-recoverable runtime."""
+    import signal
+    import threading
+
+    from repro.serve.faults import ServeFaultPlan
+    from repro.serve.supervisor import Supervisor, worker_command
+
+    worker_args = _strip_supervisor_flags(list(getattr(args, "raw_argv", []))[1:])
+    supervisor = Supervisor(
+        worker_command(worker_args),
+        host=args.host,
+        port=args.port,
+        snapshot_dir=args.snapshot,
+        probe_interval=args.probe_interval,
+        probe_deadline=args.probe_deadline,
+        probe_misses=args.probe_misses,
+        startup_deadline=args.startup_deadline,
+        max_restarts=args.max_restarts,
+        fault_plan=ServeFaultPlan.from_env(),
+        echo=True,
+    )
+    supervisor.start()
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    if hasattr(signal, "SIGHUP"):
+        # operators HUP the supervisor; it forwards to the worker, which
+        # writes a fresh snapshot generation
+        signal.signal(signal.SIGHUP, lambda s, f: supervisor.signal_snapshot())
+    print(
+        f"READY host={supervisor.host} port={supervisor.port} supervised=1",
+        flush=True,
+    )
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+            if supervisor.tripped:
+                print(
+                    f"error: crash-loop circuit breaker tripped after "
+                    f"{supervisor.restarts} restarts: {supervisor.last_lines()}",
+                    file=sys.stderr,
+                )
+                return 1
+    finally:
+        supervisor.stop()
+    stats = supervisor.stats()
+    print(
+        f"stopped after {len(stats['incarnations'])} incarnation(s), "
+        f"{stats['restarts']} restart(s), {stats['hang_kills']} hang kill(s)",
+        flush=True,
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import signal
     import threading
 
+    if args.supervise:
+        return _serve_supervised(args)
+
+    from repro.robustness.checkpoint import CheckpointStore
     from repro.serve import PatternEngine, PatternServer, ServingIndex, SketchEngine
+    from repro.serve.faults import ServeFaultPlan, WorkerFaultInjector
+    from repro.serve.snapshot import SNAPSHOT_KEY, load_snapshot, save_snapshot
+    from repro.stream import SlidingWindowSketch, StreamSummary
+
+    # -- warm restore: a usable snapshot beats rebuilding from the input
+    store = CheckpointStore(args.snapshot) if args.snapshot else None
+    restored_state = None
+    if store is not None:
+        loaded = load_snapshot(store)
+        if loaded is not None:
+            state, _digest = loaded
+            wants_sketch = isinstance(state, (StreamSummary, SlidingWindowSketch))
+            if wants_sketch == bool(args.sketch):
+                restored_state = state
+    restored = restored_state is not None
 
     if args.sketch:
         if args.store is not None:
@@ -650,16 +916,19 @@ def _cmd_serve(args) -> int:
             )
         if args.input is None:
             raise ReproError("--sketch requires --db/--input")
-        from repro.data.io import ParseReport, iter_dat_lines
-        from repro.stream import StreamSummary
+        if restored:
+            summary = restored_state
+        else:
+            from repro.data.io import ParseReport, iter_dat_lines
 
-        summary = StreamSummary(
-            epsilon=args.epsilon, delta=args.delta, capacity=args.hh_capacity
-        )
-        report = ParseReport(path=str(args.input))
-        # one pass, no TransactionDatabase: the sketch is the whole state
-        for transaction in iter_dat_lines(args.input, report=report):
-            summary.push(transaction)
+            summary = StreamSummary(
+                epsilon=args.epsilon, delta=args.delta, capacity=args.hh_capacity
+            )
+            report = ParseReport(path=str(args.input))
+            # one pass, no TransactionDatabase: the sketch is the whole state
+            for transaction in iter_dat_lines(args.input, report=report):
+                summary.push(transaction)
+        state = summary
         engine = SketchEngine(summary)
         ready = (
             f"READY host={{host}} port={{port}} engine=sketch "
@@ -670,6 +939,8 @@ def _cmd_serve(args) -> int:
         )
     elif (args.input is None) == (args.store is None):
         raise ReproError("serve requires exactly one of --db/--input or --store")
+    elif restored:
+        index = restored_state
     elif args.store is not None:
         if args.min_support is not None:
             raise ReproError("--min-support conflicts with --store (the store has its own)")
@@ -682,6 +953,7 @@ def _cmd_serve(args) -> int:
         index = ServingIndex.from_transactions(read_dat(args.input), args.min_support)
 
     if not args.sketch:
+        state = index
         engine = PatternEngine(
             index,
             cache_size=args.cache_size,
@@ -696,20 +968,70 @@ def _cmd_serve(args) -> int:
             f"items={len(index.rank_table)} paths={index.postings.n_paths()} "
             f"min_support={index.min_support} n_transactions={index.n_transactions}"
         )
-    server = PatternServer(engine, host=args.host, port=args.port)
+
+    # -- fault injection (chaos runs): armed via REPRO_SERVE_FAULTS
+    fault_plan = ServeFaultPlan.from_env()
+    injector = None
+    handler = engine
+    if fault_plan is not None:
+        injector = WorkerFaultInjector(fault_plan, engine, incarnation=args.incarnation)
+        handler = injector
+
+    snapshot_lock = threading.Lock()
+
+    def _snapshot() -> str | None:
+        """Write one generation; returns its digest (None when disabled)."""
+        if store is None:
+            return None
+        with snapshot_lock:
+            written, _nbytes = save_snapshot(store, state)
+        if injector is not None:
+            injector.on_snapshot(store, SNAPSHOT_KEY)
+        return written
+
+    # the startup snapshot: the newest generation always reflects the
+    # serving state, so the *next* incarnation restores instead of rebuilds
+    digest = _snapshot()
+    engine.health_info.update(
+        {
+            "incarnation": args.incarnation,
+            "restored": int(restored),
+            "snapshot_digest": digest,
+        }
+    )
+    ready += f" incarnation={args.incarnation} restored={int(restored)} digest={digest or '-'}"
+
+    server = PatternServer(handler, host=args.host, port=args.port)
     server.start()
     stop = threading.Event()
+    hup = threading.Event()
 
     def _on_signal(signum, frame):
         stop.set()
 
     signal.signal(signal.SIGTERM, _on_signal)
     signal.signal(signal.SIGINT, _on_signal)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, lambda s, f: hup.set())
+
+    if store is not None and args.snapshot_every > 0:
+
+        def _cadence():
+            while not stop.wait(args.snapshot_every):
+                _snapshot()
+
+        threading.Thread(target=_cadence, name="plt-serve-snapshot", daemon=True).start()
+
     # the READY line is the machine-readable startup contract: supervisors
     # (tests, CI) wait for it and read the bound port off it
     print(ready.format(host=server.host, port=server.port), flush=True)
     while not stop.is_set():
         stop.wait(0.2)
+        if hup.is_set():
+            hup.clear()
+            written = _snapshot()
+            if written is not None:
+                print(f"SNAPSHOT digest={written}", flush=True)
     server.stop()
     stats = engine.stats()
     if args.sketch:
@@ -870,7 +1192,11 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
     args = parser.parse_args(argv)
+    # the supervisor re-execs the serve worker from the original argv
+    # (minus its own flags), so keep it available to the command
+    args.raw_argv = raw_argv
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

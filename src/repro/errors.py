@@ -28,7 +28,9 @@ __all__ = [
     "AdmissionRejected",
     "ServeError",
     "ServeProtocolError",
+    "ServeConnectionError",
     "ServeOverloadedError",
+    "ServeRestartBudgetError",
     "DegradedExecutionWarning",
 ]
 
@@ -246,6 +248,22 @@ class ServeProtocolError(ServeError):
     code = "protocol"
 
 
+class ServeConnectionError(ServeError):
+    """The client's TCP connection to the daemon is unusable.
+
+    Raised by :class:`~repro.serve.client.ServeClient` when a request
+    times out, the socket errors mid-exchange, or the server vanishes
+    before answering.  After any of those the byte stream is no longer
+    self-delimiting — a retry on the same socket could consume a stale
+    half-read envelope — so the client marks the connection *broken*,
+    closes it, and every further call raises this error until a new
+    connection is made.  :class:`~repro.serve.resilient.ResilientClient`
+    treats this error as the reconnect-and-retry signal.
+    """
+
+    code = "connection"
+
+
 class ServeOverloadedError(ServeError):
     """Admission control refused a query: too many in flight.
 
@@ -255,6 +273,19 @@ class ServeOverloadedError(ServeError):
     """
 
     code = "overloaded"
+
+
+class ServeRestartBudgetError(ServeError):
+    """The serving supervisor's crash-loop circuit breaker tripped.
+
+    Raised by :class:`~repro.serve.supervisor.Supervisor` when the worker
+    failed (crashed, hung, or died before READY) more consecutive times
+    than the restart budget allows without ever reaching a healthy probe.
+    Restarting further would loop forever on a deterministic startup
+    failure; the supervisor surfaces the condition instead.
+    """
+
+    code = "restart_budget"
 
 
 class DegradedExecutionWarning(RuntimeWarning):

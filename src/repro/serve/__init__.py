@@ -14,18 +14,33 @@ Layers, bottom up:
   (:class:`ServingIndex` + :class:`PatternEngine`);
 * :mod:`repro.serve.protocol` — length-prefixed CRC'd JSON framing;
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — the TCP
-  daemon and its blocking client.
+  daemon and its blocking client;
+* :mod:`repro.serve.snapshot` — two-generation warm-restart snapshots
+  of the serving state (index or sketch) with digests;
+* :mod:`repro.serve.supervisor` — the crash-only parent process:
+  health probes, hang detection, backed-off warm restarts behind a
+  crash-loop circuit breaker;
+* :mod:`repro.serve.resilient` — the failover client (reconnect,
+  idempotent retry, per-request deadlines);
+* :mod:`repro.serve.faults` / :mod:`repro.serve.chaos` — the seeded
+  serve-tier fault plan and the differential chaos harness around it.
 
-Start one from the command line with ``python -m repro serve``.
+Start one from the command line with ``python -m repro serve`` (add
+``--supervise`` for the crash-recoverable runtime), and exercise the
+whole loop with ``python -m repro chaos --serve``.
 """
 
 from repro.serve.admission import AdmissionController, budget_from_request, budget_signature
 from repro.serve.cache import CacheStats, ServingCache
 from repro.serve.client import ServeClient
 from repro.serve.engine import PatternEngine, ServingIndex, serialize_rule
+from repro.serve.faults import ServeFaultPlan, WorkerFaultInjector
 from repro.serve.protocol import MAX_FRAME, encode_message, decode_message
+from repro.serve.resilient import ResilientClient
 from repro.serve.server import PatternServer
 from repro.serve.sketch import SketchEngine
+from repro.serve.snapshot import load_snapshot, save_snapshot
+from repro.serve.supervisor import Supervisor, reserve_port, worker_command
 
 __all__ = [
     "AdmissionController",
@@ -42,4 +57,12 @@ __all__ = [
     "decode_message",
     "PatternServer",
     "SketchEngine",
+    "ServeFaultPlan",
+    "WorkerFaultInjector",
+    "ResilientClient",
+    "Supervisor",
+    "reserve_port",
+    "worker_command",
+    "load_snapshot",
+    "save_snapshot",
 ]

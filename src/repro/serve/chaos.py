@@ -1,0 +1,269 @@
+"""The serve-tier chaos harness: crash the daemon, demand exact answers.
+
+:func:`run_serve_chaos` closes the crash-only serving loop end to end:
+
+1. mine the **ground truth** in-process — the same scripted query
+   sequence answered by an undisturbed :class:`PatternEngine` on the
+   same dataset and threshold;
+2. start a real supervised daemon (:class:`~repro.serve.supervisor.Supervisor`
+   around ``python -m repro serve``) with a seeded
+   :class:`~repro.serve.faults.ServeFaultPlan` armed: scheduled
+   SIGKILLs mid-request, one crash *during* a snapshot write (leaving a
+   damaged newest generation), one hang (alive but answering nothing),
+   and client-side mid-frame connection cuts;
+3. drive the identical query sequence through a
+   :class:`~repro.serve.resilient.ResilientClient` while the worker is
+   being killed and warm-restarted underneath it;
+4. compare every answer **bit-for-bit** (canonicalised: timing and
+   cache-provenance fields stripped, everything semantic kept) against
+   the undisturbed run, and check the warm-restart invariant — every
+   restarted incarnation rehydrated from a snapshot generation
+   (``restored=1``) with the same digest, never a cold rebuild.
+
+Determinism is the load-bearing wall: the fault schedule is a pure
+function of the seed (worker ordinals exclude supervisor health probes),
+the queries are a pure function of the seed, and the engine itself is
+deterministic — so any mismatch is a real serving bug, not chaos noise.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from repro.robustness.retry import RetryPolicy
+from repro.serve.engine import PatternEngine, ServingIndex
+from repro.serve.faults import ServeFaultPlan
+from repro.serve.resilient import ResilientClient
+from repro.serve.supervisor import Supervisor, worker_command
+
+__all__ = [
+    "scripted_requests",
+    "canonical_envelope",
+    "build_fault_plan",
+    "run_serve_chaos",
+]
+
+#: Envelope fields excluded from the differential: wall-clock timing and
+#: cache provenance legitimately differ between runs; nothing else may.
+_NONDETERMINISTIC_FIELDS = frozenset({"elapsed", "source"})
+
+
+def canonical_envelope(envelope: dict) -> str:
+    """One response envelope as a canonical comparison string."""
+    kept = {
+        k: v for k, v in envelope.items() if k not in _NONDETERMINISTIC_FIELDS
+    }
+    return json.dumps(kept, sort_keys=True, separators=(",", ":"))
+
+
+def scripted_requests(seed: int, items: list, *, n: int = 36) -> list[dict]:
+    """A deterministic mixed query workload over the item universe."""
+    rng = random.Random(f"{seed}:requests")
+    requests: list[dict] = []
+    for _ in range(n):
+        kind = rng.randrange(10)
+        if kind < 4:
+            size = rng.randint(1, 3)
+            requests.append(
+                {"op": "frequency", "items": sorted(rng.sample(items, size))}
+            )
+        elif kind < 7:
+            requests.append(
+                {"op": "topk", "item": rng.choice(items), "k": rng.randint(3, 8)}
+            )
+        elif kind < 9:
+            requests.append(
+                {
+                    "op": "rules",
+                    "min_confidence": rng.choice([0.4, 0.5, 0.6]),
+                    "limit": 20,
+                }
+            )
+        else:
+            basket = sorted(rng.sample(items, 2))
+            requests.append({"op": "recommend", "basket": basket, "top": 3})
+    return requests
+
+
+def build_fault_plan(
+    seed: int, *, kills: int = 3, hang: bool = True, torn: bool = True, cuts: int = 2,
+    n_requests: int = 36,
+) -> tuple[ServeFaultPlan, int]:
+    """The seeded crash schedule; returns ``(plan, expected_incarnations)``.
+
+    Faults are laid out over the incarnation lineage in order: the first
+    incarnation is killed mid-request; the second (when ``torn``) dies
+    during its startup snapshot write, leaving a corrupt newest
+    generation for the third to fall back from; further kills hit the
+    following incarnations; the last faulted incarnation hangs and must
+    be put down by the supervisor's probe deadline.  Ordinals are kept
+    small so the scripted workload always reaches every fault.
+    """
+    rng = random.Random(f"{seed}:plan")
+    kills_map: dict[int, list[int]] = {}
+    torn_map: dict[int, list[int]] = {}
+    hangs_map: dict[int, list[int]] = {}
+    incarnation = 1
+    for index in range(kills):
+        kills_map[incarnation] = [rng.randint(4, 7)]
+        incarnation += 1
+        if torn and index == 0:
+            torn_map[incarnation] = [1]  # dies writing its startup snapshot
+            incarnation += 1
+    if hang:
+        hangs_map[incarnation] = [rng.randint(3, 6)]
+        incarnation += 1
+    cut_ids = rng.sample(range(1, n_requests + 1), min(cuts, n_requests))
+    plan = ServeFaultPlan(
+        seed=seed,
+        kills=kills_map,
+        hangs=hangs_map,
+        torn_snapshots=torn_map,
+        client_cuts=cut_ids,
+    )
+    return plan, incarnation
+
+
+def run_serve_chaos(
+    workdir: str,
+    *,
+    seed: int = 0,
+    dataset: str | None = None,
+    min_support: float | int = 10,
+    n_requests: int = 36,
+    kills: int = 3,
+    hang: bool = True,
+    torn: bool = True,
+    cuts: int = 2,
+    max_restarts: int = 8,
+    host: str = "127.0.0.1",
+    echo: bool = False,
+) -> dict:
+    """One full differential chaos run; returns the verdict report.
+
+    ``report["ok"]`` is True only when every answer matched the
+    undisturbed baseline bit-for-bit *and* every restart was warm.
+    """
+    from repro.data.io import read_dat, write_dat
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    if dataset is None:
+        from repro.data.generators import generate_zipf
+
+        # sparse enough that the full frequent set (rules/recommend force a
+        # complete mine) stays small; the chaos is in the crashes, not the mine
+        dataset = str(workdir / "chaos.dat")
+        write_dat(generate_zipf(300, 60, 3.5, seed=seed), dataset)
+    db = read_dat(dataset)
+    items = list(db.items())
+
+    requests = scripted_requests(seed, items, n=n_requests)
+    baseline = PatternEngine(ServingIndex.from_transactions(db, min_support))
+    expected = [canonical_envelope(baseline.handle(r)) for r in requests]
+
+    plan, expected_incarnations = build_fault_plan(
+        seed, kills=kills, hang=hang, torn=torn, cuts=cuts, n_requests=n_requests
+    )
+    snapshot_dir = str(workdir / f"snap-{seed}")
+    supervisor = Supervisor(
+        worker_command(
+            [
+                "--db",
+                dataset,
+                "--min-support",
+                str(min_support),
+                "--host",
+                host,
+                "--snapshot",
+                snapshot_dir,
+            ]
+        ),
+        host=host,
+        snapshot_dir=snapshot_dir,
+        probe_interval=0.25,
+        probe_deadline=1.0,
+        probe_misses=2,
+        startup_deadline=60.0,
+        retry=RetryPolicy(
+            max_retries=max_restarts + 1,
+            base_delay=0.05,
+            multiplier=1.5,
+            max_delay=0.5,
+            jitter=0.2,
+            seed=seed,
+        ),
+        max_restarts=max_restarts,
+        fault_plan=plan,
+        echo=echo,
+    )
+
+    answers: list[str] = []
+    errors: list[str] = []
+    with supervisor:
+        client = ResilientClient(
+            host,
+            supervisor.port,
+            timeout=3.0,
+            deadline=60.0,
+            retry=RetryPolicy(
+                max_retries=14,
+                base_delay=0.05,
+                multiplier=1.5,
+                max_delay=0.8,
+                jitter=0.25,
+                seed=seed,
+            ),
+            fault_plan=plan,
+        )
+        with client:
+            for index, payload in enumerate(requests):
+                try:
+                    answers.append(canonical_envelope(client.request(payload)))
+                except Exception as exc:  # noqa: BLE001 - verdict, not crash
+                    answers.append(None)
+                    errors.append(f"request {index}: {type(exc).__name__}: {exc}")
+            client_stats = client.failover_stats()
+
+    mismatches = [
+        {"index": i, "request": requests[i], "expected": expected[i], "got": answers[i]}
+        for i in range(len(requests))
+        if answers[i] != expected[i]
+    ]
+
+    incarnations = [i.summary() for i in supervisor.incarnations]
+    ready = [i for i in incarnations if i["ready"]]
+    digests = {i["digest"] for i in ready if i["digest"] is not None}
+    cold_restarts = [
+        i["incarnation"] for i in ready if i["incarnation"] > 1 and not i["restored"]
+    ]
+    crashes = sum(1 for i in incarnations if i["outcome"] in ("crashed", "never_ready"))
+    hangs_seen = supervisor.hang_kills
+
+    ok = (
+        not mismatches
+        and not errors
+        and not cold_restarts
+        and len(digests) <= 1
+        and crashes >= kills + (1 if torn else 0)
+        and (hangs_seen >= 1 if hang else True)
+        and not supervisor.tripped
+    )
+    return {
+        "ok": ok,
+        "seed": seed,
+        "n_requests": n_requests,
+        "mismatches": mismatches,
+        "errors": errors,
+        "cold_restarts": cold_restarts,
+        "digests": sorted(digests),
+        "crashes_observed": crashes,
+        "hang_kills": hangs_seen,
+        "expected_incarnations": expected_incarnations,
+        "incarnations": incarnations,
+        "plan": plan.describe(),
+        "supervisor": supervisor.stats(),
+        "client": client_stats,
+    }

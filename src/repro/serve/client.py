@@ -9,13 +9,23 @@ The client is intentionally dumb: no retries, no pooling, no pipelining
 — a failed read raises, and the caller decides.  Sequence numbers are
 monotonically assigned per connection and checked against the response
 echo, so a desynchronised stream is detected immediately.
+
+Failure discipline: after a timeout, a short read, or any socket error
+mid-exchange the byte stream is no longer self-delimiting — the next
+request could consume a stale half-read envelope and silently answer
+the *previous* question.  The client therefore marks the connection
+**broken**, closes the socket, and raises
+:class:`~repro.errors.ServeConnectionError`; every later call on the
+same instance raises immediately instead of touching the dead socket.
+:class:`~repro.serve.resilient.ResilientClient` builds reconnect-and-
+retry on top of exactly this contract.
 """
 
 from __future__ import annotations
 
 import socket
 
-from repro.errors import ServeError, ServeProtocolError
+from repro.errors import ServeConnectionError, ServeError, ServeProtocolError
 from repro.serve.protocol import read_message, write_message
 
 __all__ = ["ServeClient"]
@@ -27,20 +37,60 @@ class ServeClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0):
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._seq = 0
+        self._broken = False
 
     # ------------------------------------------------------------------
+    @property
+    def broken(self) -> bool:
+        """True once the connection failed; the instance is then inert."""
+        return self._broken
+
+    def _break(self) -> None:
+        """Mark the connection unusable and close the socket."""
+        self._broken = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
     def request(self, payload: dict) -> dict:
-        """Send one request dict, return the response envelope dict."""
+        """Send one request dict, return the response envelope dict.
+
+        Raises :class:`~repro.errors.ServeConnectionError` when the
+        exchange times out or the socket dies, after which this client
+        is permanently broken (open a new one to continue).
+        """
+        if self._broken:
+            raise ServeConnectionError(
+                "connection is broken from an earlier failure; open a new client"
+            )
         self._seq += 1
-        write_message(self._sock, self._seq, payload)
-        message = read_message(self._sock)
+        try:
+            write_message(self._sock, self._seq, payload)
+            message = read_message(self._sock)
+        except socket.timeout as exc:
+            self._break()
+            raise ServeConnectionError(
+                f"request timed out after {self.timeout}s; the connection is "
+                f"no longer self-delimiting and has been closed"
+            ) from exc
+        except OSError as exc:
+            self._break()
+            raise ServeConnectionError(f"socket failed mid-exchange: {exc}") from exc
+        except ServeProtocolError:
+            # a short read / EOF mid-message: the stream is undefined
+            self._break()
+            raise
         if message is None:
-            raise ServeProtocolError("server closed the connection before answering")
+            self._break()
+            raise ServeConnectionError("server closed the connection before answering")
         seq, envelope = message
         # seq 0 is the server's out-of-band answer to an unparseable frame
         if seq not in (self._seq, 0):
+            self._break()
             raise ServeProtocolError(
                 f"response out of sequence: sent {self._seq}, got {seq}"
             )
@@ -61,6 +111,10 @@ class ServeClient:
     # ------------------------------------------------------------------
     def ping(self) -> bool:
         return self.check({"op": "ping"})["result"]["pong"]
+
+    def health(self) -> dict:
+        """Liveness + readiness probe (supervisors poll this)."""
+        return self.check({"op": "health"})["result"]
 
     def frequency(self, items, *, min_support=None, budget=None) -> dict:
         payload = {"op": "frequency", "items": list(items)}

@@ -39,6 +39,7 @@ exact partial contents but are never cached.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -164,7 +165,7 @@ def serialize_rule(rule: Rule) -> dict:
 class PatternEngine:
     """Dispatch + governance + caching over a :class:`ServingIndex`."""
 
-    OPS = ("ping", "frequency", "topk", "rules", "recommend", "stats")
+    OPS = ("ping", "health", "frequency", "topk", "rules", "recommend", "stats")
 
     def __init__(
         self,
@@ -191,6 +192,10 @@ class PatternEngine:
         self._lock = threading.Lock()
         self._op_counts: dict[str, int] = {}
         self._errors = 0
+        #: Extra facts merged into ``health`` answers — the serve worker
+        #: records its snapshot provenance (incarnation, restored, digest)
+        #: here so a supervisor can read them over the wire.
+        self.health_info: dict = {}
 
     # ------------------------------------------------------------------
     # dispatch
@@ -295,6 +300,23 @@ class PatternEngine:
     # ------------------------------------------------------------------
     def _op_ping(self, request, cancel) -> dict:
         return {"ok": True, "result": {"pong": True}, "complete": True, "source": "direct"}
+
+    def _op_health(self, request, cancel) -> dict:
+        """Liveness + readiness in one deadline-bounded probe.
+
+        ``live`` is implied by any answer at all; ``ready`` means the
+        index is loaded and queries will be served (always true once the
+        engine exists — the worker only binds the socket afterwards).
+        """
+        result = {
+            "live": True,
+            "ready": True,
+            "engine": "exact",
+            "pid": os.getpid(),
+            "uptime": time.monotonic() - self._started_at,
+        }
+        result.update(self.health_info)
+        return {"ok": True, "result": result, "complete": True, "source": "direct"}
 
     def _op_frequency(self, request, cancel) -> dict:
         items = request.get("items")

@@ -1,0 +1,266 @@
+"""Seeded, deterministic fault injection for the serving tier.
+
+The cluster simulator's :class:`~repro.parallel.faults.FaultPlan` speaks
+in supersteps and message indices; the serving tier's unit of progress
+is the **client request**.  A :class:`ServeFaultPlan` therefore addresses
+faults by request ordinal — the ``i``-th *client* operation the worker
+dispatches (supervisor ``health`` probes are excluded from the count, so
+the schedule is independent of probe timing) — and by snapshot ordinal
+for crash-mid-write faults:
+
+* ``kills`` — SIGKILL the worker the moment the ``k``-th client request
+  arrives, *before* it is answered (the client sees a dead connection);
+* ``hangs`` — from the ``h``-th client request on, every request —
+  including health probes — blocks forever (a live-but-wedged worker:
+  the process survives, the supervisor's probe deadline must catch it);
+* ``torn_snapshots`` — on the ``n``-th snapshot write, persist the
+  generation, flip a byte in it, then SIGKILL: the process dies leaving
+  its newest generation damaged, exactly the wreckage a crash mid-write
+  leaves behind (harsher, in fact — the real writer's tmp+rename is
+  atomic) — recovery must fall back to the surviving generation;
+* ``corrupt_generations`` — before the ``n``-th *restart*, the
+  supervisor flips a byte in the newest on-disk generation, forcing the
+  rehydration path through the CRC fallback;
+* ``client_cuts`` / ``client_cut_rate`` — the
+  :class:`~repro.serve.resilient.ResilientClient` cuts its own
+  connection mid-frame before sending the ``i``-th request (scripted
+  ordinals, plus a Bernoulli stream drawn from ``seed``).
+
+Decisions are pure functions of ``(seed, kind, ordinal)``: replaying a
+plan yields the identical crash schedule, which is what lets the chaos
+suite demand bit-for-bit equality against an undisturbed run.
+
+The plan crosses the process boundary as JSON through the
+``REPRO_SERVE_FAULTS`` environment variable: the supervisor exports it,
+the worker rehydrates it and arms a :class:`WorkerFaultInjector` around
+its engine.  Worker-side ordinals are **per incarnation** — each restart
+replays the schedule from zero, so ``kills=(3,)`` alone would kill every
+incarnation; plans meant to let the system recover scope each fault to
+one incarnation (``kills={1: (3,)}`` in mapping form).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import threading
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ServeFaultPlan", "WorkerFaultInjector", "FAULTS_ENV"]
+
+#: Environment variable carrying the plan JSON into the worker process.
+FAULTS_ENV = "REPRO_SERVE_FAULTS"
+
+
+def _per_incarnation(value, name: str) -> dict[int, frozenset[int]]:
+    """Normalise ``(3, 7)`` / ``{1: [3]}`` to ``{incarnation: ordinals}``.
+
+    A bare sequence means "every incarnation" and is stored under the
+    wildcard key ``-1``.
+    """
+    if value is None:
+        return {}
+    if isinstance(value, Mapping):
+        table = {int(k): frozenset(int(v) for v in vs) for k, vs in value.items()}
+    else:
+        table = {-1: frozenset(int(v) for v in value)}
+    for inc, ordinals in table.items():
+        if inc < -1:
+            raise InvalidParameterError(
+                f"{name} incarnation must be >= 0 (or -1 for all), got {inc}"
+            )
+        if any(o < 1 for o in ordinals):
+            raise InvalidParameterError(f"{name} ordinals are 1-based, got {sorted(ordinals)}")
+    return table
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """Declarative description of every fault one chaos run injects.
+
+    ``kills``, ``hangs`` and ``torn_snapshots`` accept either a sequence
+    of ordinals (applied to **every** worker incarnation) or a mapping
+    ``{incarnation: ordinals}`` scoping each fault to one incarnation
+    (incarnations are 1-based; ``-1`` is the every-incarnation wildcard).
+    """
+
+    seed: int = 0
+    kills: Mapping[int, frozenset[int]] = field(default_factory=dict)
+    hangs: Mapping[int, frozenset[int]] = field(default_factory=dict)
+    torn_snapshots: Mapping[int, frozenset[int]] = field(default_factory=dict)
+    corrupt_generations: frozenset[int] = frozenset()
+    client_cuts: frozenset[int] = frozenset()
+    client_cut_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kills", _per_incarnation(self.kills, "kills"))
+        object.__setattr__(self, "hangs", _per_incarnation(self.hangs, "hangs"))
+        object.__setattr__(
+            self, "torn_snapshots", _per_incarnation(self.torn_snapshots, "torn_snapshots")
+        )
+        object.__setattr__(
+            self, "corrupt_generations", frozenset(int(i) for i in self.corrupt_generations)
+        )
+        object.__setattr__(
+            self, "client_cuts", frozenset(int(i) for i in self.client_cuts)
+        )
+        if any(i < 1 for i in self.corrupt_generations):
+            raise InvalidParameterError("corrupt_generations restarts are 1-based")
+        if any(i < 1 for i in self.client_cuts):
+            raise InvalidParameterError("client_cuts ordinals are 1-based")
+        if not 0.0 <= self.client_cut_rate <= 1.0:
+            raise InvalidParameterError(
+                f"client_cut_rate must be in [0, 1], got {self.client_cut_rate}"
+            )
+
+    # -- schedule queries (pure in (seed, kind, ordinal)) -----------------
+    def _scoped(self, table: Mapping[int, frozenset[int]], incarnation: int, ordinal: int) -> bool:
+        return ordinal in table.get(-1, frozenset()) or ordinal in table.get(
+            incarnation, frozenset()
+        )
+
+    def kills_at(self, incarnation: int, ordinal: int) -> bool:
+        return self._scoped(self.kills, incarnation, ordinal)
+
+    def hangs_at(self, incarnation: int, ordinal: int) -> bool:
+        return self._scoped(self.hangs, incarnation, ordinal)
+
+    def tears_snapshot(self, incarnation: int, ordinal: int) -> bool:
+        return self._scoped(self.torn_snapshots, incarnation, ordinal)
+
+    def corrupts_restart(self, restart: int) -> bool:
+        return restart in self.corrupt_generations
+
+    def cuts(self, request_id: int) -> bool:
+        """Should the client cut its connection before request ``request_id``?"""
+        if request_id in self.client_cuts:
+            return True
+        if self.client_cut_rate <= 0.0:
+            return False
+        return (
+            random.Random(f"{self.seed}:cut:{request_id}").random()
+            < self.client_cut_rate
+        )
+
+    # -- serialisation across the process boundary ------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "kills": {str(k): sorted(v) for k, v in self.kills.items()},
+                "hangs": {str(k): sorted(v) for k, v in self.hangs.items()},
+                "torn_snapshots": {
+                    str(k): sorted(v) for k, v in self.torn_snapshots.items()
+                },
+                "corrupt_generations": sorted(self.corrupt_generations),
+                "client_cuts": sorted(self.client_cuts),
+                "client_cut_rate": self.client_cut_rate,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, doc: str) -> "ServeFaultPlan":
+        try:
+            raw = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(f"bad fault-plan JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise InvalidParameterError("fault-plan JSON must be an object")
+        return cls(
+            seed=raw.get("seed", 0),
+            kills=raw.get("kills", {}),
+            hangs=raw.get("hangs", {}),
+            torn_snapshots=raw.get("torn_snapshots", {}),
+            corrupt_generations=raw.get("corrupt_generations", ()),
+            client_cuts=raw.get("client_cuts", ()),
+            client_cut_rate=raw.get("client_cut_rate", 0.0),
+        )
+
+    @classmethod
+    def from_env(cls) -> "ServeFaultPlan | None":
+        """The plan the supervisor exported for this worker, if any."""
+        doc = os.environ.get(FAULTS_ENV)
+        if not doc:
+            return None
+        return cls.from_json(doc)
+
+    def describe(self) -> dict:
+        """Compact summary (for logs and the ``chaos --serve`` CLI)."""
+        return {
+            "seed": self.seed,
+            "kills": {k: sorted(v) for k, v in sorted(self.kills.items())},
+            "hangs": {k: sorted(v) for k, v in sorted(self.hangs.items())},
+            "torn_snapshots": {
+                k: sorted(v) for k, v in sorted(self.torn_snapshots.items())
+            },
+            "corrupt_generations": sorted(self.corrupt_generations),
+            "client_cuts": sorted(self.client_cuts),
+            "client_cut_rate": self.client_cut_rate,
+        }
+
+
+class WorkerFaultInjector:
+    """Arms a :class:`ServeFaultPlan` inside the serving worker.
+
+    Wraps the engine's ``handle`` with the kill/hang schedule and the
+    snapshot writer with the torn-write schedule.  The ordinal counter
+    advances on every **client** op; ``health`` probes are deliberately
+    excluded so the supervisor's probe cadence cannot shift the schedule
+    — determinism of the fault sequence is what the differential chaos
+    suite rests on.
+    """
+
+    def __init__(self, plan: ServeFaultPlan, engine, *, incarnation: int = 1):
+        self.plan = plan
+        self.engine = engine
+        self.incarnation = int(incarnation)
+        self._ordinal = 0
+        self._snapshots = 0
+        self._hung = False
+        self._lock = threading.Lock()
+
+    # exposed with the same surface the server expects from an engine
+    @property
+    def OPS(self):  # noqa: N802 - mirrors the engine attribute
+        return self.engine.OPS
+
+    @property
+    def health_info(self):
+        return self.engine.health_info
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    def handle(self, request, *, cancel=None) -> dict:
+        op = request.get("op") if isinstance(request, dict) else None
+        with self._lock:
+            if not self._hung and op != "health":
+                self._ordinal += 1
+                ordinal = self._ordinal
+                if self.plan.kills_at(self.incarnation, ordinal):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if self.plan.hangs_at(self.incarnation, ordinal):
+                    self._hung = True
+        if self._hung:
+            # a wedged worker answers nothing — not even health probes;
+            # only the supervisor's probe deadline gets the system unstuck
+            threading.Event().wait()
+        return self.engine.handle(request, cancel=cancel)
+
+    def on_snapshot(self, store, key: str) -> None:
+        """Called *after* each snapshot write; injects the torn-write crash."""
+        from repro.serve.snapshot import SNAPSHOT_NODE
+
+        with self._lock:
+            self._snapshots += 1
+            ordinal = self._snapshots
+        if self.plan.tears_snapshot(self.incarnation, ordinal):
+            store.inject_corruption(SNAPSHOT_NODE, key, generation=0)
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -1,0 +1,241 @@
+"""A failover client for supervised serving: reconnect, retry, deadline.
+
+:class:`~repro.serve.client.ServeClient` is deliberately dumb — one
+connection, first failure is final.  :class:`ResilientClient` is the
+layer a caller points at a *supervised* daemon: when the worker is
+killed and warm-restarted underneath it, the caller sees a slightly
+slower answer, not an exception.
+
+The retry discipline is strict about what may be replayed:
+
+* Only **safe ops** are retried (:data:`SAFE_OPS` — the entire query
+  surface is read-only, so every engine op qualifies; the set exists so
+  any future mutating op fails closed).  A raw :meth:`request` with an
+  op outside the set gets exactly one attempt.
+* Every request carries a client-assigned ``request_id`` (monotonic per
+  client), so retries of one logical question are identifiable in logs
+  and the fault plan can target them deterministically.
+* Retries respect a **per-request deadline**: each attempt's socket
+  timeout is clipped to the time remaining, and the reconnect backoff
+  (a seeded :class:`~repro.robustness.retry.RetryPolicy`) never sleeps
+  past it.  On exhaustion the *last* failure is re-raised, not a vague
+  summary.
+* ``shutting_down`` and ``overloaded`` error envelopes are treated as
+  retryable faults (the daemon told us to come back), every other error
+  envelope is returned to the caller untouched.
+
+For chaos runs, a :class:`~repro.serve.faults.ServeFaultPlan` can be
+armed client-side: before sending a scheduled request the client writes
+*half* a valid frame and slams the connection — exercising the server's
+mid-frame disconnect path — then reconnects and asks properly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ServeConnectionError, ServeError, ServeProtocolError
+from repro.robustness.retry import RetryPolicy
+from repro.serve.client import ServeClient
+from repro.serve.faults import ServeFaultPlan
+from repro.serve.protocol import encode_message
+
+__all__ = ["ResilientClient", "SAFE_OPS", "RETRYABLE_CODES"]
+
+#: Ops that are idempotent reads and may be silently replayed. This is
+#: the full engine surface today — the serving protocol has no mutating
+#: op — but membership is the explicit contract, not an assumption.
+SAFE_OPS = frozenset(
+    {
+        "ping",
+        "health",
+        "stats",
+        "frequency",
+        "topk",
+        "rules",
+        "recommend",
+        "sketch_frequency",
+        "sketch_topk",
+        "sketch_frequent",
+    }
+)
+
+#: Error-envelope codes that mean "ask again later", not "wrong question".
+RETRYABLE_CODES = frozenset({"shutting_down", "overloaded"})
+
+#: Default reconnect/backoff schedule: ~6 s of patience in 10 attempts,
+#: enough to ride out a supervised warm restart with default cadence.
+DEFAULT_RETRY = RetryPolicy(
+    max_retries=10, base_delay=0.05, multiplier=1.7, max_delay=1.5, jitter=0.25
+)
+
+
+class ResilientClient:
+    """Reconnecting, retrying, deadline-bounded serve client."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 10.0,
+        deadline: float = 30.0,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        fault_plan: ServeFaultPlan | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.deadline = deadline
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self._client: ServeClient | None = None
+        self._request_id = 0
+        self.stats_counters = {
+            "requests": 0,
+            "attempts": 0,
+            "reconnects": 0,
+            "retries": 0,
+            "cuts_injected": 0,
+            "deadline_exhausted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _drop_connection(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def _connection(self, attempt_timeout: float) -> ServeClient:
+        """The live connection, dialing a fresh one if needed."""
+        if self._client is not None and not self._client.broken:
+            # per-attempt timeout may shrink as the deadline nears
+            self._client._sock.settimeout(attempt_timeout)
+            self._client.timeout = attempt_timeout
+            return self._client
+        self._drop_connection()
+        self._client = ServeClient(self.host, self.port, timeout=attempt_timeout)
+        self.stats_counters["reconnects"] += 1
+        return self._client
+
+    def _inject_cut(self, request_id: int, payload: dict) -> None:
+        """Write half a valid frame, then slam the connection shut.
+
+        The server's reader sees EOF mid-message — the exact fault an
+        interrupted client or a dying network path produces — and must
+        contain it to that one connection.
+        """
+        wire = encode_message(request_id, payload)
+        half = wire[: max(5, len(wire) // 2)]
+        try:
+            client = self._connection(self.timeout)
+            client.send_raw(half)
+        except (OSError, ServeConnectionError):
+            pass  # the cut still happened from the server's perspective
+        self._drop_connection()
+        self.stats_counters["cuts_injected"] += 1
+
+    # ------------------------------------------------------------------
+    # the retry loop
+    # ------------------------------------------------------------------
+    def request(self, payload: dict, *, deadline: float | None = None) -> dict:
+        """Send one request, retrying safe ops across connection failures.
+
+        ``deadline`` (seconds, default the client's ``deadline``) bounds
+        the whole exchange — attempts, reconnects and backoff included.
+        Raises the final attempt's error when the budget is exhausted.
+        """
+        self._request_id += 1
+        request_id = self._request_id
+        payload = dict(payload)
+        payload.setdefault("request_id", request_id)
+        op = payload.get("op")
+        retryable_op = op in SAFE_OPS
+        budget = self.deadline if deadline is None else deadline
+        deadline_at = time.monotonic() + budget
+        self.stats_counters["requests"] += 1
+
+        if self.fault_plan is not None and self.fault_plan.cuts(request_id):
+            self._inject_cut(request_id, payload)
+
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats_counters["attempts"] += 1
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                self.stats_counters["deadline_exhausted"] += 1
+                raise ServeConnectionError(
+                    f"request {request_id} ({op!r}) exceeded its {budget}s deadline "
+                    f"after {attempt - 1} attempts"
+                )
+            attempt_timeout = max(0.05, min(self.timeout, remaining))
+            try:
+                client = self._connection(attempt_timeout)
+                envelope = client.request(payload)
+            except (ServeConnectionError, ServeProtocolError, OSError) as exc:
+                self._drop_connection()
+                if not retryable_op or attempt > self.retry.max_retries:
+                    raise
+                self._backoff(attempt, request_id, deadline_at)
+                self.stats_counters["retries"] += 1
+                continue
+            if (
+                not envelope.get("ok")
+                and envelope.get("code") in RETRYABLE_CODES
+                and retryable_op
+                and attempt <= self.retry.max_retries
+            ):
+                # the daemon is draining or shedding; a fresh connection
+                # after backoff lands on the restarted (or relieved) worker
+                self._drop_connection()
+                self._backoff(attempt, request_id, deadline_at)
+                self.stats_counters["retries"] += 1
+                continue
+            return envelope
+
+    def _backoff(self, attempt: int, request_id: int, deadline_at: float) -> None:
+        delay = self.retry.delay(attempt, key=f"req{request_id}")
+        remaining = deadline_at - time.monotonic()
+        if remaining > 0:
+            time.sleep(min(delay, remaining))
+
+    def check(self, payload: dict) -> dict:
+        """Like :meth:`request` but raises :class:`ServeError` on ok=false."""
+        envelope = self.request(payload)
+        if not envelope.get("ok"):
+            raise ServeError(
+                envelope.get("error", "request failed"),
+                code=envelope.get("code", "internal"),
+            )
+        return envelope
+
+    # ------------------------------------------------------------------
+    # typed endpoint helpers — the ServeClient surface, routed through
+    # the retry loop (the helpers only touch self.request/self.check)
+    # ------------------------------------------------------------------
+    ping = ServeClient.ping
+    health = ServeClient.health
+    frequency = ServeClient.frequency
+    topk = ServeClient.topk
+    rules = ServeClient.rules
+    recommend = ServeClient.recommend
+    sketch_frequency = ServeClient.sketch_frequency
+    sketch_topk = ServeClient.sketch_topk
+    sketch_frequent = ServeClient.sketch_frequent
+    stats = ServeClient.stats
+
+    def failover_stats(self) -> dict:
+        """Client-side counters (reconnects, retries, injected cuts)."""
+        return dict(self.stats_counters)
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -15,12 +15,21 @@ with a best-effort error envelope and a close of that socket — the
 accept loop, every other connection, and the engine's caches are
 untouched.  Handler threads are daemonic *and* joined on shutdown with a
 bound, so a wedged client cannot hold the process open.
+
+Shutdown is a **drain**, not a door slam: once :meth:`stop` begins, a
+request that still arrives on an open connection is answered with a
+``shutting_down`` error envelope (so a retrying client knows to go
+elsewhere) instead of an abrupt close.  Connections whose handler is
+still alive when the stop deadline expires are force-closed and counted
+— :meth:`stats` reports them under ``abandoned`` rather than silently
+leaking the threads.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 
 from repro.errors import CodecError, ServeProtocolError
 from repro.serve.engine import PatternEngine
@@ -51,11 +60,13 @@ class PatternServer:
         self.port = port
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
-        self._conn_threads: list[threading.Thread] = []
+        self._handlers: list[tuple[threading.Thread, socket.socket]] = []
         self._stop = threading.Event()
         self._lock = threading.Lock()
         self._connections = 0
         self._conn_errors = 0
+        self._drain_rejections = 0
+        self._abandoned = 0
 
     # ------------------------------------------------------------------
     def start(self) -> "PatternServer":
@@ -73,18 +84,43 @@ class PatternServer:
         self._accept_thread.start()
         return self
 
-    def stop(self, timeout: float = 5.0) -> None:
-        """Stop accepting, close the listener, join handler threads."""
+    def stop(self, timeout: float = 5.0) -> int:
+        """Drain and stop: join handler threads, force-close stragglers.
+
+        Sets the drain flag (new requests on live connections are
+        answered with ``shutting_down``), closes the listener, then joins
+        every handler thread against one shared ``timeout`` deadline.
+        Handlers still alive at the deadline — clients sitting silently
+        on an open socket — have their sockets shut down (unblocking the
+        read) and are counted as *abandoned* in :meth:`stats`.  Returns
+        the number abandoned by this call.
+        """
         self._stop.set()
+        deadline = time.monotonic() + max(timeout, 0.0)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout)
+            self._accept_thread = None
         if self._sock is not None:
             self._sock.close()
             self._sock = None
         with self._lock:
-            threads = list(self._conn_threads)
-        for t in threads:
-            t.join(timeout)
+            handlers = list(self._handlers)
+        abandoned = 0
+        for thread, conn in handlers:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                abandoned += 1
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        with self._lock:
+            self._abandoned += abandoned
+        return abandoned
 
     def __enter__(self) -> "PatternServer":
         return self.start()
@@ -105,20 +141,20 @@ class PatternServer:
             with self._lock:
                 self._connections += 1
                 # reap finished handler threads so the list stays bounded
-                self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
+                self._handlers = [h for h in self._handlers if h[0].is_alive()]
                 thread = threading.Thread(
                     target=self._serve_connection,
                     args=(conn,),
                     name=f"plt-serve-conn-{self._connections}",
                     daemon=True,
                 )
-                self._conn_threads.append(thread)
+                self._handlers.append((thread, conn))
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
         conn.settimeout(CONN_TIMEOUT)
         try:
-            while not self._stop.is_set():
+            while True:
                 try:
                     message = read_message(conn)
                 except (ServeProtocolError, CodecError) as exc:
@@ -130,6 +166,22 @@ class PatternServer:
                 if message is None:
                     return  # clean EOF
                 seq, request = message
+                if self._stop.is_set():
+                    # draining: reject loudly instead of closing abruptly,
+                    # so a retrying client fails over rather than hangs
+                    self._note_drain_rejection()
+                    op = request.get("op") if isinstance(request, dict) else None
+                    self._try_send(
+                        conn,
+                        seq,
+                        {
+                            "ok": False,
+                            "error": "server is shutting down",
+                            "code": "shutting_down",
+                            "op": op,
+                        },
+                    )
+                    return
                 envelope = self.engine.handle(request)
                 try:
                     write_message(conn, seq, envelope)
@@ -144,17 +196,23 @@ class PatternServer:
             except OSError:
                 pass
 
-    def _try_send_error(self, conn: socket.socket, exc: Exception) -> None:
-        code = getattr(exc, "code", "protocol")
-        envelope = {"ok": False, "error": str(exc), "code": code, "op": None}
+    def _try_send(self, conn: socket.socket, seq: int, envelope: dict) -> None:
         try:
-            write_message(conn, 0, envelope)
+            write_message(conn, seq, envelope)
         except (OSError, ServeProtocolError):
             pass
+
+    def _try_send_error(self, conn: socket.socket, exc: Exception) -> None:
+        code = getattr(exc, "code", "protocol")
+        self._try_send(conn, 0, {"ok": False, "error": str(exc), "code": code, "op": None})
 
     def _note_conn_error(self) -> None:
         with self._lock:
             self._conn_errors += 1
+
+    def _note_drain_rejection(self) -> None:
+        with self._lock:
+            self._drain_rejections += 1
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -162,5 +220,7 @@ class PatternServer:
             return {
                 "connections": self._connections,
                 "connection_errors": self._conn_errors,
-                "active_threads": sum(t.is_alive() for t in self._conn_threads),
+                "active_threads": sum(t.is_alive() for t, _ in self._handlers),
+                "drain_rejections": self._drain_rejections,
+                "abandoned": self._abandoned,
             }

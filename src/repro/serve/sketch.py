@@ -34,6 +34,7 @@ loudly instead of silently getting estimates.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -57,7 +58,14 @@ _EXACT_OPS = ("frequency", "topk", "rules", "recommend")
 class SketchEngine:
     """Dispatch over a stream sketch; drop-in for :class:`PatternServer`."""
 
-    OPS = ("ping", "sketch_frequency", "sketch_topk", "sketch_frequent", "stats")
+    OPS = (
+        "ping",
+        "health",
+        "sketch_frequency",
+        "sketch_topk",
+        "sketch_frequent",
+        "stats",
+    )
 
     def __init__(self, summary: StreamSummary | SlidingWindowSketch):
         if not isinstance(summary, (StreamSummary, SlidingWindowSketch)):
@@ -70,6 +78,8 @@ class SketchEngine:
         self._lock = threading.Lock()
         self._op_counts: dict[str, int] = {}
         self._errors = 0
+        #: Extra facts merged into ``health`` answers (see PatternEngine).
+        self.health_info: dict = {}
 
     # ------------------------------------------------------------------
     def handle(self, request, *, cancel=None) -> dict:
@@ -135,6 +145,17 @@ class SketchEngine:
             "complete": True,
             "source": "direct",
         }
+
+    def _op_health(self, request) -> dict:
+        result = {
+            "live": True,
+            "ready": True,
+            "engine": "sketch",
+            "pid": os.getpid(),
+            "uptime": time.monotonic() - self._started_at,
+        }
+        result.update(self.health_info)
+        return {"ok": True, "result": result, "complete": True, "source": "direct"}
 
     def _op_sketch_frequency(self, request) -> dict:
         items = request.get("items")

@@ -28,6 +28,8 @@ from repro.stream.ingest import (
     load_sketch,
     save_sketch,
     sketch_digest,
+    sketch_from_blob,
+    sketch_to_blob,
 )
 from repro.stream.spacesaving import SpaceSaving
 from repro.stream.summary import RankRegistry, StreamSummary
@@ -43,6 +45,8 @@ __all__ = [
     "save_sketch",
     "load_sketch",
     "sketch_digest",
+    "sketch_to_blob",
+    "sketch_from_blob",
     "SKETCH_NODE",
     "SKETCH_KEY",
     "pack_pair",

@@ -24,6 +24,8 @@ from repro.stream.window import SlidingWindowSketch
 
 __all__ = [
     "StreamIngestor",
+    "sketch_to_blob",
+    "sketch_from_blob",
     "save_sketch",
     "load_sketch",
     "sketch_digest",
@@ -40,31 +42,26 @@ _KIND_SUMMARY = b"S"
 _KIND_WINDOW = b"W"
 
 
-def save_sketch(
-    store: CheckpointStore,
-    sketch: StreamSummary | SlidingWindowSketch,
-    *,
-    key: str = SKETCH_KEY,
-) -> int:
-    """Persist a sketch snapshot; returns the snapshot size in bytes."""
+def sketch_to_blob(sketch: StreamSummary | SlidingWindowSketch) -> bytes:
+    """Serialize a sketch to its tagged snapshot bytes (kind + payload).
+
+    This is the blob :func:`save_sketch` persists and :func:`sketch_digest`
+    hashes; the serve tier's warm-restart snapshots
+    (:mod:`repro.serve.snapshot`) reuse it so a sketch snapshot written by
+    either tier restores in the other.
+    """
     if isinstance(sketch, StreamSummary):
-        blob = _KIND_SUMMARY + sketch.to_bytes()
-    elif isinstance(sketch, SlidingWindowSketch):
-        blob = _KIND_WINDOW + _window_to_bytes(sketch)
-    else:
-        raise InvalidParameterError(
-            f"cannot snapshot a {type(sketch).__name__}; expected StreamSummary "
-            f"or SlidingWindowSketch"
-        )
-    store.save(SKETCH_NODE, key, blob)
-    return len(blob)
+        return _KIND_SUMMARY + sketch.to_bytes()
+    if isinstance(sketch, SlidingWindowSketch):
+        return _KIND_WINDOW + _window_to_bytes(sketch)
+    raise InvalidParameterError(
+        f"cannot snapshot a {type(sketch).__name__}; expected StreamSummary "
+        f"or SlidingWindowSketch"
+    )
 
 
-def load_sketch(
-    store: CheckpointStore, *, key: str = SKETCH_KEY
-) -> StreamSummary | SlidingWindowSketch:
-    """Restore the sketch saved under ``key`` (raises on absent/corrupt)."""
-    blob = store.load(SKETCH_NODE, key)
+def sketch_from_blob(blob: bytes) -> StreamSummary | SlidingWindowSketch:
+    """Inverse of :func:`sketch_to_blob` (raises CheckpointError on damage)."""
     if not blob:
         raise CheckpointError("empty sketch snapshot")
     kind, payload = blob[:1], blob[1:]
@@ -75,6 +72,25 @@ def load_sketch(
     raise CheckpointError(f"unknown sketch snapshot kind {kind!r}")
 
 
+def save_sketch(
+    store: CheckpointStore,
+    sketch: StreamSummary | SlidingWindowSketch,
+    *,
+    key: str = SKETCH_KEY,
+) -> int:
+    """Persist a sketch snapshot; returns the snapshot size in bytes."""
+    blob = sketch_to_blob(sketch)
+    store.save(SKETCH_NODE, key, blob)
+    return len(blob)
+
+
+def load_sketch(
+    store: CheckpointStore, *, key: str = SKETCH_KEY
+) -> StreamSummary | SlidingWindowSketch:
+    """Restore the sketch saved under ``key`` (raises on absent/corrupt)."""
+    return sketch_from_blob(store.load(SKETCH_NODE, key))
+
+
 def sketch_digest(sketch: StreamSummary | SlidingWindowSketch) -> str:
     """SHA-256 over the sketch's serialized state (incl. the kind tag).
 
@@ -83,11 +99,7 @@ def sketch_digest(sketch: StreamSummary | SlidingWindowSketch) -> str:
     """
     import hashlib
 
-    if isinstance(sketch, StreamSummary):
-        blob = _KIND_SUMMARY + sketch.to_bytes()
-    else:
-        blob = _KIND_WINDOW + _window_to_bytes(sketch)
-    return hashlib.sha256(blob).hexdigest()
+    return hashlib.sha256(sketch_to_blob(sketch)).hexdigest()
 
 
 def _window_to_bytes(sketch: SlidingWindowSketch) -> bytes:
@@ -233,9 +245,21 @@ class StreamIngestor:
         self.n_reports += 1
         if self.on_report is not None:
             self.on_report(self.sketch, self.n_ingested)
-        if self.checkpoint is not None:
-            save_sketch(self.checkpoint, self.sketch, key=self.checkpoint_key)
-            self.n_snapshots += 1
+        self.snapshot_now()
+
+    def snapshot_now(self) -> bool:
+        """Persist a snapshot immediately (out-of-cadence hook).
+
+        The serving worker calls this from its SIGHUP handler so an
+        operator can force a durable sketch generation between cadence
+        ticks.  Returns True when a snapshot was written (False when no
+        checkpoint store is configured).
+        """
+        if self.checkpoint is None:
+            return False
+        save_sketch(self.checkpoint, self.sketch, key=self.checkpoint_key)
+        self.n_snapshots += 1
+        return True
 
     def feed(self, transactions: Iterable[Iterable]) -> int:
         """Ingest transactions (no final snapshot); returns the count fed."""

@@ -13,6 +13,7 @@ import json
 import random
 import socket
 import struct
+import threading
 import time
 
 import pytest
@@ -225,3 +226,118 @@ class TestFaultContainment:
             assert env["ok"]
             env = client.request({"op": "stats"})
             assert env["ok"] and env["result"]["queries"] >= 1
+
+
+class _BlockingEngine:
+    """Wedges inside ``handle`` until released — builds an abandonable
+    handler thread for the stop-deadline tests."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def handle(self, request, cancel=None) -> dict:
+        self.entered.set()
+        self.release.wait(30.0)
+        return self.inner.handle(request)
+
+
+def _fresh_server(seed, engine_wrap=None):
+    db = random_database(seed, max_items=8, max_transactions=30)
+    engine = PatternEngine(ServingIndex.from_transactions(db, 2))
+    if engine_wrap is not None:
+        engine = engine_wrap(engine)
+    return PatternServer(engine).start()
+
+
+def _await_listener_closed(port, timeout=10.0) -> bool:
+    """True once new connections are refused (the drain flag is set)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            probe = socket.create_connection(("127.0.0.1", port), timeout=0.2)
+            probe.close()
+            time.sleep(0.02)
+        except OSError:
+            return True
+    return False
+
+
+class TestDrainAndStop:
+    """Shutdown is a drain, not a door slam: requests that still arrive
+    are rejected *loudly* (``shutting_down``), handler threads are joined
+    against a bound, and the stragglers are counted, never leaked."""
+
+    def test_request_during_drain_gets_shutting_down_envelope(self):
+        srv = _fresh_server(9800)
+        client = ServeClient(port=srv.port, timeout=10.0)
+        try:
+            assert client.ping() is True  # the connection + handler are live
+            stopper = threading.Thread(target=srv.stop, kwargs={"timeout": 10.0})
+            stopper.start()
+            assert _await_listener_closed(srv.port)
+            envelope = client.request({"op": "ping"})
+            assert envelope["ok"] is False
+            assert envelope["code"] == "shutting_down"
+            assert envelope["op"] == "ping"
+            stopper.join(15.0)
+            assert not stopper.is_alive()
+            assert srv.stats()["drain_rejections"] >= 1
+        finally:
+            client.close()
+
+    def test_malformed_frame_during_drain_stays_contained(self):
+        srv = _fresh_server(9810)
+        sock = _raw_connection(srv)
+        try:
+            # park one live connection, then begin the drain
+            stopper = threading.Thread(target=srv.stop, kwargs={"timeout": 10.0})
+            stopper.start()
+            assert _await_listener_closed(srv.port)
+            good = encode_message(1, {"op": "ping"})
+            corrupted = bytearray(good)
+            corrupted[-1] ^= 0x01  # damage the CRC
+            sock.sendall(bytes(corrupted))
+            envelope = _read_error_envelope(sock)
+            if envelope is not None:  # an answer, if any, is the typed error
+                assert envelope["ok"] is False
+                assert envelope["code"] in ("protocol", "shutting_down")
+            stopper.join(15.0)
+            assert not stopper.is_alive()
+        finally:
+            sock.close()
+
+    def test_stop_joins_handlers_and_counts_the_abandoned(self):
+        """Satellite contract: ``stop(timeout)`` must not leak in-flight
+        handler threads silently — stragglers are force-closed and show
+        up in ``stats()['abandoned']``."""
+        blocking_ref = []
+
+        def wrap(engine):
+            blocking = _BlockingEngine(engine)
+            blocking_ref.append(blocking)
+            return blocking
+
+        srv = _fresh_server(9820, engine_wrap=wrap)
+        blocking = blocking_ref[0]
+        client = ServeClient(port=srv.port, timeout=30.0)
+        try:
+            # fire a request and do NOT wait for the answer: the handler
+            # is now wedged inside the engine when the drain begins
+            client.send_raw(encode_message(1, {"op": "ping"}))
+            assert blocking.entered.wait(10.0)
+            abandoned = srv.stop(timeout=0.3)
+            assert abandoned == 1
+            assert srv.stats()["abandoned"] == 1
+            assert srv.stats()["active_threads"] <= 1
+        finally:
+            blocking.release.set()  # let the wedged thread unwind
+            client.close()
+
+    def test_clean_stop_abandons_nothing(self):
+        srv = _fresh_server(9830)
+        with ServeClient(port=srv.port, timeout=10.0) as client:
+            assert client.ping() is True
+        assert srv.stop(timeout=5.0) == 0
+        assert srv.stats()["abandoned"] == 0

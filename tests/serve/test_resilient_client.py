@@ -1,0 +1,252 @@
+"""Failover-client tests, plus the base client's failure discipline.
+
+Two layers under test against in-process :class:`PatternServer`s:
+
+* :class:`~repro.serve.client.ServeClient` — the *dumb* layer: a
+  timeout, short read, or early close must mark the connection broken
+  and raise a typed error (never leave the socket half-read and
+  silently answer the previous question on the next call);
+* :class:`~repro.serve.resilient.ResilientClient` — the failover layer:
+  reconnect across a server restart, replay safe ops, honour
+  ``shutting_down`` envelopes, enforce per-request deadlines, and
+  refuse to replay anything outside :data:`SAFE_OPS`.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeConnectionError, ServeProtocolError
+from repro.robustness.retry import RetryPolicy
+from repro.serve.client import ServeClient
+from repro.serve.engine import PatternEngine, ServingIndex
+from repro.serve.faults import ServeFaultPlan
+from repro.serve.protocol import encode_message
+from repro.serve.resilient import SAFE_OPS, ResilientClient
+from repro.serve.server import PatternServer
+from repro.serve.supervisor import reserve_port
+from tests.conftest import random_database
+
+#: Fast, bounded backoff so failing tests fail in seconds, not minutes.
+FAST_RETRY = RetryPolicy(
+    max_retries=8, base_delay=0.02, multiplier=1.5, max_delay=0.2, jitter=0.2
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    db = random_database(9500, max_items=8, max_transactions=30)
+    return PatternEngine(ServingIndex.from_transactions(db, 2))
+
+
+@pytest.fixture()
+def server(engine):
+    with PatternServer(engine) as srv:
+        yield srv
+
+
+class _SleepyEngine:
+    """Answers every request after a fixed nap (forces client timeouts)."""
+
+    def __init__(self, inner, nap: float):
+        self.inner = inner
+        self.nap = nap
+
+    def handle(self, request, cancel=None) -> dict:
+        time.sleep(self.nap)
+        return self.inner.handle(request)
+
+
+class _DrainingEngine:
+    """Rejects the first ``failures`` client ops like a draining daemon."""
+
+    def __init__(self, inner, failures: int):
+        self.inner = inner
+        self.remaining = failures
+        self._lock = threading.Lock()
+
+    def handle(self, request, cancel=None) -> dict:
+        op = request.get("op") if isinstance(request, dict) else None
+        with self._lock:
+            if op != "health" and self.remaining > 0:
+                self.remaining -= 1
+                return {
+                    "ok": False,
+                    "error": "server is shutting down",
+                    "code": "shutting_down",
+                    "op": op,
+                }
+        return self.inner.handle(request)
+
+
+def _one_shot_raw_server(behaviour):
+    """Accept one connection, hand it to ``behaviour``, then close.
+
+    Returns the listening port; the accept loop runs in a daemon thread.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def run():
+        conn, _ = listener.accept()
+        try:
+            behaviour(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            listener.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return port
+
+
+class TestServeClientFailureDiscipline:
+    """Satellite contract: no half-read sockets, typed errors, inert after."""
+
+    def test_timeout_breaks_the_connection_permanently(self, engine):
+        slow = PatternServer(_SleepyEngine(engine, nap=1.0)).start()
+        try:
+            client = ServeClient(port=slow.port, timeout=0.2)
+            with pytest.raises(ServeConnectionError) as exc_info:
+                client.request({"op": "ping"})
+            assert "timed out" in str(exc_info.value)
+            assert client.broken
+            # the instance is inert now — no touching the dead socket
+            with pytest.raises(ServeConnectionError) as exc_info:
+                client.request({"op": "ping"})
+            assert "earlier failure" in str(exc_info.value)
+        finally:
+            slow.stop(timeout=0.2)
+
+    def test_server_closing_before_answer_is_typed(self):
+        def slam(conn):
+            conn.recv(4096)  # swallow the request, answer nothing
+
+        port = _one_shot_raw_server(slam)
+        client = ServeClient(port=port, timeout=5.0)
+        with pytest.raises(ServeConnectionError):
+            client.request({"op": "ping"})
+        assert client.broken
+
+    def test_short_read_mid_envelope_is_typed_and_breaks(self):
+        def tease(conn):
+            conn.recv(4096)
+            # announce a full response frame, deliver only part of it
+            wire = encode_message(1, {"ok": True, "result": {"pong": True}})
+            conn.sendall(wire[: len(wire) - 3])
+
+        port = _one_shot_raw_server(tease)
+        client = ServeClient(port=port, timeout=5.0)
+        with pytest.raises((ServeProtocolError, ServeConnectionError)):
+            client.request({"op": "ping"})
+        assert client.broken
+
+    def test_oversized_response_prefix_is_typed(self):
+        def lie(conn):
+            conn.recv(4096)
+            conn.sendall(struct.pack(">I", 1 << 30))  # absurd length prefix
+
+        port = _one_shot_raw_server(lie)
+        client = ServeClient(port=port, timeout=5.0)
+        with pytest.raises((ServeProtocolError, ServeConnectionError)):
+            client.request({"op": "ping"})
+        assert client.broken
+
+
+class TestResilientFailover:
+    def test_plain_requests_answer_like_the_dumb_client(self, server):
+        with ServeClient(port=server.port) as plain, ResilientClient(
+            port=server.port, retry=FAST_RETRY
+        ) as client:
+            for request in (
+                {"op": "frequency", "items": [0, 1]},
+                {"op": "topk", "item": 0, "k": 4},
+            ):
+                a = plain.request(dict(request))
+                b = client.request(dict(request))
+                for env in (a, b):
+                    env.pop("elapsed", None)
+                    env.pop("source", None)
+                    env.pop("request_id", None)
+                assert a == b
+
+    def test_reconnects_across_a_server_restart(self, engine):
+        port = reserve_port()
+        first = PatternServer(engine, port=port).start()
+        client = ResilientClient(port=port, timeout=2.0, retry=FAST_RETRY)
+        try:
+            assert client.ping() is True
+            first.stop(timeout=0.2)  # the worker "crashes"
+            second = PatternServer(engine, port=port).start()
+            try:
+                assert client.ping() is True  # same client, new daemon
+            finally:
+                second.stop(timeout=0.2)
+            stats = client.failover_stats()
+            assert stats["reconnects"] >= 2
+            assert stats["retries"] >= 1
+        finally:
+            client.close()
+
+    def test_shutting_down_envelopes_are_retried(self, engine):
+        draining = _DrainingEngine(engine, failures=2)
+        with PatternServer(draining) as srv:
+            with ResilientClient(port=srv.port, retry=FAST_RETRY) as client:
+                envelope = client.request({"op": "ping"})
+        assert envelope["ok"] and envelope["result"]["pong"] is True
+        assert client.failover_stats()["retries"] >= 2
+
+    def test_error_envelopes_are_returned_untouched(self, server):
+        with ResilientClient(port=server.port, retry=FAST_RETRY) as client:
+            envelope = client.request({"op": "frequency"})  # missing items
+            assert envelope["ok"] is False
+            assert envelope["code"] not in ("shutting_down", "overloaded")
+            assert client.failover_stats()["attempts"] == 1
+
+    def test_unsafe_op_gets_exactly_one_attempt(self):
+        port = reserve_port()  # nothing listening
+        with ResilientClient(port=port, retry=FAST_RETRY, deadline=5.0) as client:
+            assert "mutate" not in SAFE_OPS
+            with pytest.raises((ServeConnectionError, OSError)):
+                client.request({"op": "mutate"})
+            assert client.failover_stats()["attempts"] == 1
+
+    def test_per_request_deadline_bounds_the_exchange(self):
+        port = reserve_port()  # nothing listening: every dial is refused
+        patient = RetryPolicy(
+            max_retries=200, base_delay=0.02, multiplier=1.2, max_delay=0.1, jitter=0.2
+        )
+        with ResilientClient(port=port, retry=patient, deadline=0.6) as client:
+            start = time.monotonic()
+            with pytest.raises(ServeConnectionError) as exc_info:
+                client.request({"op": "ping"})
+            elapsed = time.monotonic() - start
+        assert "deadline" in str(exc_info.value)
+        assert elapsed < 5.0
+        assert client.failover_stats()["deadline_exhausted"] == 1
+
+    def test_scripted_cut_is_injected_then_answered(self, server):
+        plan = ServeFaultPlan(seed=1, client_cuts={1})
+        before = server.stats()["connection_errors"]
+        with ResilientClient(
+            port=server.port, retry=FAST_RETRY, fault_plan=plan
+        ) as client:
+            assert client.ping() is True  # request 1: cut, reconnect, answer
+            assert client.failover_stats()["cuts_injected"] == 1
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if server.stats()["connection_errors"] > before:
+                break
+            time.sleep(0.05)
+        # the half-frame slam registered as exactly a connection-scoped error
+        assert server.stats()["connection_errors"] > before

@@ -1,0 +1,157 @@
+"""Unit tests for the serve-tier fault plan and worker-side injector.
+
+Deliberately in-process: the kill syscalls are intercepted with a
+recorder so the *schedule* semantics — ordinal counting, health-probe
+exclusion, incarnation scoping, torn-snapshot damage — can be pinned
+deterministically without sacrificing any worker processes.  The real
+SIGKILL path is exercised end to end by ``test_supervisor_chaos``.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.robustness.checkpoint import CheckpointStore
+from repro.serve.engine import PatternEngine, ServingIndex
+from repro.serve.faults import FAULTS_ENV, ServeFaultPlan, WorkerFaultInjector
+from repro.serve.snapshot import SNAPSHOT_KEY, load_snapshot, save_snapshot
+from tests.conftest import random_database
+
+
+class TestPlanValidation:
+    def test_sequence_means_every_incarnation(self):
+        plan = ServeFaultPlan(kills=(3, 7))
+        assert plan.kills_at(1, 3) and plan.kills_at(5, 7)
+        assert not plan.kills_at(1, 4)
+
+    def test_mapping_scopes_to_one_incarnation(self):
+        plan = ServeFaultPlan(kills={2: [5]})
+        assert plan.kills_at(2, 5)
+        assert not plan.kills_at(1, 5) and not plan.kills_at(3, 5)
+
+    def test_ordinals_are_one_based(self):
+        with pytest.raises(InvalidParameterError):
+            ServeFaultPlan(kills=(0,))
+        with pytest.raises(InvalidParameterError):
+            ServeFaultPlan(hangs={1: [0]})
+        with pytest.raises(InvalidParameterError):
+            ServeFaultPlan(corrupt_generations={0})
+        with pytest.raises(InvalidParameterError):
+            ServeFaultPlan(client_cuts={-1})
+
+    def test_cut_rate_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            ServeFaultPlan(client_cut_rate=1.5)
+
+    def test_scripted_cuts_and_seeded_bernoulli_are_deterministic(self):
+        plan = ServeFaultPlan(seed=3, client_cuts={4}, client_cut_rate=0.5)
+        assert plan.cuts(4)
+        replay = ServeFaultPlan(seed=3, client_cuts={4}, client_cut_rate=0.5)
+        decisions = [plan.cuts(i) for i in range(1, 50)]
+        assert decisions == [replay.cuts(i) for i in range(1, 50)]
+        # a different seed yields a different Bernoulli stream
+        other = ServeFaultPlan(seed=4, client_cuts={4}, client_cut_rate=0.5)
+        assert decisions != [other.cuts(i) for i in range(1, 50)]
+
+
+class TestPlanSerialisation:
+    def test_json_roundtrip(self):
+        plan = ServeFaultPlan(
+            seed=9,
+            kills={1: [4], 3: [6]},
+            hangs={5: [3]},
+            torn_snapshots={2: [1]},
+            corrupt_generations={2},
+            client_cuts={7, 11},
+            client_cut_rate=0.1,
+        )
+        again = ServeFaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.to_json() == plan.to_json()
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert ServeFaultPlan.from_env() is None
+        plan = ServeFaultPlan(seed=2, kills={1: [3]})
+        monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+        assert ServeFaultPlan.from_env() == plan
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ServeFaultPlan.from_json("not json")
+        with pytest.raises(InvalidParameterError):
+            ServeFaultPlan.from_json("[1,2]")
+
+
+@pytest.fixture()
+def engine():
+    db = random_database(9700, max_items=7, max_transactions=25)
+    return PatternEngine(ServingIndex.from_transactions(db, 2))
+
+
+@pytest.fixture()
+def kill_recorder(monkeypatch):
+    """Intercept the injector's SIGKILL so the test process survives."""
+    calls = []
+
+    def fake_kill(pid, signum):
+        calls.append((pid, signum))
+
+    monkeypatch.setattr("repro.serve.faults.os.kill", fake_kill)
+    return calls
+
+
+class TestWorkerFaultInjector:
+    def test_health_probes_do_not_advance_the_ordinal(self, engine, kill_recorder):
+        plan = ServeFaultPlan(kills={1: [2]})
+        injector = WorkerFaultInjector(plan, engine, incarnation=1)
+        assert injector.handle({"op": "ping"})["ok"]  # ordinal 1
+        for _ in range(5):  # supervisor probes — must not shift the schedule
+            assert injector.handle({"op": "health"})["ok"]
+        assert not kill_recorder
+        injector.handle({"op": "ping"})  # ordinal 2 — the scheduled kill
+        assert kill_recorder and kill_recorder[0][1] == signal.SIGKILL
+
+    def test_kill_scoped_to_other_incarnation_never_fires(self, engine, kill_recorder):
+        plan = ServeFaultPlan(kills={2: [1]})
+        injector = WorkerFaultInjector(plan, engine, incarnation=1)
+        for _ in range(4):
+            assert injector.handle({"op": "ping"})["ok"]
+        assert not kill_recorder
+
+    def test_engine_surface_is_delegated(self, engine):
+        injector = WorkerFaultInjector(ServeFaultPlan(), engine)
+        assert injector.OPS == engine.OPS
+        assert injector.health_info is engine.health_info
+        mine, theirs = injector.stats(), engine.stats()
+        mine.pop("uptime", None), theirs.pop("uptime", None)
+        assert mine == theirs
+
+    def test_torn_snapshot_damages_newest_generation_then_kills(
+        self, kill_recorder, tmp_path
+    ):
+        db = random_database(9700, max_items=7, max_transactions=25)
+        index_a = ServingIndex.from_transactions(db, 2)
+        index_b = ServingIndex.from_transactions(db, 3)  # distinct bytes
+        plan = ServeFaultPlan(torn_snapshots={1: [2]})
+        injector = WorkerFaultInjector(plan, PatternEngine(index_a), incarnation=1)
+        store = CheckpointStore(tmp_path / "snap")
+
+        digest_a, _ = save_snapshot(store, index_a)  # startup generation
+        injector.on_snapshot(store, SNAPSHOT_KEY)  # ordinal 1: unharmed
+        assert not kill_recorder
+
+        digest_b, _ = save_snapshot(store, index_b)  # the write the crash tears
+        injector.on_snapshot(store, SNAPSHOT_KEY)  # ordinal 2: corrupt + kill
+        assert kill_recorder and kill_recorder[0][1] == signal.SIGKILL
+        assert digest_b != digest_a
+
+        # the newest generation is damaged: recovery must reject it (CRC)
+        # and fall back to the surviving startup generation
+        restored = load_snapshot(store)
+        assert restored is not None
+        _state, restored_digest = restored
+        assert restored_digest == digest_a

@@ -1,0 +1,128 @@
+"""Warm-restart snapshot codec tests: roundtrip, digest, damage fallback.
+
+The contract under test (:mod:`repro.serve.snapshot`): a restored state
+answers every query exactly like the one that was saved, equal digests
+mean equal bytes, a damaged newest generation falls back to the
+survivor, and only total damage degrades to ``None`` (cold rebuild) —
+never to wrong answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckpointError, InvalidParameterError
+from repro.robustness.checkpoint import CheckpointStore
+from repro.serve.engine import PatternEngine, ServingIndex
+from repro.serve.snapshot import (
+    SNAPSHOT_KEY,
+    SNAPSHOT_NODE,
+    blob_digest,
+    load_snapshot,
+    restore_from_blob,
+    save_snapshot,
+    snapshot_blob,
+)
+from repro.stream.summary import StreamSummary
+from repro.stream.window import SlidingWindowSketch
+from tests.conftest import random_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return random_database(9600, max_items=9, max_transactions=35)
+
+
+@pytest.fixture(scope="module")
+def index(db):
+    return ServingIndex.from_transactions(db, 2)
+
+
+class TestBlobRoundtrip:
+    def test_index_roundtrip_answers_identically(self, index):
+        blob = snapshot_blob(index)
+        restored = restore_from_blob(blob)
+        assert isinstance(restored, ServingIndex)
+        original = PatternEngine(index)
+        revived = PatternEngine(restored)
+        for request in (
+            {"op": "frequency", "items": [0, 1]},
+            {"op": "topk", "item": 0, "k": 5},
+            {"op": "rules", "min_confidence": 0.5, "limit": 10},
+        ):
+            a = original.handle(dict(request))
+            b = revived.handle(dict(request))
+            a.pop("elapsed", None), b.pop("elapsed", None)
+            a.pop("source", None), b.pop("source", None)
+            assert a == b
+
+    def test_roundtrip_is_byte_stable(self, index):
+        blob = snapshot_blob(index)
+        again = snapshot_blob(restore_from_blob(blob))
+        assert again == blob
+        assert blob_digest(again) == blob_digest(blob)
+
+    def test_stream_summary_roundtrip(self, db):
+        summary = StreamSummary(capacity=64, seed=5)
+        summary.extend(db)
+        blob = snapshot_blob(summary)
+        restored = restore_from_blob(blob)
+        assert isinstance(restored, StreamSummary)
+        assert restored.n_transactions == summary.n_transactions
+        assert snapshot_blob(restored) == blob
+
+    def test_window_sketch_roundtrip(self, db):
+        sketch = SlidingWindowSketch(20, buckets=2, capacity=64, seed=5)
+        for t in db:
+            sketch.push(t)
+        blob = snapshot_blob(sketch)
+        restored = restore_from_blob(blob)
+        assert isinstance(restored, SlidingWindowSketch)
+        assert snapshot_blob(restored) == blob
+
+    def test_unsnapshotable_state_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            snapshot_blob({"not": "a serving state"})
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(CheckpointError):
+            restore_from_blob(b"")
+
+
+class TestStoreFallback:
+    def test_save_load_roundtrip(self, index, tmp_path):
+        store = CheckpointStore(tmp_path / "snap")
+        digest, nbytes = save_snapshot(store, index)
+        assert nbytes > 0
+        state, loaded_digest = load_snapshot(store)
+        assert loaded_digest == digest
+        assert snapshot_blob(state) == snapshot_blob(index)
+
+    def test_absent_snapshot_is_none(self, tmp_path):
+        assert load_snapshot(CheckpointStore(tmp_path / "empty")) is None
+
+    def test_damaged_newest_generation_falls_back(self, db, index, tmp_path):
+        store = CheckpointStore(tmp_path / "snap")
+        other = ServingIndex.from_transactions(db, 3)
+        survivor_digest, _ = save_snapshot(store, index)
+        newest_digest, _ = save_snapshot(store, other)
+        assert newest_digest != survivor_digest
+        store.inject_corruption(SNAPSHOT_NODE, SNAPSHOT_KEY, generation=0)
+        state, digest = load_snapshot(store)
+        assert digest == survivor_digest
+        assert snapshot_blob(state) == snapshot_blob(index)
+
+    def test_all_generations_damaged_is_none(self, index, tmp_path):
+        store = CheckpointStore(tmp_path / "snap")
+        save_snapshot(store, index)
+        save_snapshot(store, index)
+        store.inject_corruption(SNAPSHOT_NODE, SNAPSHOT_KEY, generation=0)
+        store.inject_corruption(SNAPSHOT_NODE, SNAPSHOT_KEY, generation=1)
+        assert load_snapshot(store) is None
+
+    def test_unparseable_but_crc_valid_blob_is_none(self, tmp_path):
+        # a future-format snapshot passes the CRC but does not decode;
+        # the worker must rebuild cold instead of crash-looping
+        store = CheckpointStore(tmp_path / "snap")
+        store.save(SNAPSHOT_NODE, SNAPSHOT_KEY, b"I" + b"\x00\x01\x02garbage")
+        assert load_snapshot(store) is None

@@ -1,0 +1,210 @@
+"""End-to-end supervision tests: real worker processes, real SIGKILLs.
+
+The centrepiece is the differential chaos run
+(:func:`repro.serve.chaos.run_serve_chaos`): a supervised ``python -m
+repro serve`` worker is killed three times (once *during* a snapshot
+write, leaving a torn newest generation), hung once (the probe deadline
+must put it down), and cut mid-frame twice by its own client — and
+every answer must still match an undisturbed in-process engine
+bit-for-bit, with every restart warm (rehydrated from a snapshot
+generation, never a cold rebuild).
+
+The targeted tests around it pin the individual mechanisms: SIGKILL
+mid-checkpoint-write recovers from the surviving generation with a
+matching digest; a generation corrupted on disk between incarnations
+falls back the same way; a worker that can never start trips the
+crash-loop circuit breaker instead of relaunching forever.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro.data.io import write_dat
+from repro.errors import ServeError, ServeRestartBudgetError
+from repro.robustness.retry import RetryPolicy
+from repro.serve.chaos import build_fault_plan, run_serve_chaos, scripted_requests
+from repro.serve.client import ServeClient
+from repro.serve.faults import ServeFaultPlan
+from repro.serve.resilient import ResilientClient
+from repro.serve.supervisor import Supervisor, worker_command
+from tests.conftest import random_database
+
+#: Snappy restart backoff so supervised tests settle in seconds.
+FAST_RESTART = RetryPolicy(
+    max_retries=10, base_delay=0.05, multiplier=1.5, max_delay=0.3, jitter=0.2
+)
+
+#: Client backoff patient enough to ride out one supervised restart.
+PATIENT_CLIENT = RetryPolicy(
+    max_retries=14, base_delay=0.05, multiplier=1.5, max_delay=0.5, jitter=0.25
+)
+
+
+def _wait_for(predicate, timeout: float = 30.0, interval: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _supervised(tmp_path, plan, *, seed=4100, max_restarts=4) -> Supervisor:
+    """A supervisor over a real worker on a small on-disk dataset."""
+    db = random_database(seed, max_items=8, max_transactions=30)
+    dat = tmp_path / "db.dat"
+    write_dat(db, dat)
+    snap = str(tmp_path / "snap")
+    return Supervisor(
+        worker_command(
+            ["--db", str(dat), "--min-support", "2", "--snapshot", snap]
+        ),
+        snapshot_dir=snap,
+        probe_interval=0.2,
+        probe_deadline=1.5,
+        probe_misses=2,
+        startup_deadline=60.0,
+        retry=FAST_RESTART,
+        max_restarts=max_restarts,
+        fault_plan=plan,
+    )
+
+
+class TestParameterValidation:
+    def test_bad_intervals_rejected(self):
+        with pytest.raises(ServeError):
+            Supervisor(["true"], probe_interval=0)
+        with pytest.raises(ServeError):
+            Supervisor(["true"], probe_misses=0)
+        with pytest.raises(ServeError):
+            Supervisor(["true"], max_restarts=-1)
+
+
+class TestWarmRestart:
+    def test_sigkill_mid_checkpoint_write_recovers_from_survivor(self, tmp_path):
+        """Satellite: the crash-during-snapshot-write recovery contract.
+
+        The worker's second snapshot write (triggered via SIGHUP) is
+        torn — the newest generation is damaged and the process SIGKILLed
+        mid-write.  The supervisor must warm-restart the worker from the
+        *surviving* startup generation, with a matching digest, never a
+        cold rebuild.
+        """
+        plan = ServeFaultPlan(seed=7, torn_snapshots={1: [2]})
+        with _supervised(tmp_path, plan) as sup:
+            inc1 = sup.incarnations[0]
+            assert inc1.ready_event.is_set()
+            assert not inc1.restored  # first boot builds from the dataset
+            startup_digest = inc1.digest
+            assert startup_digest is not None
+
+            assert sup.signal_snapshot()  # snapshot ordinal 2: torn + SIGKILL
+            assert _wait_for(
+                lambda: len(sup.incarnations) >= 2
+                and sup.incarnations[1].ready_event.is_set()
+            ), sup.stats()
+
+            inc2 = sup.incarnations[1]
+            assert inc1.outcome == "crashed"
+            assert inc2.restored, inc2.summary()  # warm, not a cold rebuild
+            assert inc2.digest == startup_digest
+            with ServeClient(port=sup.port, timeout=5.0) as probe:
+                health = probe.health()
+                assert health["live"] and health["ready"]
+                assert probe.frequency([0])["ok"]
+        assert sup.restarts >= 1 and not sup.tripped
+
+    def test_corrupted_on_disk_generation_falls_back(self, tmp_path):
+        """The supervisor-side fault: a byte flipped in the newest
+        generation between incarnations must route recovery through the
+        CRC fallback to the older generation."""
+        plan = ServeFaultPlan(seed=11, kills={1: [3]}, corrupt_generations={1})
+        with _supervised(tmp_path, plan) as sup:
+            inc1 = sup.incarnations[0]
+            startup_digest = inc1.digest
+            with ResilientClient(
+                port=sup.port, timeout=2.0, deadline=60.0, retry=PATIENT_CLIENT
+            ) as client:
+                assert client.ping() is True  # ordinal 1
+                # write a second generation so the corruption has a survivor
+                assert sup.signal_snapshot()
+                assert _wait_for(
+                    lambda: any(l.startswith("SNAPSHOT") for l in inc1.lines)
+                ), inc1.lines
+                assert client.ping() is True  # ordinal 2
+                # ordinal 3: the worker dies before answering; the client
+                # must replay onto the warm-restarted incarnation
+                assert client.frequency([0])["ok"]
+                assert client.failover_stats()["retries"] >= 1
+            assert _wait_for(
+                lambda: len(sup.incarnations) >= 2
+                and sup.incarnations[1].ready_event.is_set()
+            ), sup.stats()
+            inc2 = sup.incarnations[1]
+            assert sup.generations_corrupted == 1
+            assert inc2.restored, inc2.summary()
+            assert inc2.digest == startup_digest
+
+
+class TestCircuitBreaker:
+    def test_crash_loop_trips_instead_of_relaunching_forever(self):
+        doomed = [sys.executable, "-c", "import sys; sys.exit(3)"]
+        sup = Supervisor(
+            doomed,
+            retry=RetryPolicy(
+                max_retries=5, base_delay=0.01, multiplier=1.5, max_delay=0.05
+            ),
+            max_restarts=1,
+            startup_deadline=10.0,
+        )
+        try:
+            with pytest.raises(ServeRestartBudgetError):
+                sup.start()
+            assert sup.tripped
+            # first launch + exactly max_restarts relaunches, then the trip
+            assert len(sup.incarnations) == 2
+            assert all(i.outcome == "never_ready" for i in sup.incarnations)
+            assert all(i.exit_code == 3 for i in sup.incarnations)
+            with pytest.raises(ServeRestartBudgetError):
+                sup.ensure_healthy()
+        finally:
+            sup.stop()
+
+
+class TestDifferentialChaos:
+    def test_fault_plan_layout_is_deterministic(self):
+        plan_a, incs_a = build_fault_plan(5)
+        plan_b, incs_b = build_fault_plan(5)
+        assert plan_a == plan_b and incs_a == incs_b
+        assert len(plan_a.kills) == 3
+        assert len(plan_a.torn_snapshots) == 1
+        assert len(plan_a.hangs) == 1
+        assert len(plan_a.client_cuts) == 2
+
+    def test_scripted_requests_are_deterministic_and_safe(self):
+        items = list(range(12))
+        batch = scripted_requests(3, items, n=20)
+        assert batch == scripted_requests(3, items, n=20)
+        assert len(batch) == 20
+        assert {r["op"] for r in batch} <= {
+            "frequency", "topk", "rules", "recommend"
+        }
+
+    def test_chaos_run_is_bit_for_bit_identical(self, tmp_path):
+        """The acceptance run: 3 SIGKILLs (one mid-snapshot-write), one
+        hang, two mid-frame client cuts — and zero observable drift."""
+        report = run_serve_chaos(str(tmp_path), seed=0)
+        assert report["ok"], report
+        assert report["mismatches"] == []
+        assert report["errors"] == []
+        assert report["cold_restarts"] == []  # every restart was warm
+        assert len(report["digests"]) == 1  # one state identity throughout
+        assert report["crashes_observed"] >= 4  # 3 kills + the torn write
+        assert report["hang_kills"] >= 1
+        assert report["client"]["cuts_injected"] == 2
+        assert report["client"]["reconnects"] >= 2
+        assert not report["supervisor"]["tripped"]
